@@ -1,0 +1,58 @@
+// Ablation: chunked (intra-process parallel) compression.
+//
+// The paper's Sec. II-A requires compression scalable in checkpoint
+// size; chunking additionally parallelizes within one process. This
+// bench maps the rate cost of chunking (per-chunk quantization tables,
+// lost cross-chunk correlation) and the wall-clock effect of a pool.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/chunked.hpp"
+#include "core/synthetic.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/timer.hpp"
+
+using namespace wck;
+using namespace wck::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto nx = static_cast<std::size_t>(args.get_int("nx", 1156));
+  const auto ny = static_cast<std::size_t>(args.get_int("ny", 82));
+  const auto nz = static_cast<std::size_t>(args.get_int("nz", 2));
+
+  print_header("Ablation: chunked compression (slabs along axis 0)",
+               "more chunks: slightly worse rate, same error regime; with a "
+               "pool, wall time drops until the core count saturates");
+  const auto field = make_temperature_field(Shape{nx, ny, nz}, 2015);
+  std::printf("array: %s (%.2f MB); host threads: %u\n\n", field.shape().to_string().c_str(),
+              static_cast<double>(field.size_bytes()) / 1e6,
+              std::thread::hardware_concurrency());
+
+  ThreadPool pool;
+  print_row({"chunks", "rate [%]", "avg err [%]", "seq wall [ms]", "pool wall [ms]"}, 16);
+  for (const std::size_t chunks : {1u, 2u, 4u, 8u, 16u}) {
+    ChunkedParams p;
+    p.base.quantizer.divisions = 128;
+    p.chunks = chunks;
+
+    WallTimer seq_timer;
+    const auto comp = chunked_compress(field, p);
+    const double seq_ms = seq_timer.seconds() * 1e3;
+
+    WallTimer pool_timer;
+    (void)chunked_compress(field, p, &pool);
+    const double pool_ms = pool_timer.seconds() * 1e3;
+
+    const auto back = chunked_decompress(comp.data);
+    const auto err = relative_error(field.values(), back.values());
+    print_row({std::to_string(chunks),
+               fmt("%.2f", 100.0 * static_cast<double>(comp.data.size()) /
+                               static_cast<double>(field.size_bytes())),
+               fmt("%.4f", err.mean_rel_percent()), fmt("%.1f", seq_ms),
+               fmt("%.1f", pool_ms)},
+              16);
+  }
+  return 0;
+}

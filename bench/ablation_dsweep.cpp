@@ -1,0 +1,43 @@
+// Ablation: the spike-detection partition count d (the paper fixes
+// d = 64 without a sweep).
+//
+// Larger d makes spike detection finer: fewer values land in detected
+// partitions (more stay exact), trading size for error. This sweep maps
+// that trade-off and shows d = 64 is a reasonable middle ground.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/compressor.hpp"
+
+using namespace wck;
+using namespace wck::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto workload = climate_workload_from_args(args);
+  const int n = static_cast<int>(args.get_int("n", 128));
+
+  print_header("Ablation: spike partition count d (paper fixes d=64)",
+               "finer d -> more exact values: lower error, larger size");
+  MiniClimate model(workload.config);
+  model.run(workload.warmup_steps);
+  const auto& temp = model.temperature();
+
+  print_row({"d", "rate [%]", "avg err [%]", "max err [%]", "quantized [%]"}, 15);
+  for (const int d : {4, 16, 64, 256, 1024}) {
+    CompressionParams p;
+    p.quantizer.kind = QuantizerKind::kSpike;
+    p.quantizer.divisions = n;
+    p.quantizer.spike_partitions = d;
+    const auto rt = WaveletCompressor(p).round_trip(temp);
+    const double qfrac = rt.compressed.high_count == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(rt.compressed.quantized_count) /
+                                   static_cast<double>(rt.compressed.high_count);
+    print_row({std::to_string(d), fmt("%.2f", rt.compressed.compression_rate_percent()),
+               fmt("%.4f", rt.error.mean_rel_percent()),
+               fmt("%.4f", rt.error.max_rel_percent()), fmt("%.1f", qfrac)},
+              15);
+  }
+  return 0;
+}

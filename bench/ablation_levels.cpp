@@ -1,0 +1,43 @@
+// Ablation: wavelet transform depth (the paper uses a single level).
+//
+// Deeper transforms shrink the stored-raw low band and concentrate more
+// coefficients near zero, but each extra level also widens the value
+// distribution the quantizer must cover. This sweep maps the trade-off.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/compressor.hpp"
+
+using namespace wck;
+using namespace wck::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto workload = climate_workload_from_args(args);
+  const int n = static_cast<int>(args.get_int("n", 128));
+  const int d = static_cast<int>(args.get_int("d", 64));
+
+  print_header("Ablation: wavelet transform depth (paper: 1 level)",
+               "depth trades low-band size against quantizer span");
+  MiniClimate model(workload.config);
+  model.run(workload.warmup_steps);
+  const auto& temp = model.temperature();
+
+  print_row({"levels", "rate [%]", "avg err [%]", "max err [%]", "low band [%]"}, 15);
+  for (int levels = 1; levels <= 4; ++levels) {
+    CompressionParams p;
+    p.quantizer.kind = QuantizerKind::kSpike;
+    p.quantizer.divisions = n;
+    p.quantizer.spike_partitions = d;
+    p.wavelet_levels = levels;
+    const auto rt = WaveletCompressor(p).round_trip(temp);
+    const double low_frac = 100.0 *
+                            static_cast<double>(temp.size() - rt.compressed.high_count) /
+                            static_cast<double>(temp.size());
+    print_row({std::to_string(levels), fmt("%.2f", rt.compressed.compression_rate_percent()),
+               fmt("%.4f", rt.error.mean_rel_percent()),
+               fmt("%.4f", rt.error.max_rel_percent()), fmt("%.2f", low_frac)},
+              15);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation: does the wavelet front-end earn its keep?
+//
+// Compares the full pipeline (Haar transform before quantization)
+// against quantizing the raw values directly (transform depth still 1
+// but applied to data whose high "bands" are just raw samples is not
+// expressible in the pipeline, so we emulate no-wavelet by compressing
+// the value distribution directly: quantize all array values with the
+// same machinery, then deflate).
+//
+// Expectation (paper Sec. II-C / III-A): the transform concentrates
+// high-band values near zero, so at equal n the wavelet path yields a
+// far smaller error for comparable size — raw quantization must spread
+// its n representative values over the whole physical range.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/compressor.hpp"
+#include "deflate/deflate.hpp"
+#include "encode/payload.hpp"
+#include "quantize/quantizer.hpp"
+#include "stats/error_metrics.hpp"
+
+using namespace wck;
+using namespace wck::bench;
+
+namespace {
+
+/// No-wavelet strawman: quantize the raw array values with the same
+/// quantizer + bitmap + index encoding + deflate, skipping the
+/// transform.
+struct RawResult {
+  double rate_percent;
+  double mean_err_percent;
+  double max_err_percent;
+};
+
+RawResult raw_quantize(const NdArray<double>& a, QuantizerKind kind, int n, int d) {
+  const QuantizerConfig cfg{kind, n, d};
+  const QuantizationScheme scheme = QuantizationScheme::analyze(a.values(), cfg);
+
+  LossyPayload p;
+  p.shape = a.shape();
+  p.levels = 1;
+  p.quantizer = kind;
+  p.averages = scheme.averages();
+  // Treat everything as "high band": low band empty is not allowed by
+  // the payload (sizes must sum), so keep one element exact as "low".
+  p.low_band = {a[0]};
+  p.quantized = Bitmap(a.size() - 1);
+  NdArray<double> recon = a;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const int idx = scheme.classify(a[i]);
+    if (idx >= 0) {
+      p.quantized.set(i - 1, true);
+      p.indices.push_back(static_cast<std::uint8_t>(idx));
+      recon[i] = scheme.averages()[static_cast<std::size_t>(idx)];
+    } else {
+      p.exact_values.push_back(a[i]);
+    }
+  }
+  const Bytes payload = encode_payload(p);
+  const Bytes z = zlib_compress(payload);
+  const auto err = relative_error(a.values(), recon.values());
+  return {compression_rate_percent(a.size_bytes(), z.size() + 1), err.mean_rel_percent(),
+          err.max_rel_percent()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto workload = climate_workload_from_args(args);
+  const int d = static_cast<int>(args.get_int("d", 64));
+
+  print_header("Ablation: wavelet front-end vs raw-value quantization",
+               "wavelet path: much smaller error at comparable rate");
+  MiniClimate model(workload.config);
+  model.run(workload.warmup_steps);
+  const auto& temp = model.temperature();
+
+  print_row({"n", "variant", "rate [%]", "avg err [%]", "max err [%]"}, 16);
+  for (const int n : {16, 128}) {
+    for (const auto kind : {QuantizerKind::kSimple, QuantizerKind::kSpike}) {
+      const char* kname = kind == QuantizerKind::kSimple ? "simple" : "proposed";
+
+      CompressionParams p;
+      p.quantizer.kind = kind;
+      p.quantizer.divisions = n;
+      p.quantizer.spike_partitions = d;
+      const auto rt = WaveletCompressor(p).round_trip(temp);
+      print_row({std::to_string(n), std::string("wavelet+") + kname,
+                 fmt("%.2f", rt.compressed.compression_rate_percent()),
+                 fmt("%.4f", rt.error.mean_rel_percent()),
+                 fmt("%.4f", rt.error.max_rel_percent())},
+                16);
+
+      const auto raw = raw_quantize(temp, kind, n, d);
+      print_row({std::to_string(n), std::string("raw+") + kname, fmt("%.2f", raw.rate_percent),
+                 fmt("%.4f", raw.mean_err_percent), fmt("%.4f", raw.max_err_percent)},
+                16);
+    }
+  }
+  return 0;
+}

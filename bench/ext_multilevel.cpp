@@ -1,0 +1,100 @@
+// Extension: multi-level checkpointing with lossy compression under
+// injected failures — the paper's concluding integration plan
+// ("combine with other efforts ... harnessing storage hierarchy").
+//
+// Runs MiniClimate with a two-level hierarchy (frequent local lossy
+// checkpoints + rare shared checkpoints), injects failures of both
+// severities, and reports which level served each restart and how many
+// steps of work each failure cost.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "ckpt/codec.hpp"
+#include "multilevel/multilevel.hpp"
+#include "util/rng.hpp"
+
+using namespace wck;
+using namespace wck::bench;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  auto workload = climate_workload_from_args(args);
+  const auto total = static_cast<std::uint64_t>(args.get_int("steps", 600));
+  const auto opportunity = static_cast<std::uint64_t>(args.get_int("ckpt-every", 20));
+
+  print_header("Extension: two-level checkpoint hierarchy with failure injection",
+               "mild failures restart from the newest local checkpoint (small "
+               "rollback); severe failures fall back to shared (larger rollback)");
+
+  const auto dir = std::filesystem::temp_directory_path() / "wck_multilevel_bench";
+  std::filesystem::remove_all(dir);
+
+  CompressionParams params;
+  params.quantizer.divisions = 128;
+  const WaveletLossyCodec codec(params);
+  MultiLevelCheckpointer ml(
+      {
+          LevelSpec{"local", dir / "l1", 1, 1},
+          LevelSpec{"shared", dir / "l2", 4, 2},
+      },
+      codec);
+
+  MiniClimate model(workload.config);
+  NdArray<double> zeta;
+  NdArray<double> temp;
+  CheckpointRegistry reg;
+  reg.add("vorticity", &zeta);
+  reg.add("temperature", &temp);
+
+  Xoshiro256 rng(workload.config.seed);
+  std::uint64_t lost_steps = 0;
+  std::size_t failures = 0;
+
+  print_row({"event", "step", "detail"}, 18);
+  while (model.step_count() < total) {
+    model.run(opportunity);
+    zeta = model.vorticity();
+    temp = model.temperature();
+    const auto written = ml.checkpoint(reg, model.step_count());
+    for (const auto& w : written) {
+      print_row({"checkpoint", std::to_string(w.step),
+                 w.level + " rate " + fmt("%.1f%%", w.info.compression_rate_percent())},
+                18);
+    }
+
+    // Random failure injection: ~25% chance per opportunity, 1 in 4
+    // failures is severe (node loss). The failure strikes mid-interval:
+    // the model advances a random partial chunk first, which is the
+    // work that will be rolled back.
+    if (rng.uniform() < 0.25) {
+      ++failures;
+      const auto partial = 1 + rng.bounded(opportunity - 1);
+      model.run(partial);
+      const int severity = rng.uniform() < 0.25 ? 2 : 1;
+      const auto r = ml.restart_after_failure(severity, reg);
+      if (!r.has_value()) {
+        print_row({"failure", std::to_string(model.step_count()),
+                   "severity " + std::to_string(severity) + ": NO SURVIVING CHECKPOINT"},
+                  18);
+        continue;
+      }
+      const std::uint64_t rollback = model.step_count() - r->step;
+      lost_steps += rollback;
+      model.restore(zeta, temp, r->step);
+      print_row({"failure", std::to_string(model.step_count()),
+                 "severity " + std::to_string(severity) + " -> restart from " + r->level +
+                     " @" + std::to_string(r->step) + " (rolled back " +
+                     std::to_string(rollback) + " steps)"},
+                18);
+    }
+  }
+
+  std::printf("\nrun complete: %zu failures, %llu steps of recomputation "
+              "(%.1f%% of %llu total)\n",
+              failures, static_cast<unsigned long long>(lost_steps),
+              100.0 * static_cast<double>(lost_steps) / static_cast<double>(total),
+              static_cast<unsigned long long>(total));
+  std::filesystem::remove_all(dir);
+  return 0;
+}

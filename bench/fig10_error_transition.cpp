@@ -1,0 +1,109 @@
+// Figure 10 reproduction: the transition of the relative error with
+// application time steps after restarting from a lossy checkpoint.
+//
+// Protocol (paper Sec. IV-E): run the model for 720 steps, write a lossy
+// checkpoint, restart from it, run 1500 more steps, and at every
+// sampling point compare the temperature array against an undisturbed
+// reference run. Repeated for simple and proposed quantization.
+//
+// Paper result: errors random-walk upward slowly; the proposed
+// quantization stays below the simple one; simple fluctuates more.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/codec.hpp"
+#include "stats/error_metrics.hpp"
+
+using namespace wck;
+using namespace wck::bench;
+
+namespace {
+
+/// Runs the restart experiment for one quantizer; returns (step, avg
+/// relative error %) samples.
+std::vector<std::pair<std::uint64_t, double>> restart_run(const ClimateWorkload& workload,
+                                                          QuantizerKind kind, int n, int d,
+                                                          std::uint64_t extra_steps,
+                                                          std::uint64_t sample_every,
+                                                          MiniClimate& reference) {
+  // Fresh model, deterministic same trajectory as the reference.
+  MiniClimate model(workload.config);
+  model.run(workload.warmup_steps);
+
+  // Checkpoint through the full application-level path, then restart.
+  CompressionParams params;
+  params.quantizer.kind = kind;
+  params.quantizer.divisions = n;
+  params.quantizer.spike_partitions = d;
+  const WaveletLossyCodec codec(params);
+
+  NdArray<double> zeta = model.vorticity();
+  NdArray<double> temp = model.temperature();
+  CheckpointRegistry registry;
+  registry.add("vorticity", &zeta);
+  registry.add("temperature", &temp);
+  const Bytes ckpt = serialize_checkpoint(registry, codec, model.step_count());
+
+  // "Failure": restore prognostic state from the lossy checkpoint.
+  NdArray<double> r_zeta(zeta.shape());
+  NdArray<double> r_temp(temp.shape());
+  CheckpointRegistry restart_registry;
+  restart_registry.add("vorticity", &r_zeta);
+  restart_registry.add("temperature", &r_temp);
+  const CheckpointInfo info = restore_checkpoint(ckpt, restart_registry);
+  model.restore(r_zeta, r_temp, info.step);
+
+  std::vector<std::pair<std::uint64_t, double>> samples;
+  for (std::uint64_t s = 0; s < extra_steps; s += sample_every) {
+    model.run(sample_every);
+    reference.run(sample_every);
+    const auto err =
+        relative_error(reference.temperature().values(), model.temperature().values());
+    samples.emplace_back(model.step_count(), err.mean_rel_percent());
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto workload = climate_workload_from_args(args);
+  const auto extra = static_cast<std::uint64_t>(args.get_int("extra-steps", 1500));
+  const auto every = static_cast<std::uint64_t>(args.get_int("sample-every", 50));
+  const int n = static_cast<int>(args.get_int("n", 128));
+  const int d = static_cast<int>(args.get_int("d", 64));
+
+  print_header("Figure 10: relative error transition after lossy restart",
+               "errors random-walk upward slowly; proposed < simple; "
+               "simple fluctuates more");
+  std::printf("workload: MiniClimate %zux%zux%zu, checkpoint at step %llu, "
+              "restart + %llu steps, n=%d, d=%d\n\n",
+              workload.config.nx, workload.config.ny, workload.config.nz,
+              static_cast<unsigned long long>(workload.warmup_steps),
+              static_cast<unsigned long long>(extra), n, d);
+
+  // One reference trajectory per quantizer (references must stay in
+  // lockstep with their restarted twin).
+  MiniClimate ref_simple(workload.config);
+  ref_simple.run(workload.warmup_steps);
+  MiniClimate ref_spike(workload.config);
+  ref_spike.run(workload.warmup_steps);
+
+  const auto simple =
+      restart_run(workload, QuantizerKind::kSimple, n, d, extra, every, ref_simple);
+  const auto spike = restart_run(workload, QuantizerKind::kSpike, n, d, extra, every, ref_spike);
+
+  print_row({"step", "simple avg err [%]", "proposed avg err [%]"}, 22);
+  for (std::size_t i = 0; i < simple.size(); ++i) {
+    print_row({std::to_string(simple[i].first), fmt("%.5f", simple[i].second),
+               fmt("%.5f", spike[i].second)},
+              22);
+  }
+
+  double simple_final = simple.empty() ? 0.0 : simple.back().second;
+  double spike_final = spike.empty() ? 0.0 : spike.back().second;
+  std::printf("\nfinal errors: simple %.5f %%, proposed %.5f %%\n", simple_final, spike_final);
+  return 0;
+}

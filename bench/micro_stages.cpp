@@ -1,0 +1,106 @@
+// google-benchmark micro suite: per-stage throughput and O(n) scaling.
+//
+// The paper claims (Sec. III) that the whole lossy pipeline is O(n) in
+// the checkpoint size. Run with --benchmark_min_time or look at the
+// BigO row: the wavelet, quantization+encoding and full-pipeline
+// benchmarks compute a complexity fit.
+#include <benchmark/benchmark.h>
+
+#include "core/compressor.hpp"
+#include "core/synthetic.hpp"
+#include "deflate/deflate.hpp"
+#include "quantize/quantizer.hpp"
+#include "wavelet/haar.hpp"
+
+namespace wck {
+namespace {
+
+NdArray<double> field_of_size(std::int64_t elements) {
+  // Keep the paper-like 3D aspect: x grows, 82 x 2 fixed.
+  const auto nx = static_cast<std::size_t>(elements) / (82 * 2);
+  return make_temperature_field(Shape{nx, 82, 2}, 7);
+}
+
+void BM_WaveletForward(benchmark::State& state) {
+  auto field = field_of_size(state.range(0));
+  for (auto _ : state) {
+    haar_forward(field.view(), 1);
+    haar_inverse(field.view(), 1);  // restore for the next iteration
+    benchmark::DoNotOptimize(field.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field.size_bytes()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WaveletForward)->Range(1 << 14, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_QuantizeAnalyze(benchmark::State& state) {
+  const auto field = field_of_size(state.range(0));
+  for (auto _ : state) {
+    const auto scheme =
+        QuantizationScheme::analyze_spike(field.values(), 128, 64);
+    benchmark::DoNotOptimize(scheme.averages().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field.size_bytes()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_QuantizeAnalyze)->Range(1 << 14, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_FullPipelineCompress(benchmark::State& state) {
+  const auto field = field_of_size(state.range(0));
+  CompressionParams params;
+  params.quantizer.divisions = 128;
+  const WaveletCompressor compressor(params);
+  for (auto _ : state) {
+    const auto comp = compressor.compress(field);
+    benchmark::DoNotOptimize(comp.data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field.size_bytes()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullPipelineCompress)->Range(1 << 14, 1 << 20)->Complexity(benchmark::oN);
+
+void BM_FullPipelineDecompress(benchmark::State& state) {
+  const auto field = field_of_size(state.range(0));
+  CompressionParams params;
+  params.quantizer.divisions = 128;
+  const auto comp = WaveletCompressor(params).compress(field);
+  for (auto _ : state) {
+    const auto back = WaveletCompressor::decompress(comp.data);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field.size_bytes()));
+}
+BENCHMARK(BM_FullPipelineDecompress)->Range(1 << 14, 1 << 20);
+
+void BM_DeflateCompress(benchmark::State& state) {
+  const auto field = field_of_size(state.range(0));
+  const auto raw = std::as_bytes(field.values());
+  for (auto _ : state) {
+    const auto z = zlib_compress(raw, DeflateOptions{6});
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_DeflateCompress)->Range(1 << 14, 1 << 18);
+
+void BM_DeflateDecompress(benchmark::State& state) {
+  const auto field = field_of_size(state.range(0));
+  const auto z = zlib_compress(std::as_bytes(field.values()), DeflateOptions{6});
+  for (auto _ : state) {
+    const auto back = zlib_decompress(z);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field.size_bytes()));
+}
+BENCHMARK(BM_DeflateDecompress)->Range(1 << 14, 1 << 18);
+
+}  // namespace
+}  // namespace wck
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table I reproduction: the experimental-platform specification.
+//
+// The paper lists its in-house cluster (Core i7-3930K, 16 GB DDR3, NFS
+// v3 over RAID6). We print the equivalent description of the machine the
+// reproduction runs on, plus the storage-model parameters the Fig. 9
+// estimation uses.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) return line.substr(colon + 2);
+    }
+  }
+  return "(unknown CPU)";
+}
+
+double read_mem_gb() {
+  std::ifstream f("/proc/meminfo");
+  std::string key;
+  long kb = 0;
+  while (f >> key >> kb) {
+    if (key == "MemTotal:") return static_cast<double>(kb) / (1024.0 * 1024.0);
+    f.ignore(256, '\n');
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I: system specification (reproduction platform)\n");
+  std::printf("------------------------------------------------------\n");
+  std::printf("Node\n");
+  std::printf("  CPU                 %s\n", read_cpu_model().c_str());
+  std::printf("  Hardware threads    %u\n", std::thread::hardware_concurrency());
+  std::printf("  Memory              %.1f GB\n", read_mem_gb());
+  std::printf("Storage (as modeled; paper: NFS v3 on RAID6 for measurement,\n");
+  std::printf("         20 GB/s parallel FS for the Fig. 9 estimation)\n");
+  std::printf("  Modeled PFS bandwidth   20 GB/s\n");
+  std::printf("  Checkpoint per process  1.5 MB (weak scaling)\n");
+  std::printf("\nPaper's Table I for reference:\n");
+  std::printf("  CPU: Intel Core i7-3930K 6 cores 3.20GHz; Memory: DDR3 16GB;\n");
+  std::printf("  NIC: Broadcom bnx2; FS: NFS v3 1.5TB, Dell PERC H700 RAID6,\n");
+  std::printf("  Western Digital WD2002FAEX disks.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "ckpt/async_writer.hpp"
+
+namespace wck {
+
+AsyncCheckpointWriter::AsyncCheckpointWriter(const Codec& codec)
+    : codec_(codec), worker_([this] { worker_loop(); }) {}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
+    const std::filesystem::path& path, const CheckpointRegistry& registry,
+    std::uint64_t step) {
+  Job job;
+  job.path = path;
+  job.step = step;
+  job.snapshot.reserve(registry.entries().size());
+  // The blocking part: deep-copy the state at this instant.
+  for (const auto& e : registry.entries()) {
+    job.snapshot.emplace_back(e.name, *e.array);
+  }
+  auto future = job.promise.get_future();
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void AsyncCheckpointWriter::drain() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t AsyncCheckpointWriter::pending() const {
+  std::lock_guard lk(mu_);
+  return queue_.size() + in_flight_;
+}
+
+void AsyncCheckpointWriter::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    try {
+      // Rebuild a registry over the snapshot copies and write normally.
+      CheckpointRegistry snap_registry;
+      for (auto& [name, array] : job.snapshot) {
+        snap_registry.add(name, &array);
+      }
+      job.promise.set_value(write_checkpoint(job.path, snap_registry, codec_, job.step));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace wck

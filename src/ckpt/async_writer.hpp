@@ -1,0 +1,70 @@
+// Asynchronous (non-blocking) checkpointing — the paper's Sec. V
+// reference [2] ("Design and modeling of a non-blocking checkpointing
+// system"): overlap compression + I/O with computation.
+//
+// write_async() synchronously snapshots the registered arrays (a plain
+// memcpy — the only part that must block the application) and hands
+// encoding + file writing to a background worker. The application
+// continues mutating its state immediately; the checkpoint reflects the
+// snapshot instant.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/codec.hpp"
+
+namespace wck {
+
+class AsyncCheckpointWriter {
+ public:
+  /// The codec must outlive the writer.
+  explicit AsyncCheckpointWriter(const Codec& codec);
+
+  /// Drains pending writes, then stops the worker.
+  ~AsyncCheckpointWriter();
+
+  AsyncCheckpointWriter(const AsyncCheckpointWriter&) = delete;
+  AsyncCheckpointWriter& operator=(const AsyncCheckpointWriter&) = delete;
+
+  /// Snapshots `registry`'s arrays now; encodes and writes to `path` in
+  /// the background. The returned future yields the write's
+  /// CheckpointInfo (or rethrows its error).
+  std::future<CheckpointInfo> write_async(const std::filesystem::path& path,
+                                          const CheckpointRegistry& registry,
+                                          std::uint64_t step);
+
+  /// Blocks until every queued write has completed.
+  void drain();
+
+  /// Number of snapshots queued or in flight.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Job {
+    std::filesystem::path path;
+    std::uint64_t step;
+    // Owned snapshot: names + deep copies taken on the caller's thread.
+    std::vector<std::pair<std::string, NdArray<double>>> snapshot;
+    std::promise<CheckpointInfo> promise;
+  };
+
+  void worker_loop();
+
+  const Codec& codec_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Job> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace wck

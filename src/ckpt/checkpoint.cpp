@@ -1,0 +1,136 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <fstream>
+
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504B4357;  // "WCKP" little-endian
+constexpr std::uint8_t kVersion = 1;
+
+}  // namespace
+
+void CheckpointRegistry::add(const std::string& name, NdArray<double>* array) {
+  if (array == nullptr) throw InvalidArgumentError("registry: null array for " + name);
+  if (name.empty()) throw InvalidArgumentError("registry: empty field name");
+  if (find(name) != nullptr) {
+    throw InvalidArgumentError("registry: duplicate field name " + name);
+  }
+  entries_.push_back(Entry{name, array});
+}
+
+NdArray<double>* CheckpointRegistry::find(const std::string& name) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.array;
+  }
+  return nullptr;
+}
+
+std::size_t CheckpointRegistry::total_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) n += e.array->size_bytes();
+  return n;
+}
+
+Bytes serialize_checkpoint(const CheckpointRegistry& registry, const Codec& codec,
+                           std::uint64_t step, CheckpointInfo* info) {
+  CheckpointInfo local;
+  local.step = step;
+  local.field_count = registry.entries().size();
+
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.varint(step);
+  w.varint(registry.entries().size());
+  for (const auto& e : registry.entries()) {
+    const Bytes payload = codec.encode(*e.array, &local.times);
+    w.str(e.name);
+    w.str(codec.name());
+    w.varint(payload.size());
+    w.raw(payload.data(), payload.size());
+    w.u32(crc32(std::span<const std::byte>(payload)));
+    local.original_bytes += e.array->size_bytes();
+    local.stored_bytes += payload.size();
+  }
+  if (info != nullptr) *info = local;
+  return w.take();
+}
+
+CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
+                                  const CheckpointRegistry& registry) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw FormatError("checkpoint: bad magic");
+  const std::uint8_t version = r.u8();
+  if (version != kVersion) {
+    throw FormatError("checkpoint: unsupported version " + std::to_string(version));
+  }
+
+  CheckpointInfo info;
+  info.step = r.varint();
+  info.field_count = r.varint();
+  for (std::size_t f = 0; f < info.field_count; ++f) {
+    const std::string name = r.str();
+    const std::string codec_name = r.str();
+    const std::uint64_t size = r.varint();
+    const auto payload = r.raw(size);
+    const std::uint32_t want_crc = r.u32();
+    if (crc32(payload) != want_crc) {
+      throw CorruptDataError("checkpoint: CRC mismatch in field " + name);
+    }
+
+    NdArray<double>* target = registry.find(name);
+    if (target == nullptr) {
+      throw FormatError("checkpoint: field " + name + " is not registered");
+    }
+    const Codec& codec = codec_for_decoding(codec_name);
+    NdArray<double> decoded = codec.decode(payload);
+    if (target->size() != 0 && decoded.shape() != target->shape()) {
+      throw FormatError("checkpoint: field " + name + " shape " + decoded.shape().to_string() +
+                        " does not match registered array " + target->shape().to_string());
+    }
+    *target = std::move(decoded);
+    info.original_bytes += target->size_bytes();
+    info.stored_bytes += size;
+  }
+  if (!r.exhausted()) throw FormatError("checkpoint: trailing bytes");
+  return info;
+}
+
+CheckpointInfo write_checkpoint(const std::filesystem::path& path,
+                                const CheckpointRegistry& registry, const Codec& codec,
+                                std::uint64_t step) {
+  CheckpointInfo info;
+  const Bytes data = serialize_checkpoint(registry, codec, step, &info);
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw IoError("cannot open " + tmp.string() + " for writing");
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    f.flush();
+    if (!f) throw IoError("write failed for " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) throw IoError("cannot rename " + tmp.string() + " to " + path.string());
+  return info;
+}
+
+CheckpointInfo read_checkpoint(const std::filesystem::path& path,
+                               const CheckpointRegistry& registry) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw IoError("cannot open " + path.string() + " for reading");
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(data.data()), size);
+  if (!f) throw IoError("read failed for " + path.string());
+  return restore_checkpoint(data, registry);
+}
+
+}  // namespace wck

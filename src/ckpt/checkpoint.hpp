@@ -1,0 +1,80 @@
+// Application-level checkpoint/restart.
+//
+// Applications register their state arrays by name in a
+// CheckpointRegistry; write_checkpoint() serializes every registered
+// array through a chosen codec into a single self-describing,
+// CRC-protected file (or byte buffer); read_checkpoint() restores the
+// arrays in place. This is the application-facing layer the paper's
+// "application-level checkpoint/restart" refers to.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "ndarray/ndarray.hpp"
+#include "util/bytes.hpp"
+#include "util/timer.hpp"
+
+namespace wck {
+
+/// Named mutable bindings to an application's state arrays.
+class CheckpointRegistry {
+ public:
+  /// Binds `array` (owned by the application, must outlive the registry)
+  /// under `name`. Duplicate names are rejected.
+  void add(const std::string& name, NdArray<double>* array);
+
+  struct Entry {
+    std::string name;
+    NdArray<double>* array;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// Pointer to the array bound to `name`, or nullptr.
+  [[nodiscard]] NdArray<double>* find(const std::string& name) const noexcept;
+
+  /// Total bytes of all registered arrays (uncompressed).
+  [[nodiscard]] std::size_t total_bytes() const noexcept;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Summary of a written or restored checkpoint.
+struct CheckpointInfo {
+  std::uint64_t step = 0;
+  std::size_t field_count = 0;
+  std::size_t original_bytes = 0;   ///< sum of raw array sizes
+  std::size_t stored_bytes = 0;     ///< sum of encoded payload sizes
+  StageTimes times;                 ///< accumulated codec stage times
+
+  /// Eq. 5 over the whole checkpoint.
+  [[nodiscard]] double compression_rate_percent() const noexcept {
+    return original_bytes == 0 ? 0.0
+                               : 100.0 * static_cast<double>(stored_bytes) /
+                                     static_cast<double>(original_bytes);
+  }
+};
+
+/// Serializes all registered arrays with `codec` into a byte buffer.
+[[nodiscard]] Bytes serialize_checkpoint(const CheckpointRegistry& registry, const Codec& codec,
+                                         std::uint64_t step, CheckpointInfo* info = nullptr);
+
+/// Restores registered arrays from a serialized checkpoint. Every field
+/// in the buffer must be registered (unknown fields throw FormatError);
+/// registered fields missing from the buffer are left untouched.
+CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
+                                  const CheckpointRegistry& registry);
+
+/// File variants of the above. write_checkpoint is atomic-ish: it writes
+/// to `<path>.tmp` then renames.
+CheckpointInfo write_checkpoint(const std::filesystem::path& path,
+                                const CheckpointRegistry& registry, const Codec& codec,
+                                std::uint64_t step);
+CheckpointInfo read_checkpoint(const std::filesystem::path& path,
+                               const CheckpointRegistry& registry);
+
+}  // namespace wck

@@ -1,0 +1,68 @@
+// Incremental checkpointing (the paper's Sec. V baseline, refs [9-11]).
+//
+// Stores only the blocks that changed since the previous checkpoint.
+// The paper argues this "may be limited in scientific applications
+// because the entire arrays of physical quantities are frequently
+// updated" — the ext_incremental bench reproduces exactly that: on
+// MiniClimate state every block is dirty, while on a synthetic
+// sparse-update workload incremental checkpoints are tiny.
+//
+// Recovery needs the chain from the last full image through every
+// subsequent delta (the restart-cost drawback the paper cites from [9]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "util/bytes.hpp"
+
+namespace wck {
+
+/// One emitted checkpoint: either a full image or a delta against the
+/// previous checkpoint in the chain.
+struct IncrementalCheckpoint {
+  Bytes data;
+  bool is_full = false;
+  std::uint64_t step = 0;
+  std::size_t image_bytes = 0;   ///< size of the raw state image
+  std::size_t dirty_blocks = 0;  ///< blocks stored (== all for full)
+  std::size_t total_blocks = 0;
+};
+
+/// Produces full/delta checkpoints of a registry's state and rebuilds
+/// state from a chain of them.
+class IncrementalCheckpointer {
+ public:
+  /// `block_bytes` is the dirty-detection granularity; `full_every`
+  /// forces a full image every N checkpoints (N = 1 disables deltas).
+  explicit IncrementalCheckpointer(std::size_t block_bytes = 4096,
+                                   std::size_t full_every = 8);
+
+  /// Snapshots the registry. The first call (and every full_every-th)
+  /// emits a full image; others emit deltas vs the previous snapshot.
+  [[nodiscard]] IncrementalCheckpoint checkpoint(const CheckpointRegistry& registry,
+                                                 std::uint64_t step);
+
+  /// Rebuilds the raw state image from a full checkpoint plus the
+  /// ordered deltas that followed it, and scatters it into the registry
+  /// arrays. Throws FormatError/CorruptDataError on malformed chains.
+  static CheckpointInfo restore_chain(std::span<const IncrementalCheckpoint> chain,
+                                      const CheckpointRegistry& registry);
+
+  [[nodiscard]] std::size_t block_bytes() const noexcept { return block_bytes_; }
+
+ private:
+  std::size_t block_bytes_;
+  std::size_t full_every_;
+  std::size_t since_full_ = 0;
+  Bytes previous_image_;
+};
+
+/// Serializes the registry's arrays into one contiguous raw image
+/// (names + shapes + values); scatter_image is its inverse.
+[[nodiscard]] Bytes gather_image(const CheckpointRegistry& registry);
+void scatter_image(std::span<const std::byte> image, const CheckpointRegistry& registry);
+
+}  // namespace wck

@@ -1,0 +1,52 @@
+#include "climate/assimilation.hpp"
+
+#include "util/error.hpp"
+
+namespace wck {
+
+NudgingAssimilator::NudgingAssimilator(const AssimilationConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.nudging_strength <= 0.0 || config.nudging_strength > 1.0) {
+    throw InvalidArgumentError("assimilation: nudging strength must be in (0, 1]");
+  }
+  if (config.stride == 0) throw InvalidArgumentError("assimilation: stride must be >= 1");
+  if (config.observation_noise < 0.0) {
+    throw InvalidArgumentError("assimilation: noise must be >= 0");
+  }
+}
+
+void NudgingAssimilator::assimilate(MiniClimate& model, const MiniClimate& truth) {
+  if (model.temperature().shape() != truth.temperature().shape()) {
+    throw InvalidArgumentError("assimilation: model and truth grids differ");
+  }
+  const auto& cfg = model.config();
+  const std::size_t nx = cfg.nx;
+  const std::size_t ny = cfg.ny;
+  const std::size_t nz = cfg.nz;
+  const std::size_t plane = nx * ny;
+
+  NdArray<double> zeta = model.vorticity();
+  NdArray<double> temp = model.temperature();
+  const NdArray<double>& true_zeta = truth.vorticity();
+  const NdArray<double>& true_temp = truth.temperature();
+
+  // Nudge at the sensor lattice: every stride-th point horizontally on
+  // every level (a radiosonde-like network).
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; j += config_.stride) {
+      for (std::size_t i = 0; i < nx; i += config_.stride) {
+        const std::size_t c = k * plane + j * nx + i;
+        const double t_obs =
+            true_temp[c] + config_.observation_noise * rng_.normal();
+        const double z_obs =
+            true_zeta[c] + config_.observation_noise * 0.01 * rng_.normal();
+        temp[c] += config_.nudging_strength * (t_obs - temp[c]);
+        zeta[c] += config_.nudging_strength * (z_obs - zeta[c]);
+      }
+    }
+  }
+  model.restore(zeta, temp, model.step_count());
+  ++cycles_;
+}
+
+}  // namespace wck

@@ -1,0 +1,52 @@
+// Nudging data assimilation for MiniClimate.
+//
+// The paper's error-tolerance argument (Sec. II-B) leans on data
+// assimilation: real simulations periodically correct intermediate
+// results against observations, "which lets us know errors are inherent
+// to scientific simulations". This module makes that argument runnable:
+// a NudgingAssimilator draws sparse, noisy observations from a truth
+// run and relaxes the model toward them — the classic Newtonian-nudging
+// scheme. With assimilation active, the error introduced by a lossy
+// restart stays bounded instead of growing (bench/ext_assimilation).
+#pragma once
+
+#include <cstdint>
+
+#include "climate/mini_climate.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+
+struct AssimilationConfig {
+  /// Fractional step toward the observation per assimilation (0..1].
+  double nudging_strength = 0.3;
+  /// Observe every `stride`-th grid point along each horizontal axis
+  /// (sparse sensor network).
+  std::size_t stride = 4;
+  /// Gaussian sensor noise (stddev, in the observed field's units;
+  /// applied relative to each field's dynamic range when relative=true).
+  double observation_noise = 0.0;
+  std::uint64_t seed = 7;
+};
+
+class NudgingAssimilator {
+ public:
+  explicit NudgingAssimilator(const AssimilationConfig& config);
+
+  [[nodiscard]] const AssimilationConfig& config() const noexcept { return config_; }
+
+  /// Draws observations of `truth`'s prognostic fields at the sensor
+  /// locations (adding noise) and nudges `model` toward them. Both
+  /// models must share a grid. Diagnostics of `model` are refreshed.
+  void assimilate(MiniClimate& model, const MiniClimate& truth);
+
+  /// Number of assimilation cycles performed.
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+ private:
+  AssimilationConfig config_;
+  Xoshiro256 rng_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace wck

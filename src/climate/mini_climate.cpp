@@ -1,0 +1,296 @@
+#include "climate/mini_climate.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+constexpr double kDx = 1.0;  ///< nondimensional grid spacing
+constexpr double kDy = 1.0;
+
+/// A smooth random field that is exactly periodic on the grid: a few
+/// integer-wavenumber Fourier modes with random amplitudes and phases.
+void fill_periodic_smooth(std::span<double> level, std::size_t ny, std::size_t nx,
+                          double amplitude, Xoshiro256& rng) {
+  constexpr int kModes = 6;
+  struct Mode {
+    int kx, ky;
+    double amp, phase;
+  };
+  std::array<Mode, kModes> modes;
+  for (auto& m : modes) {
+    m.kx = 1 + static_cast<int>(rng.bounded(3));
+    m.ky = 1 + static_cast<int>(rng.bounded(3));
+    if (rng.uniform() < 0.5) m.kx = -m.kx;
+    m.amp = amplitude * (0.4 + 0.6 * rng.uniform());
+    m.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      double v = 0.0;
+      for (const Mode& m : modes) {
+        const double arg = 2.0 * std::numbers::pi *
+                               (static_cast<double>(m.kx) * static_cast<double>(i) /
+                                    static_cast<double>(nx) +
+                                static_cast<double>(m.ky) * static_cast<double>(j) /
+                                    static_cast<double>(ny)) +
+                           m.phase;
+        v += m.amp * std::sin(arg);
+      }
+      level[j * nx + i] = v;
+    }
+  }
+}
+
+}  // namespace
+
+MiniClimate::MiniClimate(const ClimateConfig& config)
+    : config_(config),
+      poisson_(config.ny, config.nx, kDy, kDx),
+      zeta_(Shape{config.nz, config.ny, config.nx}),
+      temp_(Shape{config.nz, config.ny, config.nx}),
+      psi_(Shape{config.nz, config.ny, config.nx}),
+      u_(Shape{config.nz, config.ny, config.nx}),
+      v_(Shape{config.nz, config.ny, config.nx}),
+      w_(Shape{config.nz, config.ny, config.nx}),
+      pressure_(Shape{config.nz, config.ny, config.nx}),
+      forcing_(Shape{config.nz, config.ny, config.nx}),
+      t_eq_(Shape{config.nz, config.ny, config.nx}),
+      k_zeta_(Shape{config.nz, config.ny, config.nx}),
+      k_temp_(Shape{config.nz, config.ny, config.nx}),
+      s_zeta_(Shape{config.nz, config.ny, config.nx}),
+      s_temp_(Shape{config.nz, config.ny, config.nx}) {
+  if (config.nz == 0) throw InvalidArgumentError("MiniClimate needs nz >= 1");
+  if (config.dt <= 0.0) throw InvalidArgumentError("MiniClimate needs dt > 0");
+
+  const std::size_t nx = config.nx;
+  const std::size_t ny = config.ny;
+  const std::size_t plane = nx * ny;
+  Xoshiro256 rng(config.seed);
+
+  for (std::size_t k = 0; k < config.nz; ++k) {
+    auto zeta_k = std::span(zeta_.data() + k * plane, plane);
+    fill_periodic_smooth(zeta_k, ny, nx, 0.5, rng);
+
+    // Steady forcing: a meridionally varying jet plus a random smooth
+    // component per level (keeps levels out of sync).
+    auto f_k = std::span(forcing_.data() + k * plane, plane);
+    fill_periodic_smooth(f_k, ny, nx, config.forcing_amplitude * 0.5, rng);
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double jet = config.forcing_amplitude *
+                         std::sin(4.0 * std::numbers::pi * static_cast<double>(j) /
+                                  static_cast<double>(ny));
+      for (std::size_t i = 0; i < nx; ++i) f_k[j * nx + i] += jet;
+    }
+
+    // Radiative equilibrium: warm "equator" band, cooling with height.
+    const double lapse = config.nz > 1 ? 24.0 / static_cast<double>(config.nz - 1) : 0.0;
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double merid =
+          25.0 * std::cos(2.0 * std::numbers::pi * static_cast<double>(j) /
+                          static_cast<double>(ny));
+      for (std::size_t i = 0; i < nx; ++i) {
+        t_eq_[k * plane + j * nx + i] = 288.0 + merid - lapse * static_cast<double>(k);
+      }
+    }
+
+    // Temperature starts at equilibrium plus a weak smooth perturbation.
+    auto t_k = std::span(temp_.data() + k * plane, plane);
+    fill_periodic_smooth(t_k, ny, nx, 1.5, rng);
+    for (std::size_t i = 0; i < plane; ++i) t_k[i] += t_eq_[k * plane + i];
+  }
+  refresh_diagnostics();
+}
+
+void MiniClimate::tendencies(const NdArray<double>& zeta, const NdArray<double>& temp,
+                             NdArray<double>& dzeta, NdArray<double>& dtemp) const {
+  const std::size_t nx = config_.nx;
+  const std::size_t ny = config_.ny;
+  const std::size_t nz = config_.nz;
+  const std::size_t plane = nx * ny;
+
+  std::vector<double> psi(plane);
+  const double inv4 = 1.0 / (4.0 * kDx * kDy);
+
+  for (std::size_t k = 0; k < nz; ++k) {
+    const double* z = zeta.data() + k * plane;
+    const double* t = temp.data() + k * plane;
+    double* dz = dzeta.data() + k * plane;
+    double* dt = dtemp.data() + k * plane;
+    const double* f = forcing_.data() + k * plane;
+    const double* te = t_eq_.data() + k * plane;
+
+    poisson_.solve(std::span(z, plane), psi);
+
+    for (std::size_t j = 0; j < ny; ++j) {
+      const std::size_t jp = (j + 1) % ny;
+      const std::size_t jm = (j + ny - 1) % ny;
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t ip = (i + 1) % nx;
+        const std::size_t im = (i + nx - 1) % nx;
+        const auto at = [&](const double* a, std::size_t jj, std::size_t ii) {
+          return a[jj * nx + ii];
+        };
+        const std::size_t c = j * nx + i;
+
+        // Arakawa (1966) 9-point Jacobian J(psi, zeta): conserves energy
+        // and enstrophy in space.
+        const double j1 = (at(psi.data(), j, ip) - at(psi.data(), j, im)) *
+                              (at(z, jp, i) - at(z, jm, i)) -
+                          (at(psi.data(), jp, i) - at(psi.data(), jm, i)) *
+                              (at(z, j, ip) - at(z, j, im));
+        const double j2 = at(psi.data(), j, ip) * (at(z, jp, ip) - at(z, jm, ip)) -
+                          at(psi.data(), j, im) * (at(z, jp, im) - at(z, jm, im)) -
+                          at(psi.data(), jp, i) * (at(z, jp, ip) - at(z, jp, im)) +
+                          at(psi.data(), jm, i) * (at(z, jm, ip) - at(z, jm, im));
+        const double j3 = at(psi.data(), jp, ip) * (at(z, jp, i) - at(z, j, ip)) -
+                          at(psi.data(), jm, im) * (at(z, j, im) - at(z, jm, i)) -
+                          at(psi.data(), jp, im) * (at(z, jp, i) - at(z, j, im)) +
+                          at(psi.data(), jm, ip) * (at(z, j, ip) - at(z, jm, i));
+        const double jac = (j1 + j2 + j3) * inv4 / 3.0;
+
+        const double lap_z = (at(z, j, ip) + at(z, j, im) - 2.0 * z[c]) / (kDx * kDx) +
+                             (at(z, jp, i) + at(z, jm, i) - 2.0 * z[c]) / (kDy * kDy);
+
+        double coupling = 0.0;
+        if (nz > 1) {
+          const double* z_up = k + 1 < nz ? zeta.data() + (k + 1) * plane : z;
+          const double* z_dn = k > 0 ? zeta.data() + (k - 1) * plane : z;
+          coupling = config_.vertical_coupling * (z_up[c] + z_dn[c] - 2.0 * z[c]);
+        }
+
+        dz[c] = -jac + config_.viscosity * lap_z - config_.drag * z[c] + f[c] + coupling;
+
+        // Temperature: advection by (u, v) = (-dpsi/dy, dpsi/dx),
+        // diffusion, Newtonian relaxation toward equilibrium.
+        const double uu = -(at(psi.data(), jp, i) - at(psi.data(), jm, i)) / (2.0 * kDy);
+        const double vv = (at(psi.data(), j, ip) - at(psi.data(), j, im)) / (2.0 * kDx);
+        const double tx = (at(t, j, ip) - at(t, j, im)) / (2.0 * kDx);
+        const double ty = (at(t, jp, i) - at(t, jm, i)) / (2.0 * kDy);
+        const double lap_t = (at(t, j, ip) + at(t, j, im) - 2.0 * t[c]) / (kDx * kDx) +
+                             (at(t, jp, i) + at(t, jm, i) - 2.0 * t[c]) / (kDy * kDy);
+        dt[c] = -(uu * tx + vv * ty) + config_.thermal_diffusivity * lap_t +
+                config_.thermal_relaxation * (te[c] - t[c]);
+      }
+    }
+  }
+}
+
+void MiniClimate::step() {
+  const double dt = config_.dt;
+  const std::size_t n = zeta_.size();
+
+  // SSP RK3 (Shu–Osher form).
+  tendencies(zeta_, temp_, k_zeta_, k_temp_);
+  for (std::size_t i = 0; i < n; ++i) {
+    s_zeta_[i] = zeta_[i] + dt * k_zeta_[i];
+    s_temp_[i] = temp_[i] + dt * k_temp_[i];
+  }
+  tendencies(s_zeta_, s_temp_, k_zeta_, k_temp_);
+  for (std::size_t i = 0; i < n; ++i) {
+    s_zeta_[i] = 0.75 * zeta_[i] + 0.25 * (s_zeta_[i] + dt * k_zeta_[i]);
+    s_temp_[i] = 0.75 * temp_[i] + 0.25 * (s_temp_[i] + dt * k_temp_[i]);
+  }
+  tendencies(s_zeta_, s_temp_, k_zeta_, k_temp_);
+  const double third = 1.0 / 3.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    zeta_[i] = third * zeta_[i] + (2.0 * third) * (s_zeta_[i] + dt * k_zeta_[i]);
+    temp_[i] = third * temp_[i] + (2.0 * third) * (s_temp_[i] + dt * k_temp_[i]);
+  }
+
+  ++step_;
+  refresh_diagnostics();
+}
+
+void MiniClimate::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+void MiniClimate::refresh_diagnostics() {
+  const std::size_t nx = config_.nx;
+  const std::size_t ny = config_.ny;
+  const std::size_t nz = config_.nz;
+  const std::size_t plane = nx * ny;
+
+  for (std::size_t k = 0; k < nz; ++k) {
+    poisson_.solve(std::span(zeta_.data() + k * plane, plane),
+                   std::span(psi_.data() + k * plane, plane));
+  }
+
+  // Hydrostatic base pressure per level over ~2 scale heights, plus a
+  // geostrophic perturbation proportional to psi.
+  constexpr double kSurfacePressure = 101325.0;  // Pa
+  constexpr double kRhoF = 50.0;                 // Pa per psi unit
+  for (std::size_t k = 0; k < nz; ++k) {
+    const double base =
+        kSurfacePressure *
+        std::exp(-2.0 * static_cast<double>(k) / static_cast<double>(std::max<std::size_t>(nz, 1)));
+    const double* psi_k = psi_.data() + k * plane;
+    double* p_k = pressure_.data() + k * plane;
+    double* u_k = u_.data() + k * plane;
+    double* v_k = v_.data() + k * plane;
+    double* w_k = w_.data() + k * plane;
+    for (std::size_t j = 0; j < ny; ++j) {
+      const std::size_t jp = (j + 1) % ny;
+      const std::size_t jm = (j + ny - 1) % ny;
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t ip = (i + 1) % nx;
+        const std::size_t im = (i + nx - 1) % nx;
+        const std::size_t c = j * nx + i;
+        u_k[c] = -(psi_k[jp * nx + i] - psi_k[jm * nx + i]) / (2.0 * kDy);
+        v_k[c] = (psi_k[j * nx + ip] - psi_k[j * nx + im]) / (2.0 * kDx);
+        p_k[c] = base + kRhoF * psi_k[c];
+        if (nz > 1 && k > 0 && k + 1 < nz) {
+          const double* psi_up = psi_.data() + (k + 1) * plane;
+          const double* psi_dn = psi_.data() + (k - 1) * plane;
+          w_k[c] = 0.01 * (psi_up[c] - psi_dn[c]);
+        } else {
+          w_k[c] = 0.0;
+        }
+      }
+    }
+  }
+}
+
+std::vector<MiniClimate::Field> MiniClimate::fields() {
+  return {
+      {"vorticity", &zeta_, true},    {"temperature", &temp_, true},
+      {"pressure", &pressure_, false}, {"velocity_u", &u_, false},
+      {"velocity_v", &v_, false},      {"velocity_w", &w_, false},
+  };
+}
+
+void MiniClimate::restore(const NdArray<double>& vorticity, const NdArray<double>& temperature,
+                          std::uint64_t step) {
+  if (vorticity.shape() != zeta_.shape() || temperature.shape() != temp_.shape()) {
+    throw InvalidArgumentError("MiniClimate::restore: shape mismatch");
+  }
+  zeta_ = vorticity;
+  temp_ = temperature;
+  step_ = step;
+  refresh_diagnostics();
+}
+
+double MiniClimate::kinetic_energy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < u_.size(); ++i) e += u_[i] * u_[i] + v_[i] * v_[i];
+  return 0.5 * e;
+}
+
+double MiniClimate::enstrophy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < zeta_.size(); ++i) e += zeta_[i] * zeta_[i];
+  return 0.5 * e;
+}
+
+double MiniClimate::mean_temperature() const {
+  double s = 0.0;
+  for (const double t : temp_.values()) s += t;
+  return s / static_cast<double>(temp_.size());
+}
+
+}  // namespace wck

@@ -1,0 +1,128 @@
+// MiniClimate: a from-scratch climate-model proxy standing in for NICAM
+// (the paper's evaluation application; see DESIGN.md for the
+// substitution rationale).
+//
+// Physics: a stack of nz quasi-2D atmospheric levels on a doubly
+// periodic nx x ny grid.
+//  * Prognostic: relative vorticity zeta_k (barotropic vorticity
+//    equation with forcing, drag, viscosity and weak vertical coupling)
+//    and temperature T_k (advected by the level's flow, diffused, and
+//    relaxed toward a radiative-equilibrium profile).
+//  * Diagnostic: streamfunction psi = inverse-Laplacian(zeta) via the
+//    spectral Poisson solver, winds u = -dpsi/dy, v = dpsi/dx, a weak
+//    vertical velocity w, and pressure = hydrostatic base state plus a
+//    geostrophic perturbation rho * f * psi.
+//
+// The advection term uses the Arakawa (1966) 9-point Jacobian, which
+// conserves energy and enstrophy in the spatial discretization, and SSP
+// RK3 time stepping. The resulting fields are spatially smooth (the
+// property the paper's wavelet front-end exploits) and chaotically
+// sensitive to perturbations (the property the paper's Fig. 10 restart
+// study measures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace wck {
+
+struct ClimateConfig {
+  std::size_t nx = 64;  ///< zonal points (power of two)
+  std::size_t ny = 32;  ///< meridional points (power of two)
+  std::size_t nz = 4;   ///< vertical levels
+  double dt = 0.05;     ///< time step (nondimensional)
+  double viscosity = 5e-4;       ///< nu, damps small scales
+  double drag = 5e-3;            ///< mu, Ekman-like linear drag
+  double forcing_amplitude = 2e-2;  ///< steady jet forcing of vorticity
+  double vertical_coupling = 1e-2;  ///< kv between adjacent levels
+  double thermal_diffusivity = 0.2;
+  double thermal_relaxation = 1e-2;  ///< Newtonian cooling rate
+  std::uint64_t seed = 2015;         ///< initial-condition seed
+};
+
+/// The model. All state arrays have shape {nz, ny, nx} (level-major).
+class MiniClimate {
+ public:
+  explicit MiniClimate(const ClimateConfig& config);
+
+  [[nodiscard]] const ClimateConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t step_count() const noexcept { return step_; }
+
+  /// Advances one time step (RK3) and refreshes diagnostics.
+  void step();
+  /// Advances `n` steps.
+  void run(std::uint64_t n);
+
+  // --- state access (shape {nz, ny, nx}) ---
+  [[nodiscard]] const NdArray<double>& vorticity() const noexcept { return zeta_; }
+  [[nodiscard]] const NdArray<double>& temperature() const noexcept { return temp_; }
+  [[nodiscard]] const NdArray<double>& pressure() const noexcept { return pressure_; }
+  [[nodiscard]] const NdArray<double>& wind_u() const noexcept { return u_; }
+  [[nodiscard]] const NdArray<double>& wind_v() const noexcept { return v_; }
+  [[nodiscard]] const NdArray<double>& wind_w() const noexcept { return w_; }
+
+  /// Static vorticity forcing pattern (exposed for the distributed model
+  /// so it can replicate the serial initialization exactly).
+  [[nodiscard]] const NdArray<double>& forcing_pattern() const noexcept { return forcing_; }
+  /// Static radiative-equilibrium temperature (same purpose).
+  [[nodiscard]] const NdArray<double>& equilibrium_temperature() const noexcept {
+    return t_eq_;
+  }
+
+  /// One named state array, as registered in checkpoints.
+  struct Field {
+    std::string name;
+    NdArray<double>* array;
+    bool prognostic;  ///< true: restored on restart; false: recomputed
+  };
+
+  /// All state fields (prognostic first). Pointers remain valid for the
+  /// model's lifetime; writing through them is only meaningful for
+  /// prognostic fields followed by refresh_diagnostics().
+  [[nodiscard]] std::vector<Field> fields();
+
+  /// Recomputes psi/u/v/w/pressure from the current prognostic state.
+  /// Call after overwriting vorticity/temperature (e.g. on restart).
+  void refresh_diagnostics();
+
+  /// Overwrites the prognostic state (used by checkpoint restart) and
+  /// refreshes diagnostics. Shapes must match.
+  void restore(const NdArray<double>& vorticity, const NdArray<double>& temperature,
+               std::uint64_t step);
+
+  /// Domain-integrated kinetic energy 0.5 * sum(u^2 + v^2) (diagnostic;
+  /// conserved by the Arakawa Jacobian in the inviscid unforced limit).
+  [[nodiscard]] double kinetic_energy() const;
+
+  /// Domain-integrated enstrophy 0.5 * sum(zeta^2).
+  [[nodiscard]] double enstrophy() const;
+
+  /// Mean temperature (tracks the relaxation target over time).
+  [[nodiscard]] double mean_temperature() const;
+
+ private:
+  /// dzeta/dt and dT/dt for the given prognostic state.
+  void tendencies(const NdArray<double>& zeta, const NdArray<double>& temp,
+                  NdArray<double>& dzeta, NdArray<double>& dtemp) const;
+
+  ClimateConfig config_;
+  PoissonSolver poisson_;
+  std::uint64_t step_ = 0;
+
+  NdArray<double> zeta_;      // prognostic
+  NdArray<double> temp_;      // prognostic
+  NdArray<double> psi_;       // diagnostic
+  NdArray<double> u_, v_, w_; // diagnostic
+  NdArray<double> pressure_;  // diagnostic
+  NdArray<double> forcing_;   // static vorticity forcing pattern
+  NdArray<double> t_eq_;      // static radiative-equilibrium temperature
+
+  // Scratch for RK stages (avoid per-step allocation).
+  mutable NdArray<double> k_zeta_, k_temp_, s_zeta_, s_temp_;
+};
+
+}  // namespace wck

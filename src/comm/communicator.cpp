@@ -1,0 +1,150 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <thread>
+
+namespace wck {
+
+World::World(std::size_t ranks) : ranks_(ranks), mailboxes_(ranks) {
+  if (ranks == 0) throw InvalidArgumentError("World needs at least one rank");
+  coll_.reduce_slots.resize(ranks, 0.0);
+  coll_.gather_slots.resize(ranks, nullptr);
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  for (std::size_t r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &fn, &error_mu, &first_error] {
+      Comm comm(*this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (auto& mb : mailboxes_) {
+    std::lock_guard lk(mb.mu);
+    if (!mb.messages.empty()) {
+      throw Error("World::run finished with undelivered messages");
+    }
+  }
+}
+
+void Comm::send(std::size_t dest, int tag, std::span<const std::byte> data) {
+  if (dest >= size()) throw InvalidArgumentError("send: destination rank out of range");
+  World::Mailbox& mb = world_.mailboxes_[dest];
+  {
+    std::lock_guard lk(mb.mu);
+    mb.messages.push_back(World::Message{rank_, tag, Bytes(data.begin(), data.end())});
+  }
+  mb.cv.notify_all();
+}
+
+Bytes Comm::recv(std::size_t src, int tag) {
+  if (src >= size()) throw InvalidArgumentError("recv: source rank out of range");
+  World::Mailbox& mb = world_.mailboxes_[rank_];
+  std::unique_lock lk(mb.mu);
+  for (;;) {
+    const auto it = std::find_if(mb.messages.begin(), mb.messages.end(),
+                                 [&](const World::Message& m) {
+                                   return m.src == src && m.tag == tag;
+                                 });
+    if (it != mb.messages.end()) {
+      Bytes data = std::move(it->data);
+      mb.messages.erase(it);
+      return data;
+    }
+    mb.cv.wait(lk);
+  }
+}
+
+void Comm::barrier() {
+  World::Collectives& c = world_.coll_;
+  std::unique_lock lk(c.mu);
+  const std::uint64_t gen = c.barrier_generation;
+  if (++c.barrier_waiting == size()) {
+    c.barrier_waiting = 0;
+    ++c.barrier_generation;
+    c.cv.notify_all();
+  } else {
+    c.cv.wait(lk, [&] { return c.barrier_generation != gen; });
+  }
+}
+
+template <typename Op>
+double Comm::allreduce(double value, Op op, double init) {
+  World::Collectives& c = world_.coll_;
+  {
+    std::lock_guard lk(c.mu);
+    c.reduce_slots[rank_] = value;
+  }
+  barrier();
+  double result = init;
+  {
+    std::lock_guard lk(c.mu);
+    // Fold in rank order: deterministic regardless of scheduling.
+    for (const double v : c.reduce_slots) result = op(result, v);
+  }
+  barrier();  // keep slots alive until everyone has read them
+  return result;
+}
+
+double Comm::allreduce_sum(double value) {
+  return allreduce(value, [](double a, double b) { return a + b; }, 0.0);
+}
+
+double Comm::allreduce_max(double value) {
+  return allreduce(
+      value, [](double a, double b) { return std::max(a, b); },
+      -std::numeric_limits<double>::infinity());
+}
+
+std::vector<Bytes> Comm::gather(std::span<const std::byte> data, std::size_t root) {
+  if (root >= size()) throw InvalidArgumentError("gather: root out of range");
+  World::Collectives& c = world_.coll_;
+  const Bytes mine(data.begin(), data.end());
+  {
+    std::lock_guard lk(c.mu);
+    c.gather_slots[rank_] = &mine;
+  }
+  barrier();
+  std::vector<Bytes> out;
+  if (rank_ == root) {
+    std::lock_guard lk(c.mu);
+    out.reserve(size());
+    for (const Bytes* slot : c.gather_slots) out.push_back(*slot);
+  }
+  barrier();  // `mine` stays alive until the root has copied everything
+  return out;
+}
+
+Bytes Comm::broadcast(std::span<const std::byte> data, std::size_t root) {
+  if (root >= size()) throw InvalidArgumentError("broadcast: root out of range");
+  World::Collectives& c = world_.coll_;
+  if (rank_ == root) {
+    std::lock_guard lk(c.mu);
+    c.bcast_value.assign(data.begin(), data.end());
+  }
+  barrier();
+  Bytes out;
+  {
+    std::lock_guard lk(c.mu);
+    out = c.bcast_value;
+  }
+  barrier();
+  return out;
+}
+
+}  // namespace wck

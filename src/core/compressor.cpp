@@ -1,0 +1,273 @@
+#include "core/compressor.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <string>
+
+#include "deflate/deflate.hpp"
+#include "deflate/huffman_only.hpp"
+#include "util/error.hpp"
+#include "wavelet/haar.hpp"
+
+namespace wck {
+namespace {
+
+constexpr std::uint8_t kTagNone = 0;
+constexpr std::uint8_t kTagZlib = 1;
+constexpr std::uint8_t kTagGzip = 2;
+constexpr std::uint8_t kTagHuffman = 3;
+
+/// Writes `data` to `path`; throws IoError on failure.
+void write_file(const std::filesystem::path& path, std::span<const std::byte> data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw IoError("cannot open " + path.string() + " for writing");
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  f.flush();
+  if (!f) throw IoError("write failed for " + path.string());
+}
+
+/// Reads a whole file; throws IoError on failure.
+Bytes read_file(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw IoError("cannot open " + path.string() + " for reading");
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(data.data()), size);
+  if (!f) throw IoError("read failed for " + path.string());
+  return data;
+}
+
+std::filesystem::path unique_temp_path(const std::filesystem::path& dir,
+                                       const std::string& suffix) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto base = dir.empty() ? std::filesystem::temp_directory_path() : dir;
+  return base / ("wck_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter.fetch_add(1)) + suffix);
+}
+
+}  // namespace
+
+WaveletCompressor::WaveletCompressor(CompressionParams params) : params_(std::move(params)) {
+  if (params_.wavelet_levels < 1) {
+    throw InvalidArgumentError("wavelet_levels must be >= 1");
+  }
+  if (params_.quantizer.divisions < 1 || params_.quantizer.divisions > 256) {
+    throw InvalidArgumentError("quantizer divisions must be 1..256");
+  }
+}
+
+CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const {
+  if (input.size() == 0) throw InvalidArgumentError("cannot compress an empty array");
+
+  CompressedArray out;
+  out.original_bytes = input.size_bytes();
+
+  // --- "other": working copy of the input (the transform is in-place).
+  NdArray<double> work;
+  {
+    ScopedStage stage(out.times, "other");
+    work = input;
+  }
+
+  // --- Stage 1: wavelet transformation.
+  const WaveletPlan plan = WaveletPlan::create(input.shape(), params_.wavelet_levels);
+  {
+    ScopedStage stage(out.times, "wavelet");
+    wavelet_forward(work.view(), params_.wavelet, params_.wavelet_levels);
+  }
+
+  // --- Stages 2-4: quantization, encoding, formatting.
+  Bytes payload_bytes;
+  {
+    ScopedStage stage(out.times, "quantize_encode");
+
+    std::vector<double> high;
+    high.reserve(plan.high_count());
+    for_each_high_band(work.view(), plan.final_low_extents(),
+                       [&high](double& v) { high.push_back(v); });
+
+    const QuantizationScheme scheme = QuantizationScheme::analyze(high, params_.quantizer);
+
+    LossyPayload p;
+    p.shape = input.shape();
+    p.levels = params_.wavelet_levels;
+    p.wavelet = params_.wavelet;
+    p.quantizer = params_.quantizer.kind;
+    p.averages = scheme.averages();
+    p.low_band.reserve(plan.low_count());
+    for_each_low_band(work.view(), plan.final_low_extents(),
+                      [&p](double& v) { p.low_band.push_back(v); });
+    p.quantized = Bitmap(high.size());
+    p.indices.reserve(high.size());
+    for (std::size_t i = 0; i < high.size(); ++i) {
+      const int idx = scheme.classify(high[i]);
+      if (idx >= 0) {
+        p.quantized.set(i, true);
+        p.indices.push_back(static_cast<std::uint8_t>(idx));
+      } else {
+        p.exact_values.push_back(high[i]);
+      }
+    }
+    out.high_count = high.size();
+    out.quantized_count = p.indices.size();
+
+    payload_bytes = encode_payload(p);
+  }
+  out.payload_bytes = payload_bytes.size();
+
+  // --- Stage 5: entropy coding of the formatted stream.
+  switch (params_.entropy) {
+    case EntropyMode::kNone: {
+      out.data.push_back(static_cast<std::byte>(kTagNone));
+      out.data.insert(out.data.end(), payload_bytes.begin(), payload_bytes.end());
+      break;
+    }
+    case EntropyMode::kDeflate: {
+      Bytes body;
+      {
+        ScopedStage stage(out.times, "gzip");
+        body = zlib_compress(payload_bytes, DeflateOptions{params_.deflate_level});
+      }
+      out.data.push_back(static_cast<std::byte>(kTagZlib));
+      out.data.insert(out.data.end(), body.begin(), body.end());
+      break;
+    }
+    case EntropyMode::kHuffmanOnly: {
+      Bytes body;
+      {
+        ScopedStage stage(out.times, "gzip");  // reported in the same slot
+        body = huffman_only_compress(payload_bytes);
+      }
+      out.data.push_back(static_cast<std::byte>(kTagHuffman));
+      out.data.insert(out.data.end(), body.begin(), body.end());
+      break;
+    }
+    case EntropyMode::kTempFileGzip: {
+      // Reproduces the paper's implementation: the formatted checkpoint
+      // is written to a temporary file, then gzip is applied through the
+      // file system (Sec. IV-D notes this dominates compression time).
+      const auto tmp = unique_temp_path(params_.temp_dir, ".wck");
+      const auto tmp_gz = unique_temp_path(params_.temp_dir, ".wck.gz");
+      {
+        ScopedStage stage(out.times, "temp_file_write");
+        write_file(tmp, payload_bytes);
+      }
+      Bytes body;
+      {
+        ScopedStage stage(out.times, "gzip");
+        const Bytes on_disk = read_file(tmp);
+        body = gzip_compress(on_disk, DeflateOptions{params_.deflate_level});
+        write_file(tmp_gz, body);
+        body = read_file(tmp_gz);
+      }
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      std::filesystem::remove(tmp_gz, ec);
+      out.data.push_back(static_cast<std::byte>(kTagGzip));
+      out.data.insert(out.data.end(), body.begin(), body.end());
+      break;
+    }
+  }
+  return out;
+}
+
+NdArray<double> WaveletCompressor::decompress(std::span<const std::byte> data) {
+  if (data.empty()) throw FormatError("empty compressed stream");
+  const auto tag = static_cast<std::uint8_t>(data[0]);
+  const auto body = data.subspan(1);
+
+  Bytes payload_storage;
+  std::span<const std::byte> payload;
+  switch (tag) {
+    case kTagNone:
+      payload = body;
+      break;
+    case kTagZlib:
+      payload_storage = zlib_decompress(body);
+      payload = payload_storage;
+      break;
+    case kTagGzip:
+      payload_storage = gzip_decompress(body);
+      payload = payload_storage;
+      break;
+    case kTagHuffman:
+      payload_storage = huffman_only_decompress(body);
+      payload = payload_storage;
+      break;
+    default:
+      throw FormatError("unknown entropy tag " + std::to_string(tag));
+  }
+
+  const LossyPayload p = decode_payload(payload);
+  const WaveletPlan plan = WaveletPlan::create(p.shape, p.levels);
+  if (p.low_band.size() != plan.low_count()) {
+    throw FormatError("payload low band size does not match transform plan");
+  }
+  if (p.quantized.size() != plan.high_count()) {
+    throw FormatError("payload bitmap size does not match transform plan");
+  }
+
+  NdArray<double> work(p.shape);
+  {
+    std::size_t li = 0;
+    for_each_low_band(work.view(), plan.final_low_extents(),
+                      [&](double& v) { v = p.low_band[li++]; });
+  }
+  {
+    std::size_t hi = 0;
+    std::size_t qi = 0;
+    std::size_t ei = 0;
+    for_each_high_band(work.view(), plan.final_low_extents(), [&](double& v) {
+      v = p.quantized.get(hi) ? p.averages[p.indices[qi++]] : p.exact_values[ei++];
+      ++hi;
+    });
+  }
+  wavelet_inverse(work.view(), p.wavelet, p.levels);
+  return work;
+}
+
+WaveletCompressor::RoundTrip WaveletCompressor::round_trip(const NdArray<double>& input) const {
+  RoundTrip rt{compress(input), NdArray<double>{}, ErrorStats{}};
+  rt.reconstructed = decompress(rt.compressed.data);
+  rt.error = relative_error(input.values(), rt.reconstructed.values());
+  return rt;
+}
+
+ErrorBoundResult compress_with_error_bound(const NdArray<double>& input,
+                                           double max_mean_rel_error,
+                                           CompressionParams base) {
+  if (max_mean_rel_error <= 0.0) {
+    throw InvalidArgumentError("error bound must be positive");
+  }
+  ErrorBoundResult best;
+  bool have_best = false;
+  for (int n = 1; n <= 256; n *= 2) {
+    CompressionParams p = base;
+    p.quantizer.divisions = n;
+    const WaveletCompressor compressor(p);
+    auto rt = compressor.round_trip(input);
+    if (rt.error.mean_rel <= max_mean_rel_error) {
+      best.compressed = std::move(rt.compressed);
+      best.error = rt.error;
+      best.chosen_divisions = n;
+      best.met_bound = true;
+      return best;
+    }
+    // Keep the lowest-error attempt as the best-effort fallback (the
+    // error is not strictly monotone in n on all data).
+    if (!have_best || rt.error.mean_rel < best.error.mean_rel) {
+      best.compressed = std::move(rt.compressed);
+      best.error = rt.error;
+      best.chosen_divisions = n;
+      have_best = true;
+    }
+  }
+  best.met_bound = false;
+  return best;
+}
+
+}  // namespace wck

@@ -1,0 +1,114 @@
+// The paper's primary contribution: floating-point lossy compression for
+// checkpoints (Fig. 1). Pipeline:
+//
+//   1. Haar wavelet transformation        (src/wavelet, Sec. III-A)
+//   2. Quantization of high-freq bands    (src/quantize, Sec. III-B)
+//   3. 1-byte index encoding              (src/encode, Sec. III-C)
+//   4. Output formatting w/ bitmap        (src/encode, Sec. III-D)
+//   5. gzip/deflate of the formatted data (src/deflate)
+//
+// Every stage is timed individually so benchmarks can reproduce the
+// paper's Fig. 9 cost breakdown (wavelet / quantization+encoding /
+// temporary-file write / gzip / other).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+
+#include "encode/payload.hpp"
+#include "ndarray/ndarray.hpp"
+#include "quantize/quantizer.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/bytes.hpp"
+#include "util/timer.hpp"
+#include "wavelet/transform.hpp"
+
+namespace wck {
+
+/// How the formatted payload is entropy-coded.
+enum class EntropyMode : std::uint8_t {
+  kNone = 0,         ///< formatted payload only (ablation baseline)
+  kDeflate = 1,      ///< in-memory zlib-container deflate (the paper's
+                     ///< Sec. IV-D suggested improvement)
+  kTempFileGzip = 2, ///< write a temp file, gzip it through the
+                     ///< filesystem — the paper's actual implementation,
+                     ///< reproducing its "temporal file write" overhead
+  kHuffmanOnly = 3,  ///< order-0 Huffman, no LZ77: several-fold faster
+                     ///< than deflate at a small ratio cost (the paper's
+                     ///< "other compression methods" future work)
+};
+
+struct CompressionParams {
+  QuantizerConfig quantizer{};
+  int wavelet_levels = 1;  ///< the paper uses a single level per axis
+  /// Transform family; the paper uses Haar, CDF 5/3 / 9/7 are the
+  /// JPEG 2000 transforms its Sec. II-C motivation points to.
+  WaveletKind wavelet = WaveletKind::kHaar;
+  EntropyMode entropy = EntropyMode::kDeflate;
+  int deflate_level = 6;
+  /// Directory for kTempFileGzip scratch files (default: system temp).
+  std::filesystem::path temp_dir{};
+};
+
+/// Result of compressing one array.
+struct CompressedArray {
+  Bytes data;                      ///< self-describing stream
+  std::size_t original_bytes = 0;
+  std::size_t payload_bytes = 0;   ///< formatted size before entropy stage
+  std::size_t high_count = 0;      ///< high-band elements
+  std::size_t quantized_count = 0; ///< of which quantized to indexes
+  StageTimes times;                ///< "wavelet", "quantize_encode",
+                                   ///< "temp_file_write", "gzip", "other"
+
+  /// Eq. 5 (percent; lower is better).
+  [[nodiscard]] double compression_rate_percent() const noexcept {
+    return original_bytes == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(data.size()) / static_cast<double>(original_bytes);
+  }
+};
+
+/// The lossy checkpoint compressor (thread-safe: compress/decompress are
+/// const and reentrant).
+class WaveletCompressor {
+ public:
+  explicit WaveletCompressor(CompressionParams params = {});
+
+  [[nodiscard]] const CompressionParams& params() const noexcept { return params_; }
+
+  /// Compresses `input` (any rank 1..4). Throws InvalidArgumentError on
+  /// empty input.
+  [[nodiscard]] CompressedArray compress(const NdArray<double>& input) const;
+
+  /// Decompresses a stream produced by compress() (any parameter set —
+  /// the stream is self-describing).
+  [[nodiscard]] static NdArray<double> decompress(std::span<const std::byte> data);
+
+  /// Convenience: compress, decompress, and report Eq. 6 error stats.
+  struct RoundTrip {
+    CompressedArray compressed;
+    NdArray<double> reconstructed;
+    ErrorStats error;
+  };
+  [[nodiscard]] RoundTrip round_trip(const NdArray<double>& input) const;
+
+ private:
+  CompressionParams params_;
+};
+
+/// Extension the paper lists as future work (Sec. IV-C): instead of the
+/// user hand-tuning the division number `n`, pick the smallest power-of-
+/// two n whose measured mean relative error meets `max_mean_rel_error`
+/// (a fraction, e.g. 0.001 = 0.1 %).
+struct ErrorBoundResult {
+  CompressedArray compressed;
+  ErrorStats error;
+  int chosen_divisions = 0;
+  bool met_bound = false;
+};
+[[nodiscard]] ErrorBoundResult compress_with_error_bound(const NdArray<double>& input,
+                                                         double max_mean_rel_error,
+                                                         CompressionParams base = {});
+
+}  // namespace wck

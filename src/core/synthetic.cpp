@@ -1,0 +1,93 @@
+#include "core/synthetic.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+struct Mode {
+  std::array<double, kMaxRank> freq;
+  double amplitude;
+  double phase;
+};
+
+}  // namespace
+
+NdArray<double> make_smooth_field(const Shape& shape, std::uint64_t seed, double roughness) {
+  Xoshiro256 rng(seed);
+  const std::size_t r = shape.rank();
+
+  // A handful of long-wavelength modes dominates; amplitude decays with
+  // mode index, giving a realistic red spectrum.
+  constexpr int kModes = 8;
+  std::array<Mode, kModes> modes;
+  for (int m = 0; m < kModes; ++m) {
+    Mode& mode = modes[static_cast<std::size_t>(m)];
+    for (std::size_t a = 0; a < r; ++a) {
+      // Wavenumbers 1..4 cycles across the axis.
+      mode.freq[a] = 2.0 * std::numbers::pi * (1.0 + rng.uniform() * 3.0) /
+                     static_cast<double>(shape[a]);
+    }
+    mode.amplitude = 1.0 / (1.0 + m);
+    mode.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  std::array<double, kMaxRank> gradient{};
+  for (std::size_t a = 0; a < r; ++a) {
+    gradient[a] = rng.uniform(-0.5, 0.5) / static_cast<double>(shape[a]);
+  }
+
+  NdArray<double> out(shape);
+  std::array<std::size_t, kMaxRank> idx{};
+  for (std::size_t flat = 0; flat < out.size(); ++flat) {
+    double v = 0.0;
+    for (const Mode& mode : modes) {
+      double arg = mode.phase;
+      for (std::size_t a = 0; a < r; ++a) {
+        arg += mode.freq[a] * static_cast<double>(idx[a]);
+      }
+      v += mode.amplitude * std::sin(arg);
+    }
+    for (std::size_t a = 0; a < r; ++a) {
+      v += gradient[a] * static_cast<double>(idx[a]);
+    }
+    if (roughness > 0.0) v += roughness * rng.normal();
+    out[flat] = v;
+    // Row-major odometer.
+    for (std::size_t a = r; a-- > 0;) {
+      if (++idx[a] < shape[a]) break;
+      idx[a] = 0;
+    }
+  }
+  return out;
+}
+
+NdArray<double> make_temperature_field(const Shape& shape, std::uint64_t seed) {
+  NdArray<double> base = make_smooth_field(shape, seed, /*roughness=*/0.002);
+  const std::size_t r = shape.rank();
+  const std::size_t vertical = r - 1;
+  const double lapse = 60.0 / static_cast<double>(shape[vertical]);  // ~K per level
+
+  std::array<std::size_t, kMaxRank> idx{};
+  for (std::size_t flat = 0; flat < base.size(); ++flat) {
+    // 288 K surface temperature, decaying with level, +-3 K weather.
+    base[flat] = 288.0 - lapse * static_cast<double>(idx[vertical]) + 3.0 * base[flat];
+    for (std::size_t a = r; a-- > 0;) {
+      if (++idx[a] < shape[a]) break;
+      idx[a] = 0;
+    }
+  }
+  return base;
+}
+
+NdArray<double> make_random_field(const Shape& shape, std::uint64_t seed, double lo, double hi) {
+  Xoshiro256 rng(seed);
+  NdArray<double> out(shape);
+  for (auto& v : out.values()) v = rng.uniform(lo, hi);
+  return out;
+}
+
+}  // namespace wck

@@ -1,0 +1,31 @@
+// Synthetic workload generators.
+//
+// The paper compresses smooth physical-quantity meshes (pressure,
+// temperature, wind velocity from NICAM). These generators produce
+// deterministic fields of the same character for tests and benches that
+// do not want to run the full MiniClimate model: smooth multi-scale
+// fields (wavelet-friendly), plus rough/random fields as adversarial
+// inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "ndarray/ndarray.hpp"
+
+namespace wck {
+
+/// A smooth "physical quantity" field: superposed long-wavelength modes
+/// plus a weak gradient, with amplitudes/phases drawn from `seed`.
+/// Neighbouring values differ little, the property Sec. III-A exploits.
+[[nodiscard]] NdArray<double> make_smooth_field(const Shape& shape, std::uint64_t seed,
+                                                double roughness = 0.0);
+
+/// A temperature-like field: smooth base plus a vertical lapse-rate
+/// trend along the last axis (mimics NICAM's 3D state arrays).
+[[nodiscard]] NdArray<double> make_temperature_field(const Shape& shape, std::uint64_t seed);
+
+/// Uniform white noise in [lo, hi): the worst case for the transform.
+[[nodiscard]] NdArray<double> make_random_field(const Shape& shape, std::uint64_t seed,
+                                                double lo = -1.0, double hi = 1.0);
+
+}  // namespace wck

@@ -1,0 +1,70 @@
+// Temporal (inter-checkpoint) lossy compression.
+//
+// Consecutive checkpoints of a simulation are highly correlated: the
+// state advances only a little between them. The paper's pipeline
+// compresses every checkpoint independently; this extension (in the
+// spirit of its "improvement of the compression algorithm" future work)
+// compresses the *change* since the previous checkpoint instead:
+//
+//   delta_t = state_t - reconstruction_{t-1}
+//
+// run through the same wavelet + quantization + deflate pipeline. The
+// delta is near zero everywhere, so its high bands quantize into far
+// fewer bits than the state's. Like incremental checkpointing, restart
+// needs the chain from the last key (full) checkpoint, so a key frame is
+// emitted every `key_every` checkpoints; unlike incremental
+// checkpointing it still compresses when *everything* changed a little —
+// exactly the CFD case where dirty-block schemes fail.
+//
+// The compressor tracks its own reconstruction (not the true state), so
+// quantization errors do NOT accumulate across deltas: the error of
+// every reconstructed checkpoint is bounded by a single quantization.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace wck {
+
+struct TemporalParams {
+  CompressionParams base{};
+  /// Emit a key (self-contained) checkpoint every N checkpoints.
+  std::size_t key_every = 8;
+};
+
+/// One emitted temporal checkpoint.
+struct TemporalCheckpoint {
+  Bytes data;           ///< self-describing (key flag embedded)
+  bool is_key = false;
+  std::uint64_t sequence = 0;  ///< position in the compressor's stream
+  std::size_t original_bytes = 0;
+};
+
+/// Stateful compressor for a stream of checkpoints of one array.
+class TemporalCompressor {
+ public:
+  explicit TemporalCompressor(TemporalParams params = {});
+
+  /// Compresses the next checkpoint in the stream.
+  [[nodiscard]] TemporalCheckpoint add(const NdArray<double>& state);
+
+  /// The compressor-side reconstruction of the last added checkpoint
+  /// (what a restart from it would see).
+  [[nodiscard]] const NdArray<double>& last_reconstruction() const;
+
+ private:
+  TemporalParams params_;
+  WaveletCompressor key_compressor_;
+  WaveletCompressor delta_compressor_;
+  std::optional<NdArray<double>> recon_;
+  std::uint64_t sequence_ = 0;
+};
+
+/// Rebuilds the checkpoint at the end of `chain`, which must start with
+/// a key checkpoint and contain every delta after it, in order.
+[[nodiscard]] NdArray<double> temporal_restore(std::span<const TemporalCheckpoint> chain);
+
+}  // namespace wck

@@ -1,0 +1,31 @@
+// Mantissa-truncation lossy baseline.
+//
+// A common alternative to transform-based lossy compression for FP
+// checkpoints: zero the low mantissa bits of every double (bounding the
+// pointwise *relative* error at 2^-kept) and let the entropy stage eat
+// the resulting runs of zero bytes. Provided as an ablation comparator
+// for the paper's wavelet pipeline: truncation bounds per-value relative
+// error but cannot exploit spatial smoothness, so at equal error budget
+// it compresses far less than the wavelet approach on mesh data.
+#pragma once
+
+#include <span>
+
+#include "ndarray/ndarray.hpp"
+#include "util/bytes.hpp"
+
+namespace wck {
+
+/// Compresses by keeping only the top `keep_mantissa_bits` (0..52) of
+/// each double's mantissa, then deflating. Self-describing output.
+[[nodiscard]] Bytes truncation_compress(const NdArray<double>& array, int keep_mantissa_bits,
+                                        int deflate_level = 6);
+
+/// Inverse of truncation_compress (returns the truncated values).
+[[nodiscard]] NdArray<double> truncation_decompress(std::span<const std::byte> data);
+
+/// The truncation itself (in place), exposed for tests: zeroes the low
+/// (52 - keep) mantissa bits of every element.
+void truncate_mantissa(std::span<double> values, int keep_mantissa_bits);
+
+}  // namespace wck

@@ -1,0 +1,130 @@
+// gzip (RFC 1952) and zlib (RFC 1950) containers around raw DEFLATE.
+#include "deflate/deflate.hpp"
+
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+constexpr std::uint8_t kGzipId1 = 0x1F;
+constexpr std::uint8_t kGzipId2 = 0x8B;
+constexpr std::uint8_t kCmDeflate = 8;
+
+constexpr std::uint8_t kFlagText = 0x01;
+constexpr std::uint8_t kFlagHcrc = 0x02;
+constexpr std::uint8_t kFlagExtra = 0x04;
+constexpr std::uint8_t kFlagName = 0x08;
+constexpr std::uint8_t kFlagComment = 0x10;
+
+}  // namespace
+
+Bytes gzip_compress(std::span<const std::byte> input, const DeflateOptions& options) {
+  ByteWriter w;
+  w.u8(kGzipId1);
+  w.u8(kGzipId2);
+  w.u8(kCmDeflate);
+  w.u8(0);   // FLG: no name/comment/extra
+  w.u32(0);  // MTIME: unset (keeps output deterministic)
+  w.u8(options.level >= 8 ? 2 : (options.level <= 2 ? 4 : 0));  // XFL
+  w.u8(255);                                                    // OS: unknown
+
+  const Bytes body = deflate_compress(input, options);
+  w.raw(body.data(), body.size());
+  w.u32(crc32(input));
+  w.u32(static_cast<std::uint32_t>(input.size()));  // ISIZE mod 2^32
+  return w.take();
+}
+
+Bytes gzip_decompress(std::span<const std::byte> input) {
+  ByteReader r(input);
+  if (r.u8() != kGzipId1 || r.u8() != kGzipId2) throw FormatError("bad gzip magic");
+  if (r.u8() != kCmDeflate) throw FormatError("gzip: unsupported compression method");
+  const std::uint8_t flg = r.u8();
+  (void)r.u32();  // MTIME
+  (void)r.u8();   // XFL
+  (void)r.u8();   // OS
+  if ((flg & kFlagExtra) != 0) {
+    const std::uint16_t xlen = r.u16();
+    (void)r.raw(xlen);
+  }
+  auto skip_zstring = [&r] {
+    while (r.u8() != 0) {
+    }
+  };
+  if ((flg & kFlagName) != 0) skip_zstring();
+  if ((flg & kFlagComment) != 0) skip_zstring();
+  if ((flg & kFlagHcrc) != 0) (void)r.u16();
+  (void)kFlagText;  // FTEXT is advisory only
+
+  if (r.remaining() < 8) throw FormatError("gzip stream truncated");
+  const auto body = input.subspan(r.position(), r.remaining() - 8);
+  Bytes out = deflate_decompress(body);
+
+  ByteReader tail(input.subspan(input.size() - 8));
+  const std::uint32_t want_crc = tail.u32();
+  const std::uint32_t want_size = tail.u32();
+  if (crc32(std::span<const std::byte>(out)) != want_crc) {
+    throw CorruptDataError("gzip CRC-32 mismatch");
+  }
+  if (static_cast<std::uint32_t>(out.size()) != want_size) {
+    throw CorruptDataError("gzip ISIZE mismatch");
+  }
+  return out;
+}
+
+Bytes zlib_compress(std::span<const std::byte> input, const DeflateOptions& options) {
+  ByteWriter w;
+  const std::uint8_t cmf = 0x78;  // CM=8, CINFO=7 (32 KiB window)
+  std::uint8_t flevel;
+  if (options.level <= 2) {
+    flevel = 0;
+  } else if (options.level <= 5) {
+    flevel = 1;
+  } else if (options.level == 6) {
+    flevel = 2;
+  } else {
+    flevel = 3;
+  }
+  std::uint8_t flg = static_cast<std::uint8_t>(flevel << 6);
+  // FCHECK: make (cmf*256 + flg) divisible by 31.
+  const int rem = (cmf * 256 + flg) % 31;
+  if (rem != 0) flg = static_cast<std::uint8_t>(flg + (31 - rem));
+  w.u8(cmf);
+  w.u8(flg);
+
+  const Bytes body = deflate_compress(input, options);
+  w.raw(body.data(), body.size());
+  // Adler-32 is stored big-endian (network order) per RFC 1950.
+  const std::uint32_t a = adler32(input);
+  w.u8(static_cast<std::uint8_t>(a >> 24));
+  w.u8(static_cast<std::uint8_t>(a >> 16));
+  w.u8(static_cast<std::uint8_t>(a >> 8));
+  w.u8(static_cast<std::uint8_t>(a));
+  return w.take();
+}
+
+Bytes zlib_decompress(std::span<const std::byte> input) {
+  ByteReader r(input);
+  const std::uint8_t cmf = r.u8();
+  const std::uint8_t flg = r.u8();
+  if ((cmf & 0x0F) != kCmDeflate) throw FormatError("zlib: unsupported compression method");
+  if ((cmf * 256 + flg) % 31 != 0) throw FormatError("zlib: bad FCHECK");
+  if ((flg & 0x20) != 0) throw FormatError("zlib: preset dictionary not supported");
+
+  if (r.remaining() < 4) throw FormatError("zlib stream truncated");
+  const auto body = input.subspan(r.position(), r.remaining() - 4);
+  Bytes out = deflate_decompress(body);
+
+  const auto tail = input.subspan(input.size() - 4);
+  const std::uint32_t want = (static_cast<std::uint32_t>(tail[0]) << 24) |
+                             (static_cast<std::uint32_t>(tail[1]) << 16) |
+                             (static_cast<std::uint32_t>(tail[2]) << 8) |
+                             static_cast<std::uint32_t>(tail[3]);
+  if (adler32(std::span<const std::byte>(out)) != want) {
+    throw CorruptDataError("zlib Adler-32 mismatch");
+  }
+  return out;
+}
+
+}  // namespace wck

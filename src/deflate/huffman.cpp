@@ -1,0 +1,205 @@
+#include "deflate/huffman.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+/// A node in the package-merge coin lists: a weight plus the multiset of
+/// leaf symbols it contains (alphabets are small — at most 288 symbols —
+/// so storing symbol lists explicitly is cheap and keeps the algorithm
+/// literal).
+struct PmNode {
+  std::uint64_t weight = 0;
+  std::vector<std::uint16_t> symbols;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> build_code_lengths(std::span<const std::uint64_t> freqs,
+                                             int max_length) {
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  std::vector<std::uint16_t> used;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) used.push_back(static_cast<std::uint16_t>(i));
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;
+    return lengths;
+  }
+  if (static_cast<std::size_t>(1) << max_length < used.size()) {
+    throw InvalidArgumentError("alphabet of " + std::to_string(used.size()) +
+                               " symbols cannot fit in " + std::to_string(max_length) + " bits");
+  }
+
+  // Package-merge (coin collector): leaves sorted by weight form the
+  // denomination list at every level; each level pairs adjacent nodes of
+  // the previous level into packages and merges them with the leaves.
+  std::vector<PmNode> leaves;
+  leaves.reserve(used.size());
+  for (const std::uint16_t s : used) {
+    leaves.push_back(PmNode{freqs[s], {s}});
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const PmNode& a, const PmNode& b) { return a.weight < b.weight; });
+
+  std::vector<PmNode> prev = leaves;
+  for (int level = 1; level < max_length; ++level) {
+    // Pair adjacent nodes of `prev` into packages.
+    std::vector<PmNode> packages;
+    packages.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      PmNode pkg;
+      pkg.weight = prev[i].weight + prev[i + 1].weight;
+      pkg.symbols = prev[i].symbols;
+      pkg.symbols.insert(pkg.symbols.end(), prev[i + 1].symbols.begin(),
+                         prev[i + 1].symbols.end());
+      packages.push_back(std::move(pkg));
+    }
+    // Merge packages with the fresh leaf list (both sorted by weight).
+    std::vector<PmNode> cur;
+    cur.reserve(leaves.size() + packages.size());
+    std::size_t li = 0;
+    std::size_t pi = 0;
+    while (li < leaves.size() || pi < packages.size()) {
+      const bool take_leaf =
+          pi >= packages.size() ||
+          (li < leaves.size() && leaves[li].weight <= packages[pi].weight);
+      cur.push_back(take_leaf ? leaves[li++] : std::move(packages[pi++]));
+    }
+    prev = std::move(cur);
+  }
+
+  // The first 2*(n_used - 1) nodes of the final list are the solution;
+  // each symbol's code length equals the number of nodes containing it.
+  const std::size_t take = 2 * (used.size() - 1);
+  for (std::size_t i = 0; i < take; ++i) {
+    for (const std::uint16_t s : prev[i].symbols) {
+      ++lengths[s];
+    }
+  }
+  return lengths;
+}
+
+CanonicalCode CanonicalCode::from_lengths(std::span<const std::uint8_t> lengths) {
+  CanonicalCode cc;
+  cc.lengths.assign(lengths.begin(), lengths.end());
+  cc.codes.assign(lengths.size(), 0);
+
+  std::uint32_t bl_count[16] = {};
+  int max_len = 0;
+  for (const std::uint8_t l : lengths) {
+    if (l > 15) throw InvalidArgumentError("code length exceeds 15 bits");
+    ++bl_count[l];
+    max_len = std::max<int>(max_len, l);
+  }
+  bl_count[0] = 0;
+
+  std::uint32_t next_code[16] = {};
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= max_len; ++bits) {
+    code = (code + bl_count[bits - 1]) << 1;
+    next_code[bits] = code;
+  }
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const std::uint8_t l = lengths[s];
+    if (l != 0) {
+      cc.codes[s] = static_cast<std::uint16_t>(next_code[l]++);
+      if (cc.codes[s] >= (1u << l)) {
+        throw InvalidArgumentError("over-subscribed Huffman code lengths");
+      }
+    }
+  }
+  return cc;
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths, bool allow_incomplete) {
+  std::size_t n_used = 0;
+  for (const std::uint8_t l : lengths) {
+    if (l > 15) throw FormatError("Huffman code length exceeds 15 bits");
+    if (l > 0) {
+      ++count_[l];
+      max_len_ = std::max<int>(max_len_, l);
+      ++n_used;
+    }
+  }
+  if (n_used == 0) {
+    // Degenerate empty code: decode() always fails. DEFLATE tolerates
+    // this for distance codes in blocks that emit no matches.
+    return;
+  }
+
+  // Kraft sum check.
+  std::uint32_t kraft = 0;  // in units of 2^-15
+  for (int l = 1; l <= 15; ++l) kraft += count_[l] << (15 - l);
+  if (kraft > (1u << 15)) throw FormatError("over-subscribed Huffman code");
+  if (kraft < (1u << 15) && !(allow_incomplete && n_used == 1)) {
+    throw FormatError("incomplete Huffman code");
+  }
+
+  // Canonical first_code / first_index per length (RFC 1951 recurrence);
+  // codes of length l span [first_code_[l], first_code_[l] + count_[l]).
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code + count_[l - 1]) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += count_[l];
+  }
+
+  sym_by_code_.resize(n_used);
+  {
+    std::uint32_t next_index[16];
+    std::copy(std::begin(first_index_), std::end(first_index_), std::begin(next_index));
+    for (std::size_t s = 0; s < lengths.size(); ++s) {
+      const std::uint8_t l = lengths[s];
+      if (l > 0) sym_by_code_[next_index[l]++] = static_cast<std::uint16_t>(s);
+    }
+  }
+
+  // Fast table: index = next kFastBits of the stream (LSB-first). Codes
+  // are MSB-first, so a code c of length l maps to all indices whose low
+  // l bits equal reverse(c, l).
+  fast_.assign(std::size_t{1} << kFastBits, FastEntry{});
+  for (int l = 1; l <= std::min(max_len_, kFastBits); ++l) {
+    for (std::uint32_t k = 0; k < count_[l]; ++k) {
+      const std::uint32_t c = first_code_[l] + k;
+      const std::uint16_t sym = sym_by_code_[first_index_[l] + k];
+      const std::uint32_t rev = BitWriter::reverse(c, l);
+      const std::uint32_t step = 1u << l;
+      for (std::uint32_t idx = rev; idx < fast_.size(); idx += step) {
+        fast_[idx] = FastEntry{static_cast<std::int16_t>(sym), static_cast<std::uint8_t>(l)};
+      }
+    }
+  }
+}
+
+int HuffmanDecoder::decode(BitReader& br) const {
+  if (max_len_ == 0) throw FormatError("decode with empty Huffman code");
+  const std::uint32_t window = br.peek(kFastBits);
+  const FastEntry& fe = fast_[window];
+  if (fe.symbol >= 0) {
+    br.consume(fe.length);
+    return fe.symbol;
+  }
+  // Slow path: canonical walk, one bit (MSB-first code bit) at a time.
+  // Re-read from scratch: consume bits as we walk.
+  std::uint32_t code = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code << 1) | br.get(1);
+    if (count_[l] != 0 && code >= first_code_[l] && code < first_code_[l] + count_[l]) {
+      return sym_by_code_[first_index_[l] + (code - first_code_[l])];
+    }
+  }
+  throw FormatError("invalid Huffman code in stream");
+}
+
+}  // namespace wck

@@ -1,0 +1,25 @@
+// Order-0 Huffman coding of bytes, without LZ77 matching.
+//
+// The paper's Sec. IV-D future work: "we are going to investigate other
+// compression methods that are more appropriate than gzip when combined
+// with our lossy compression". The formatted payload's entropy is
+// dominated by the 1-byte quantization indexes, whose distribution an
+// order-0 coder captures at a fraction of DEFLATE's cost — this coder
+// trades a few points of ratio for several-fold faster compression.
+#pragma once
+
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace wck {
+
+/// Compresses with a single canonical Huffman code over byte values.
+/// Self-describing; never expands pathologically (falls back to a
+/// stored block when coding would not help).
+[[nodiscard]] Bytes huffman_only_compress(std::span<const std::byte> input);
+
+/// Exact inverse of huffman_only_compress.
+[[nodiscard]] Bytes huffman_only_decompress(std::span<const std::byte> input);
+
+}  // namespace wck

@@ -1,0 +1,155 @@
+#include "deflate/lz77.hpp"
+
+#include <algorithm>
+
+#include "deflate/deflate_tables.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+
+/// Hashes the 3 bytes starting at p.
+inline std::uint32_t hash3(const std::uint8_t* p) noexcept {
+  // Multiplicative hash of the 3-byte group.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Length of the common prefix of a and b, up to `limit`.
+inline int match_length(const std::uint8_t* a, const std::uint8_t* b, int limit) noexcept {
+  int n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+class Matcher {
+ public:
+  Matcher(const std::uint8_t* data, std::size_t size, const Lz77Params& params)
+      : data_(data),
+        size_(size),
+        params_(params),
+        head_(kHashSize, -1),
+        prev_(size, -1) {}
+
+  /// Inserts position `pos` into the hash chains.
+  void insert(std::size_t pos) noexcept {
+    if (pos + 3 > size_) return;
+    const std::uint32_t h = hash3(data_ + pos);
+    prev_[pos] = head_[h];
+    head_[h] = static_cast<std::int64_t>(pos);
+  }
+
+  /// Finds the longest match at `pos`, at least kMinMatch long; returns
+  /// length 0 if none. `best_dist` receives the distance.
+  int find(std::size_t pos, int* best_dist) const noexcept {
+    *best_dist = 0;
+    if (pos + deflate_tables::kMinMatch > size_) return 0;
+    const int limit =
+        static_cast<int>(std::min<std::size_t>(deflate_tables::kMaxMatch, size_ - pos));
+    const std::size_t window_start =
+        pos > deflate_tables::kWindowSize ? pos - deflate_tables::kWindowSize : 0;
+
+    int best_len = 0;
+    std::int64_t cand = head_[hash3(data_ + pos)];
+    int chain = params_.max_chain;
+    while (cand >= 0 && static_cast<std::size_t>(cand) >= window_start && chain-- > 0) {
+      const auto c = static_cast<std::size_t>(cand);
+      if (c < pos) {
+        // Quick reject: check the byte that would extend the best match.
+        if (best_len == 0 || data_[c + best_len] == data_[pos + best_len]) {
+          const int len = match_length(data_ + c, data_ + pos, limit);
+          if (len > best_len && len >= deflate_tables::kMinMatch) {
+            best_len = len;
+            *best_dist = static_cast<int>(pos - c);
+            if (best_len >= params_.nice_length || best_len == limit) break;
+          }
+        }
+      }
+      cand = prev_[c];
+    }
+    return best_len;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  Lz77Params params_;
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> prev_;
+};
+
+}  // namespace
+
+Lz77Params lz77_params_for_level(int level) {
+  if (level < 1 || level > 9) {
+    throw InvalidArgumentError("compression level must be 1..9");
+  }
+  // Roughly zlib's configuration_table.
+  static constexpr Lz77Params kTable[9] = {
+      {4, 8, 0},       // 1
+      {8, 16, 4},      // 2
+      {32, 32, 6},     // 3
+      {16, 16, 8},     // 4
+      {32, 32, 16},    // 5
+      {128, 128, 16},  // 6
+      {256, 128, 32},  // 7
+      {1024, 258, 128},  // 8
+      {4096, 258, 258},  // 9
+  };
+  return kTable[level - 1];
+}
+
+std::vector<Lz77Token> lz77_parse(std::span<const std::byte> input, const Lz77Params& params) {
+  std::vector<Lz77Token> tokens;
+  if (input.empty()) return tokens;
+  tokens.reserve(input.size() / 3 + 16);
+
+  const auto* data = reinterpret_cast<const std::uint8_t*>(input.data());
+  const std::size_t size = input.size();
+  Matcher matcher(data, size, params);
+
+  std::size_t pos = 0;
+  // State for one-step lazy matching: a pending match found at pos-1.
+  while (pos < size) {
+    int dist = 0;
+    int len = matcher.find(pos, &dist);
+    if (len >= deflate_tables::kMinMatch) {
+      // Lazy evaluation: peek at pos+1; if it yields a strictly longer
+      // match, emit a literal instead and defer.
+      if (len < params.lazy_threshold && pos + 1 < size) {
+        matcher.insert(pos);
+        int next_dist = 0;
+        const int next_len = matcher.find(pos + 1, &next_dist);
+        if (next_len > len) {
+          tokens.push_back(Lz77Token::literal(data[pos]));
+          ++pos;
+          continue;
+        }
+        // Keep the current match; pos itself is already inserted.
+        tokens.push_back(Lz77Token::match(len, dist));
+        for (std::size_t i = pos + 1; i < pos + static_cast<std::size_t>(len); ++i) {
+          matcher.insert(i);
+        }
+        pos += static_cast<std::size_t>(len);
+        continue;
+      }
+      tokens.push_back(Lz77Token::match(len, dist));
+      for (std::size_t i = pos; i < pos + static_cast<std::size_t>(len); ++i) {
+        matcher.insert(i);
+      }
+      pos += static_cast<std::size_t>(len);
+    } else {
+      tokens.push_back(Lz77Token::literal(data[pos]));
+      matcher.insert(pos);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace wck

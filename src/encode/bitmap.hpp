@@ -1,0 +1,91 @@
+// Packed bitmap marking which high-band positions were quantized
+// (paper Sec. III-D: "To memorize which values are transformed and
+// encoded, we use bitmap for the decompression").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wck {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void set(std::size_t i, bool value) {
+    check(i);
+    const std::uint64_t mask = 1ull << (i % 64);
+    if (value) {
+      words_[i / 64] |= mask;
+    } else {
+      words_[i / 64] &= ~mask;
+    }
+  }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    check(i);
+    return (words_[i / 64] >> (i % 64)) & 1ull;
+  }
+
+  void push_back(bool value) {
+    if (size_ % 64 == 0) words_.push_back(0);
+    ++size_;
+    set(size_ - 1, value);
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Serialized byte size: one bit per element, padded to a whole byte.
+  [[nodiscard]] std::size_t byte_size() const noexcept { return (size_ + 7) / 8; }
+
+  /// Writes the packed little-endian bit representation.
+  void serialize_to(std::vector<std::byte>& out) const {
+    const std::size_t nbytes = byte_size();
+    out.reserve(out.size() + nbytes);
+    for (std::size_t b = 0; b < nbytes; ++b) {
+      const std::uint64_t w = words_[b / 8];
+      out.push_back(static_cast<std::byte>((w >> ((b % 8) * 8)) & 0xFFu));
+    }
+  }
+
+  /// Rebuilds a bitmap of `size` bits from its packed representation.
+  static Bitmap deserialize(std::span<const std::byte> bytes, std::size_t size) {
+    Bitmap bm(size);
+    if (bytes.size() < (size + 7) / 8) throw FormatError("bitmap bytes truncated");
+    for (std::size_t b = 0; b < (size + 7) / 8; ++b) {
+      bm.words_[b / 8] |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[b]))
+                          << ((b % 8) * 8);
+    }
+    // Clear any padding bits beyond `size`.
+    if (size % 64 != 0 && !bm.words_.empty()) {
+      bm.words_.back() &= (1ull << (size % 64)) - 1;
+    }
+    return bm;
+  }
+
+  [[nodiscard]] bool operator==(const Bitmap& o) const noexcept {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+
+ private:
+  void check(std::size_t i) const {
+    if (i >= size_) throw InvalidArgumentError("bitmap index out of range");
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wck

@@ -1,0 +1,117 @@
+#include "encode/payload.hpp"
+
+#include <string>
+
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C4B4357;  // "WCKL" little-endian
+constexpr std::uint8_t kVersion = 2;  // v2 added the wavelet-kind field
+
+}  // namespace
+
+Bytes encode_payload(const LossyPayload& p) {
+  if (p.indices.size() != p.quantized.count()) {
+    throw InvalidArgumentError("payload: index count does not match bitmap population");
+  }
+  if (p.exact_values.size() != p.quantized.size() - p.quantized.count()) {
+    throw InvalidArgumentError("payload: exact-value count does not match bitmap");
+  }
+  if (p.averages.size() > 256) {
+    throw InvalidArgumentError("payload: averages table exceeds 256 entries");
+  }
+
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(p.quantizer));
+  w.u8(static_cast<std::uint8_t>(p.wavelet));
+  w.u8(static_cast<std::uint8_t>(p.shape.rank()));
+  w.u8(static_cast<std::uint8_t>(p.levels));
+  for (std::size_t a = 0; a < p.shape.rank(); ++a) w.varint(p.shape[a]);
+  w.varint(p.averages.size());
+  w.varint(p.low_band.size());
+  w.varint(p.quantized.size());
+  w.varint(p.indices.size());
+
+  w.f64_array(p.averages);
+  w.f64_array(p.low_band);
+  p.quantized.serialize_to(w.buffer());
+  w.raw(p.indices.data(), p.indices.size());
+  w.f64_array(p.exact_values);
+
+  // Trailing CRC over everything before it.
+  const std::uint32_t crc = crc32(std::span<const std::byte>(w.buffer()));
+  w.u32(crc);
+  return w.take();
+}
+
+LossyPayload decode_payload(std::span<const std::byte> data) {
+  if (data.size() < 4) throw FormatError("payload truncated before CRC");
+  {
+    ByteReader tail(data.subspan(data.size() - 4));
+    const std::uint32_t want = tail.u32();
+    const std::uint32_t got = crc32(data.subspan(0, data.size() - 4));
+    if (want != got) throw CorruptDataError("payload CRC-32 mismatch");
+  }
+
+  ByteReader r(data.subspan(0, data.size() - 4));
+  if (r.u32() != kMagic) throw FormatError("payload: bad magic");
+  const std::uint8_t version = r.u8();
+  if (version != kVersion) {
+    throw FormatError("payload: unsupported version " + std::to_string(version));
+  }
+
+  LossyPayload p;
+  const std::uint8_t kind = r.u8();
+  if (kind > 1) throw FormatError("payload: unknown quantizer kind");
+  p.quantizer = static_cast<QuantizerKind>(kind);
+  const std::uint8_t wkind = r.u8();
+  if (wkind > 2) throw FormatError("payload: unknown wavelet kind");
+  p.wavelet = static_cast<WaveletKind>(wkind);
+  const std::uint8_t rank = r.u8();
+  if (rank < 1 || rank > kMaxRank) throw FormatError("payload: invalid rank");
+  p.levels = r.u8();
+  if (p.levels < 1) throw FormatError("payload: invalid transform depth");
+  p.shape = Shape::of_rank(rank);
+  for (std::size_t a = 0; a < rank; ++a) {
+    p.shape[a] = r.varint();
+    if (p.shape[a] == 0) throw FormatError("payload: zero extent");
+  }
+
+  const std::uint64_t n_avg = r.varint();
+  const std::uint64_t n_low = r.varint();
+  const std::uint64_t n_high = r.varint();
+  const std::uint64_t n_idx = r.varint();
+  if (n_avg > 256) throw FormatError("payload: averages table exceeds 256 entries");
+  if (n_low + n_high != p.shape.size()) {
+    throw FormatError("payload: band sizes do not sum to array size");
+  }
+  if (n_idx > n_high) throw FormatError("payload: more indexes than high-band elements");
+
+  p.averages.resize(n_avg);
+  r.f64_array(p.averages);
+  p.low_band.resize(n_low);
+  r.f64_array(p.low_band);
+  p.quantized = Bitmap::deserialize(r.raw((n_high + 7) / 8), n_high);
+  if (p.quantized.count() != n_idx) {
+    throw FormatError("payload: bitmap population does not match index count");
+  }
+  {
+    const auto idx_bytes = r.raw(n_idx);
+    p.indices.resize(n_idx);
+    for (std::size_t i = 0; i < n_idx; ++i) {
+      p.indices[i] = static_cast<std::uint8_t>(idx_bytes[i]);
+      if (p.indices[i] >= n_avg) throw FormatError("payload: index beyond averages table");
+    }
+  }
+  p.exact_values.resize(n_high - n_idx);
+  r.f64_array(p.exact_values);
+  if (!r.exhausted()) throw FormatError("payload: trailing bytes");
+  return p;
+}
+
+}  // namespace wck

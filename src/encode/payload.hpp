@@ -1,0 +1,45 @@
+// Serialization of the lossy-compressed array payload (paper Fig. 5).
+//
+// The formatted stream holds, in order: a header (shape, transform
+// depth, quantizer metadata), the averages table, the raw low-frequency
+// band, the quantization bitmap, the 1-byte indexes of quantized
+// high-band values, and the exact doubles of unquantized high-band
+// values. The stream is subsequently compressed with gzip/deflate by the
+// core pipeline ("Finally, we apply gzip to the formatted output").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encode/bitmap.hpp"
+#include "ndarray/shape.hpp"
+#include "quantize/quantizer.hpp"
+#include "util/bytes.hpp"
+#include "wavelet/transform.hpp"
+
+namespace wck {
+
+/// The fully quantized + encoded representation of one array, prior to
+/// the final entropy (gzip) stage.
+struct LossyPayload {
+  Shape shape;                     ///< original array extents
+  int levels = 1;                  ///< wavelet transform depth
+  WaveletKind wavelet = WaveletKind::kHaar;
+  QuantizerKind quantizer = QuantizerKind::kSpike;
+  std::vector<double> averages;    ///< representative values (size <= 256)
+  std::vector<double> low_band;    ///< final low corner, row-major
+  Bitmap quantized;                ///< per high-band element, canonical order
+  std::vector<std::uint8_t> indices;  ///< one per set bitmap bit
+  std::vector<double> exact_values;   ///< one per clear bitmap bit
+
+  /// Total element count of the original array.
+  [[nodiscard]] std::size_t element_count() const noexcept { return shape.size(); }
+};
+
+/// Serializes the payload (Fig. 5 layout; little-endian; CRC-protected).
+[[nodiscard]] Bytes encode_payload(const LossyPayload& payload);
+
+/// Parses and validates a payload. Throws FormatError / CorruptDataError.
+[[nodiscard]] LossyPayload decode_payload(std::span<const std::byte> data);
+
+}  // namespace wck

@@ -1,0 +1,114 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+void check_pow2(std::size_t n, const char* what) {
+  if (!is_power_of_two(n)) {
+    throw InvalidArgumentError(std::string(what) + " must be a power of two, got " +
+                               std::to_string(n));
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  check_pow2(n, "FFT length");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Danielson–Lanczos butterflies.
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void fft2d_inplace(std::span<std::complex<double>> data, std::size_t ny, std::size_t nx,
+                   bool inverse) {
+  if (data.size() != ny * nx) {
+    throw InvalidArgumentError("fft2d: data size does not match ny*nx");
+  }
+  check_pow2(nx, "FFT nx");
+  check_pow2(ny, "FFT ny");
+
+  // Rows.
+  for (std::size_t r = 0; r < ny; ++r) {
+    fft_inplace(data.subspan(r * nx, nx), inverse);
+  }
+  // Columns (gather/scatter through a scratch line).
+  std::vector<std::complex<double>> col(ny);
+  for (std::size_t c = 0; c < nx; ++c) {
+    for (std::size_t r = 0; r < ny; ++r) col[r] = data[r * nx + c];
+    fft_inplace(col, inverse);
+    for (std::size_t r = 0; r < ny; ++r) data[r * nx + c] = col[r];
+  }
+}
+
+PoissonSolver::PoissonSolver(std::size_t ny, std::size_t nx, double dy, double dx)
+    : ny_(ny), nx_(nx), inv_eig_(ny * nx, 0.0), work_(ny * nx) {
+  check_pow2(nx, "Poisson nx");
+  check_pow2(ny, "Poisson ny");
+  if (dx <= 0.0 || dy <= 0.0) {
+    throw InvalidArgumentError("Poisson grid spacings must be positive");
+  }
+  // Eigenvalues of the 5-point Laplacian for mode (ky, kx):
+  //   lambda = (2 cos(2 pi kx / nx) - 2) / dx^2 + (2 cos(2 pi ky / ny) - 2) / dy^2
+  for (std::size_t ky = 0; ky < ny; ++ky) {
+    const double cy =
+        (2.0 * std::cos(2.0 * std::numbers::pi * static_cast<double>(ky) / static_cast<double>(ny)) -
+         2.0) /
+        (dy * dy);
+    for (std::size_t kx = 0; kx < nx; ++kx) {
+      const double cx = (2.0 * std::cos(2.0 * std::numbers::pi * static_cast<double>(kx) /
+                                        static_cast<double>(nx)) -
+                         2.0) /
+                        (dx * dx);
+      const double lambda = cx + cy;
+      inv_eig_[ky * nx + kx] = (kx == 0 && ky == 0) ? 0.0 : 1.0 / lambda;
+    }
+  }
+}
+
+void PoissonSolver::solve(std::span<const double> rhs, std::span<double> out) const {
+  if (rhs.size() != ny_ * nx_ || out.size() != ny_ * nx_) {
+    throw InvalidArgumentError("Poisson solve: field size mismatch");
+  }
+  for (std::size_t i = 0; i < rhs.size(); ++i) work_[i] = {rhs[i], 0.0};
+  fft2d_inplace(work_, ny_, nx_, /*inverse=*/false);
+  for (std::size_t i = 0; i < work_.size(); ++i) work_[i] *= inv_eig_[i];
+  fft2d_inplace(work_, ny_, nx_, /*inverse=*/true);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = work_[i].real();
+}
+
+}  // namespace wck

@@ -1,0 +1,171 @@
+#include "fpc/fpc.hpp"
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43504657;  // "WFPC" little-endian
+constexpr std::uint8_t kVersion = 1;
+
+/// FCM: hash of the recent value history predicts the next bit pattern.
+class FcmPredictor {
+ public:
+  explicit FcmPredictor(int table_log2)
+      : mask_((std::size_t{1} << table_log2) - 1), table_(mask_ + 1, 0) {}
+
+  [[nodiscard]] std::uint64_t predict() const noexcept { return table_[hash_]; }
+
+  void update(std::uint64_t actual) noexcept {
+    table_[hash_] = actual;
+    hash_ = ((hash_ << 6) ^ (actual >> 48)) & mask_;
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<std::uint64_t> table_;
+  std::size_t hash_ = 0;
+};
+
+/// DFCM: the same over deltas between consecutive bit patterns.
+class DfcmPredictor {
+ public:
+  explicit DfcmPredictor(int table_log2)
+      : mask_((std::size_t{1} << table_log2) - 1), table_(mask_ + 1, 0) {}
+
+  [[nodiscard]] std::uint64_t predict() const noexcept { return table_[hash_] + last_; }
+
+  void update(std::uint64_t actual) noexcept {
+    const std::uint64_t delta = actual - last_;
+    table_[hash_] = delta;
+    hash_ = ((hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_ = actual;
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<std::uint64_t> table_;
+  std::size_t hash_ = 0;
+  std::uint64_t last_ = 0;
+};
+
+/// Number of leading zero bytes in v (0..8), clamped to 7 because the
+/// header field has 3 bits (an all-zero residual is stored as 7 leading
+/// zero bytes plus one explicit zero byte — same trade the original FPC
+/// makes by excluding one count).
+int leading_zero_bytes(std::uint64_t v) noexcept {
+  if (v == 0) return 7;
+  const int lz = std::countl_zero(v);
+  const int bytes = lz / 8;
+  return bytes > 7 ? 7 : bytes;
+}
+
+void check_options(const FpcOptions& o) {
+  if (o.table_log2 < 4 || o.table_log2 > 24) {
+    throw InvalidArgumentError("fpc table_log2 must be in 4..24");
+  }
+}
+
+}  // namespace
+
+Bytes fpc_compress(std::span<const double> values, const FpcOptions& options) {
+  check_options(options);
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(options.table_log2));
+  w.varint(values.size());
+
+  FcmPredictor fcm(options.table_log2);
+  DfcmPredictor dfcm(options.table_log2);
+
+  // Header nibbles for a pair of values share one byte; residual bytes
+  // for the whole pair follow. Matches the original FPC layout closely
+  // enough to inherit its compressibility.
+  Bytes headers;
+  Bytes residuals;
+  headers.reserve(values.size() / 2 + 1);
+  residuals.reserve(values.size() * 4);
+
+  std::uint8_t pending = 0;
+  bool have_pending = false;
+  for (const double d : values) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+    const std::uint64_t xor_fcm = bits ^ fcm.predict();
+    const std::uint64_t xor_dfcm = bits ^ dfcm.predict();
+    fcm.update(bits);
+    dfcm.update(bits);
+
+    const bool use_dfcm = leading_zero_bytes(xor_dfcm) > leading_zero_bytes(xor_fcm);
+    const std::uint64_t residual = use_dfcm ? xor_dfcm : xor_fcm;
+    const int lzb = leading_zero_bytes(residual);
+    const auto nibble =
+        static_cast<std::uint8_t>((use_dfcm ? 0x8 : 0x0) | static_cast<std::uint8_t>(lzb));
+
+    if (have_pending) {
+      headers.push_back(static_cast<std::byte>(pending | (nibble << 4)));
+      have_pending = false;
+    } else {
+      pending = nibble;
+      have_pending = true;
+    }
+
+    const int keep = 8 - lzb;  // low-order bytes to emit (little-endian)
+    for (int b = 0; b < keep; ++b) {
+      residuals.push_back(static_cast<std::byte>((residual >> (8 * b)) & 0xFFu));
+    }
+  }
+  if (have_pending) headers.push_back(static_cast<std::byte>(pending));
+
+  w.varint(headers.size());
+  w.raw(headers.data(), headers.size());
+  w.raw(residuals.data(), residuals.size());
+  return w.take();
+}
+
+std::vector<double> fpc_decompress(std::span<const std::byte> data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw FormatError("fpc: bad magic");
+  if (r.u8() != kVersion) throw FormatError("fpc: unsupported version");
+  const int table_log2 = r.u8();
+  FpcOptions options{table_log2};
+  check_options(options);
+  const std::uint64_t count = r.varint();
+  const std::uint64_t header_bytes = r.varint();
+  if (header_bytes != (count + 1) / 2) throw FormatError("fpc: header size mismatch");
+  const auto headers = r.raw(header_bytes);
+
+  FcmPredictor fcm(table_log2);
+  DfcmPredictor dfcm(table_log2);
+
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto header_byte = static_cast<std::uint8_t>(headers[i / 2]);
+    const std::uint8_t nibble = (i % 2 == 0) ? (header_byte & 0x0F) : (header_byte >> 4);
+    const bool use_dfcm = (nibble & 0x8) != 0;
+    const int lzb = nibble & 0x7;
+    const int keep = 8 - lzb;
+
+    std::uint64_t residual = 0;
+    const auto res_bytes = r.raw(static_cast<std::size_t>(keep));
+    for (int b = 0; b < keep; ++b) {
+      residual |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(res_bytes[b])) << (8 * b);
+    }
+
+    const std::uint64_t prediction = use_dfcm ? dfcm.predict() : fcm.predict();
+    const std::uint64_t bits = residual ^ prediction;
+    fcm.update(bits);
+    dfcm.update(bits);
+    out.push_back(std::bit_cast<double>(bits));
+  }
+  if (!r.exhausted()) throw FormatError("fpc: trailing bytes");
+  return out;
+}
+
+}  // namespace wck

@@ -1,0 +1,41 @@
+// FPC-style lossless compression of double-precision streams.
+//
+// The paper's related work (Sec. V, [17] Burtscher & Ratanaworabhan,
+// "High throughput compression of double-precision floating-point
+// data") is the strongest lossless baseline for FP checkpoints; we
+// implement the same scheme family from scratch so Fig. 6 can be
+// extended with a specialized lossless comparator:
+//
+//  * two context predictors — FCM (finite context method: a hash of
+//    recent values indexes a table of "what came next last time") and
+//    DFCM (the same over value deltas);
+//  * each double is XORed with both predictions; the better one (more
+//    leading zero bytes) is chosen;
+//  * a 4-bit header per value (1 bit predictor id, 3 bits leading-zero
+//    byte count) plus the nonzero residual bytes are emitted.
+//
+// Exactly lossless for every bit pattern (including NaN payloads).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace wck {
+
+struct FpcOptions {
+  /// log2 of the predictor table size. Larger tables predict better on
+  /// large arrays; 16 (64 Ki entries * 8 B = 512 KiB per table) matches
+  /// the original paper's configuration space.
+  int table_log2 = 16;
+};
+
+/// Compresses a raw double array losslessly. Output embeds the options
+/// and count, so decompression is self-describing.
+[[nodiscard]] Bytes fpc_compress(std::span<const double> values, const FpcOptions& options = {});
+
+/// Exact inverse of fpc_compress. Throws FormatError on malformed input.
+[[nodiscard]] std::vector<double> fpc_decompress(std::span<const std::byte> data);
+
+}  // namespace wck

@@ -1,0 +1,45 @@
+#include "iomodel/burst_buffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wck {
+
+BurstBufferModel::BurstBufferModel(const BurstBufferConfig& config) : config_(config) {
+  if (config.bb_bandwidth_bytes_per_s <= 0.0 || config.pfs_bandwidth_bytes_per_s <= 0.0) {
+    throw InvalidArgumentError("burst buffer: bandwidths must be positive");
+  }
+  if (config.capacity_bytes <= 0.0) {
+    throw InvalidArgumentError("burst buffer: capacity must be positive");
+  }
+}
+
+double BurstBufferModel::write(double bytes) {
+  if (bytes < 0.0) throw InvalidArgumentError("burst buffer: negative write");
+  const double room = config_.capacity_bytes - fill_;
+  const double absorbed = std::min(bytes, room);
+  const double overflow = bytes - absorbed;
+  // Absorbed portion lands at buffer speed; overflow is throttled to the
+  // PFS drain rate (write-through).
+  const double time = absorbed / config_.bb_bandwidth_bytes_per_s +
+                      overflow / config_.pfs_bandwidth_bytes_per_s;
+  fill_ += absorbed;
+  // The overflow passes straight through; it never occupies the buffer.
+  // While the write is in progress the buffer also drains.
+  const double drained = time * config_.pfs_bandwidth_bytes_per_s;
+  fill_ = std::max(0.0, fill_ - drained);
+  return time;
+}
+
+void BurstBufferModel::compute(double seconds) {
+  if (seconds < 0.0) throw InvalidArgumentError("burst buffer: negative time");
+  fill_ = std::max(0.0, fill_ - seconds * config_.pfs_bandwidth_bytes_per_s);
+}
+
+bool BurstBufferModel::sustainable(double bytes, double interval_s) const noexcept {
+  if (interval_s <= 0.0) return false;
+  return bytes / interval_s <= config_.pfs_bandwidth_bytes_per_s;
+}
+
+}  // namespace wck

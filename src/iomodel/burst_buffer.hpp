@@ -1,0 +1,51 @@
+// Burst-buffer storage model (paper Sec. V ref [30]: "utilization of new
+// storage hierarchy, burst buffer, is validated to significantly improve
+// both checkpoint time and storage reliability").
+//
+// A burst buffer absorbs checkpoint bursts at high bandwidth and drains
+// to the parallel filesystem asynchronously. The application-visible
+// write time covers only the absorbed portion — unless the buffer is
+// still draining from the previous burst or the burst overflows the
+// remaining capacity, in which case the overflow goes through at PFS
+// speed.
+#pragma once
+
+#include <cstddef>
+
+namespace wck {
+
+struct BurstBufferConfig {
+  double bb_bandwidth_bytes_per_s = 400e9;  ///< absorb speed (aggregate)
+  double pfs_bandwidth_bytes_per_s = 20e9;  ///< drain / overflow speed
+  double capacity_bytes = 1e12;             ///< buffer size
+};
+
+/// Stateful model: tracks the buffer fill level across a sequence of
+/// writes separated by compute phases (during which the buffer drains).
+class BurstBufferModel {
+ public:
+  explicit BurstBufferModel(const BurstBufferConfig& config);
+
+  [[nodiscard]] const BurstBufferConfig& config() const noexcept { return config_; }
+
+  /// Application-visible time to write `bytes` right now. Updates the
+  /// fill level.
+  double write(double bytes);
+
+  /// Advances time by `seconds` of computation; the buffer drains to the
+  /// PFS meanwhile.
+  void compute(double seconds);
+
+  /// Bytes currently buffered and not yet drained.
+  [[nodiscard]] double fill_bytes() const noexcept { return fill_; }
+
+  /// Steady-state cycle check: a periodic checkpoint of `bytes` every
+  /// `interval_s` is sustainable iff the drain keeps up on average.
+  [[nodiscard]] bool sustainable(double bytes, double interval_s) const noexcept;
+
+ private:
+  BurstBufferConfig config_;
+  double fill_ = 0.0;
+};
+
+}  // namespace wck

@@ -1,0 +1,74 @@
+#include "multilevel/multilevel.hpp"
+
+#include "util/error.hpp"
+
+namespace wck {
+
+MultiLevelCheckpointer::MultiLevelCheckpointer(std::vector<LevelSpec> levels,
+                                               const Codec& codec)
+    : codec_(codec) {
+  if (levels.empty()) throw InvalidArgumentError("multilevel: need at least one level");
+  for (auto& spec : levels) {
+    if (spec.every == 0) throw InvalidArgumentError("multilevel: cadence must be >= 1");
+    if (spec.name.empty()) throw InvalidArgumentError("multilevel: level needs a name");
+    std::error_code ec;
+    std::filesystem::create_directories(spec.dir, ec);
+    if (ec) throw IoError("multilevel: cannot create " + spec.dir.string());
+    levels_.push_back(LevelState{std::move(spec), std::nullopt, {}});
+  }
+}
+
+std::vector<MultiLevelCheckpointer::WriteRecord> MultiLevelCheckpointer::checkpoint(
+    const CheckpointRegistry& registry, std::uint64_t step) {
+  ++opportunities_;
+  std::vector<WriteRecord> written;
+  for (LevelState& level : levels_) {
+    if (opportunities_ % level.spec.every != 0) continue;
+    const auto path = level.spec.dir / ("ckpt_" + std::to_string(step) + ".wck");
+    const CheckpointInfo info = write_checkpoint(path, registry, codec_, step);
+    // Keep only the newest checkpoint per level (as SCR's default).
+    if (!level.latest_path.empty() && level.latest_path != path) {
+      std::error_code ec;
+      std::filesystem::remove(level.latest_path, ec);
+    }
+    level.latest_step = step;
+    level.latest_path = path;
+    written.push_back(WriteRecord{level.spec.name, step, info});
+  }
+  return written;
+}
+
+std::optional<MultiLevelCheckpointer::RestartRecord>
+MultiLevelCheckpointer::restart_after_failure(int severity,
+                                              const CheckpointRegistry& registry) {
+  // The failure wipes fragile levels.
+  for (LevelState& level : levels_) {
+    if (level.spec.survives_severity < severity && level.latest_step.has_value()) {
+      std::error_code ec;
+      std::filesystem::remove(level.latest_path, ec);
+      level.latest_step.reset();
+      level.latest_path.clear();
+    }
+  }
+  // Restart from the newest surviving checkpoint.
+  LevelState* best = nullptr;
+  for (LevelState& level : levels_) {
+    if (!level.latest_step.has_value()) continue;
+    if (best == nullptr || *level.latest_step > *best->latest_step) best = &level;
+  }
+  if (best == nullptr) return std::nullopt;
+  const CheckpointInfo info = read_checkpoint(best->latest_path, registry);
+  return RestartRecord{best->spec.name, *best->latest_step, info};
+}
+
+std::vector<std::pair<std::string, std::optional<std::uint64_t>>>
+MultiLevelCheckpointer::latest_steps() const {
+  std::vector<std::pair<std::string, std::optional<std::uint64_t>>> out;
+  out.reserve(levels_.size());
+  for (const LevelState& level : levels_) {
+    out.emplace_back(level.spec.name, level.latest_step);
+  }
+  return out;
+}
+
+}  // namespace wck

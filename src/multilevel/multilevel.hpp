@@ -1,0 +1,77 @@
+// Multi-level checkpointing (paper Sec. V, refs [5] FTI, [25] SCR).
+//
+// Applications write cheap checkpoints to fast-but-fragile storage
+// (node-local) frequently and expensive checkpoints to reliable shared
+// storage rarely. A failure has a *severity*; each level declares the
+// highest severity it survives. Restart picks the newest checkpoint on
+// a surviving level.
+//
+// Combined with the lossy codec this realizes the paper's concluding
+// plan: "we will combine with other efforts to reduce checkpointing
+// costs, such as harnessing storage hierarchy".
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/codec.hpp"
+
+namespace wck {
+
+/// One storage level.
+struct LevelSpec {
+  std::string name;            ///< e.g. "local", "shared"
+  std::filesystem::path dir;   ///< directory checkpoints are written to
+  std::uint64_t every = 1;     ///< write cadence in checkpoint opportunities
+  int survives_severity = 1;   ///< highest failure severity this level survives
+};
+
+class MultiLevelCheckpointer {
+ public:
+  /// Levels must be ordered fastest/most-fragile first. The codec is
+  /// shared across levels; directories are created if missing.
+  MultiLevelCheckpointer(std::vector<LevelSpec> levels, const Codec& codec);
+
+  /// One checkpoint opportunity at `step`: writes every level whose
+  /// cadence divides the opportunity count. Returns per-level info for
+  /// the levels written this time.
+  struct WriteRecord {
+    std::string level;
+    std::uint64_t step;
+    CheckpointInfo info;
+  };
+  std::vector<WriteRecord> checkpoint(const CheckpointRegistry& registry, std::uint64_t step);
+
+  /// A failure of `severity` strikes: checkpoints on levels with
+  /// survives_severity < severity are lost. Restores the newest
+  /// surviving checkpoint into the registry and reports which level and
+  /// step served the restart; nullopt if nothing survives.
+  struct RestartRecord {
+    std::string level;
+    std::uint64_t step;
+    CheckpointInfo info;
+  };
+  [[nodiscard]] std::optional<RestartRecord> restart_after_failure(
+      int severity, const CheckpointRegistry& registry);
+
+  /// Latest step checkpointed on each level (diagnostic).
+  [[nodiscard]] std::vector<std::pair<std::string, std::optional<std::uint64_t>>>
+  latest_steps() const;
+
+ private:
+  struct LevelState {
+    LevelSpec spec;
+    std::optional<std::uint64_t> latest_step;
+    std::filesystem::path latest_path;
+  };
+
+  std::vector<LevelState> levels_;
+  const Codec& codec_;
+  std::uint64_t opportunities_ = 0;
+};
+
+}  // namespace wck

@@ -1,0 +1,48 @@
+// RankSet: a simulated set of MPI-like ranks inside one process.
+//
+// The paper evaluates weak scaling with P = 256..2048 processes, each
+// holding a constant-size checkpoint (1.5 MB). We do not have a cluster,
+// so a RankSet materializes R representative rank states locally (each
+// with its own deterministic data), runs per-rank work through a thread
+// pool, and lets the cost model (src/iomodel) extrapolate to the full P —
+// mirroring the paper's own methodology (Sec. IV-D measures per-process
+// compression once and models the aggregate).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace wck {
+
+class RankSet {
+ public:
+  /// `ranks` simulated ranks, executed on `threads` pool threads.
+  explicit RankSet(std::size_t ranks, std::size_t threads = 0)
+      : ranks_(ranks), pool_(threads) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return ranks_; }
+
+  /// Runs fn(rank) for every rank; blocks until all complete.
+  void run(const std::function<void(std::size_t)>& fn) {
+    pool_.parallel_for(0, ranks_, fn);
+  }
+
+  /// Runs fn(rank) and gathers per-rank results.
+  template <typename R>
+  std::vector<R> map(const std::function<R(std::size_t)>& fn) {
+    std::vector<R> out(ranks_);
+    pool_.parallel_for(0, ranks_, [&](std::size_t r) { out[r] = fn(r); });
+    return out;
+  }
+
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  std::size_t ranks_;
+  ThreadPool pool_;
+};
+
+}  // namespace wck

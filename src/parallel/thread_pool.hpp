@@ -1,0 +1,114 @@
+// A fixed-size thread pool with a parallel_for convenience.
+//
+// The paper compresses each process's checkpoint independently
+// ("embarrassingly parallel", Sec. IV-D); within one process we use this
+// pool to compress multiple arrays / chunks concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wck {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lk(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future carries its result/exception.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lk(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. The first exception thrown by any iteration is
+  /// rethrown on the calling thread.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = std::min(n, thread_count() * 4);
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+    std::vector<std::future<void>> futs;
+    futs.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      futs.push_back(submit([lo, hi, &fn] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace wck

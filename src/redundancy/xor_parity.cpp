@@ -1,0 +1,117 @@
+#include "redundancy/xor_parity.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace wck {
+
+ParityBlock xor_encode(std::span<const Bytes> payloads) {
+  if (payloads.empty()) throw InvalidArgumentError("xor_encode: empty group");
+  ParityBlock pb;
+  std::size_t max_size = 0;
+  for (const Bytes& p : payloads) max_size = std::max(max_size, p.size());
+  pb.parity.assign(max_size, std::byte{0});
+  pb.sizes.reserve(payloads.size());
+  for (const Bytes& p : payloads) {
+    pb.sizes.push_back(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) pb.parity[i] ^= p[i];
+  }
+  return pb;
+}
+
+Bytes xor_recover(const ParityBlock& parity, std::span<const Bytes> payloads,
+                  std::size_t missing_index) {
+  if (payloads.size() != parity.sizes.size()) {
+    throw InvalidArgumentError("xor_recover: group size mismatch");
+  }
+  if (missing_index >= payloads.size()) {
+    throw InvalidArgumentError("xor_recover: missing index out of range");
+  }
+  Bytes out = parity.parity;
+  for (std::size_t r = 0; r < payloads.size(); ++r) {
+    if (r == missing_index) continue;
+    if (payloads[r].size() != parity.sizes[r]) {
+      throw InvalidArgumentError("xor_recover: payload " + std::to_string(r) +
+                                 " size does not match parity metadata");
+    }
+    for (std::size_t i = 0; i < payloads[r].size(); ++i) out[i] ^= payloads[r][i];
+  }
+  out.resize(parity.sizes[missing_index]);
+  return out;
+}
+
+InMemoryCheckpointStore::InMemoryCheckpointStore(std::size_t ranks, std::size_t group_size)
+    : group_size_(group_size),
+      payloads_(ranks),
+      parities_((ranks + group_size - 1) / std::max<std::size_t>(group_size, 1)),
+      stored_(ranks, false) {
+  if (ranks == 0) throw InvalidArgumentError("store: need at least one rank");
+  if (group_size < 2) throw InvalidArgumentError("store: parity groups need >= 2 ranks");
+}
+
+std::size_t InMemoryCheckpointStore::group_of(std::size_t rank) const {
+  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  return rank / group_size_;
+}
+
+std::pair<std::size_t, std::size_t> InMemoryCheckpointStore::group_range(
+    std::size_t group) const {
+  const std::size_t begin = group * group_size_;
+  const std::size_t end = std::min(begin + group_size_, payloads_.size());
+  return {begin, end};
+}
+
+void InMemoryCheckpointStore::store(std::size_t rank, Bytes payload) {
+  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  payloads_[rank] = std::move(payload);
+  stored_[rank] = true;
+  refresh_group_parity(group_of(rank));
+}
+
+void InMemoryCheckpointStore::refresh_group_parity(std::size_t group) {
+  const auto [begin, end] = group_range(group);
+  std::vector<Bytes> members;
+  members.reserve(end - begin);
+  for (std::size_t r = begin; r < end; ++r) {
+    members.push_back(payloads_[r].value_or(Bytes{}));
+  }
+  parities_[group] = xor_encode(members);
+}
+
+void InMemoryCheckpointStore::fail_rank(std::size_t rank) {
+  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  payloads_[rank].reset();
+}
+
+std::optional<Bytes> InMemoryCheckpointStore::retrieve(std::size_t rank) const {
+  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  if (payloads_[rank].has_value()) return payloads_[rank];
+  if (!stored_[rank]) return std::nullopt;  // never had a checkpoint
+
+  // Reconstruct from the parity group: possible iff every other member
+  // of the group is alive.
+  const std::size_t group = group_of(rank);
+  const auto [begin, end] = group_range(group);
+  std::vector<Bytes> members;
+  members.reserve(end - begin);
+  for (std::size_t r = begin; r < end; ++r) {
+    if (r != rank && !payloads_[r].has_value() && stored_[r]) {
+      return std::nullopt;  // double failure in the group
+    }
+    members.push_back(payloads_[r].value_or(Bytes{}));
+  }
+  return xor_recover(parities_[group], members, rank - begin);
+}
+
+std::size_t InMemoryCheckpointStore::stored_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : payloads_) {
+    if (p.has_value()) n += p->size();
+  }
+  for (const auto& pb : parities_) n += pb.parity.size();
+  return n;
+}
+
+}  // namespace wck

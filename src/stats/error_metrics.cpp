@@ -1,0 +1,68 @@
+#include "stats/error_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wck {
+
+ErrorStats relative_error(std::span<const double> original,
+                          std::span<const double> reconstructed) {
+  if (original.size() != reconstructed.size()) {
+    throw InvalidArgumentError("relative_error: size mismatch");
+  }
+  ErrorStats s;
+  s.count = original.size();
+  if (original.empty()) return s;
+
+  double lo = original[0];
+  double hi = original[0];
+  for (const double v : original) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  s.value_range = hi - lo;
+
+  double sum_rel = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double abs_err = std::abs(original[i] - reconstructed[i]);
+    s.max_abs = std::max(s.max_abs, abs_err);
+    sum_sq += abs_err * abs_err;
+    const double rel = s.value_range > 0.0 ? abs_err / s.value_range : (abs_err > 0.0 ? 1.0 : 0.0);
+    sum_rel += rel;
+    s.max_rel = std::max(s.max_rel, rel);
+  }
+  s.mean_rel = sum_rel / static_cast<double>(original.size());
+  s.rmse = std::sqrt(sum_sq / static_cast<double>(original.size()));
+  return s;
+}
+
+double compression_rate_percent(std::size_t original_bytes,
+                                std::size_t compressed_bytes) noexcept {
+  if (original_bytes == 0) return 0.0;
+  return 100.0 * static_cast<double>(compressed_bytes) / static_cast<double>(original_bytes);
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace wck

@@ -1,0 +1,55 @@
+// Evaluation metrics from the paper's Sec. IV-A:
+//   compression rate  cr  = cs_comp / cs_orig * 100            (Eq. 5)
+//   relative error    rei = |x_i - x~_i| / (max_j x_j - min_j x_j)  (Eq. 6)
+// reported as the average sum(rei)/m and the maximum max_i(rei).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace wck {
+
+/// Error summary of a decompressed array against its original.
+struct ErrorStats {
+  double mean_rel = 0.0;   ///< average relative error (fraction, not %)
+  double max_rel = 0.0;    ///< maximum relative error (fraction)
+  double value_range = 0.0;  ///< max_j x_j - min_j x_j of the original
+  double max_abs = 0.0;    ///< maximum absolute error
+  double rmse = 0.0;       ///< root-mean-square absolute error
+  std::size_t count = 0;
+
+  [[nodiscard]] double mean_rel_percent() const noexcept { return mean_rel * 100.0; }
+  [[nodiscard]] double max_rel_percent() const noexcept { return max_rel * 100.0; }
+};
+
+/// Computes Eq. 6 statistics. Arrays must have equal size. A constant
+/// original array (range 0) reports relative errors of 0 when exact and
+/// infinity otherwise is avoided by defining rei = 0 for range 0 with
+/// zero absolute error, else rei uses the absolute error directly.
+[[nodiscard]] ErrorStats relative_error(std::span<const double> original,
+                                        std::span<const double> reconstructed);
+
+/// Eq. 5: compressed size as a percentage of the original size.
+[[nodiscard]] double compression_rate_percent(std::size_t original_bytes,
+                                              std::size_t compressed_bytes) noexcept;
+
+/// Running min/max/mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace wck

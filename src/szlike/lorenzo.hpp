@@ -1,0 +1,43 @@
+// SZ-style error-bounded lossy compression (Lorenzo predictor +
+// residual quantization + entropy stage).
+//
+// The paper predates and influenced the SZ line of error-bounded
+// scientific-data compressors; its related work ([31] Ni et al., [32]
+// Lindstrom & Isenburg) studies exactly this family for checkpointing.
+// This module implements the core SZ-1.x idea from scratch as a modern
+// comparator for the wavelet pipeline:
+//
+//  * scan the array in row-major order, predicting every value with the
+//    N-dimensional Lorenzo predictor over already-reconstructed
+//    neighbours (so compressor and decompressor stay in lockstep);
+//  * quantize the residual to an integer code with step 2*eb, which
+//    guarantees |reconstructed - original| <= eb for every element (a
+//    *pointwise absolute* bound — contrast with the wavelet pipeline's
+//    statistical behaviour);
+//  * values whose code overflows the code range are stored exactly
+//    (escape), keeping outliers lossless;
+//  * deflate squeezes the (typically near-constant) code stream.
+#pragma once
+
+#include <span>
+
+#include "ndarray/ndarray.hpp"
+#include "util/bytes.hpp"
+
+namespace wck {
+
+struct SzLikeOptions {
+  /// Pointwise absolute error bound (> 0).
+  double error_bound = 1e-3;
+  /// Final deflate level.
+  int deflate_level = 6;
+};
+
+/// Compresses with a guaranteed |error| <= error_bound per element.
+[[nodiscard]] Bytes szlike_compress(const NdArray<double>& array,
+                                    const SzLikeOptions& options = {});
+
+/// Inverse of szlike_compress (returns the bounded-error reconstruction).
+[[nodiscard]] NdArray<double> szlike_decompress(std::span<const std::byte> data);
+
+}  // namespace wck

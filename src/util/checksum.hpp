@@ -1,0 +1,59 @@
+// CRC-32 (IEEE 802.3, as used by gzip) and Adler-32 (as used by zlib).
+//
+// Both are implemented from scratch; they protect checkpoint records and
+// the gzip / zlib containers emitted by the deflate subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wck {
+
+/// Incremental CRC-32 accumulator (polynomial 0xEDB88320, reflected).
+///
+/// Usage:
+///   Crc32 crc;
+///   crc.update(bytes);
+///   uint32_t digest = crc.value();
+class Crc32 {
+ public:
+  /// Folds `data` into the running checksum.
+  void update(std::span<const std::byte> data) noexcept;
+  void update(const void* data, std::size_t size) noexcept;
+
+  /// Finalized CRC of everything seen so far. May be called repeatedly.
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  /// Resets to the empty-input state.
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+/// Incremental Adler-32 accumulator (RFC 1950).
+class Adler32 {
+ public:
+  void update(std::span<const std::byte> data) noexcept;
+  void update(const void* data, std::size_t size) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept { return (b_ << 16) | a_; }
+  void reset() noexcept {
+    a_ = 1;
+    b_ = 0;
+  }
+
+ private:
+  std::uint32_t a_ = 1;
+  std::uint32_t b_ = 0;
+};
+
+/// One-shot Adler-32 of a buffer.
+[[nodiscard]] std::uint32_t adler32(std::span<const std::byte> data) noexcept;
+[[nodiscard]] std::uint32_t adler32(const void* data, std::size_t size) noexcept;
+
+}  // namespace wck

@@ -1,0 +1,46 @@
+// Error hierarchy shared by all wavelet-ckpt subsystems.
+//
+// Every failure that crosses a public API boundary is reported by throwing
+// one of these types (Core Guidelines I.10). Callers that need to
+// distinguish causes (e.g. a corrupted checkpoint vs. an I/O failure)
+// catch the specific subclass.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wck {
+
+/// Base class of all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed an argument that violates a documented precondition.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A serialized stream (checkpoint payload, DEFLATE bitstream, ...) is
+/// malformed: bad magic, impossible lengths, invalid codes.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Data failed an integrity check (CRC-32 / Adler-32 mismatch,
+/// truncation detected past the header).
+class CorruptDataError : public Error {
+ public:
+  explicit CorruptDataError(const std::string& what) : Error(what) {}
+};
+
+/// An operating-system I/O operation failed (open/read/write/remove).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace wck

@@ -1,0 +1,76 @@
+// Wall-clock timing utilities used by the benchmark harnesses and by the
+// compression pipeline's per-stage instrumentation (paper Fig. 9 reports
+// a stage-by-stage breakdown of compression time).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace wck {
+
+/// A simple monotonic wall-clock stopwatch measuring seconds.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named stage durations, e.g. {"wavelet": 1.2e-3, ...}.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) { seconds_[stage] += seconds; }
+
+  [[nodiscard]] double get(const std::string& stage) const noexcept {
+    const auto it = seconds_.find(stage);
+    return it == seconds_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double total() const noexcept {
+    double t = 0.0;
+    for (const auto& [_, s] : seconds_) t += s;
+    return t;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& by_stage() const noexcept {
+    return seconds_;
+  }
+
+  /// Merges another accumulation into this one.
+  void merge(const StageTimes& other) {
+    for (const auto& [k, v] : other.by_stage()) seconds_[k] += v;
+  }
+
+  void clear() noexcept { seconds_.clear(); }
+
+ private:
+  std::map<std::string, double> seconds_;
+};
+
+/// RAII helper: measures a scope and adds it to a StageTimes entry.
+class ScopedStage {
+ public:
+  ScopedStage(StageTimes& times, std::string stage)
+      : times_(times), stage_(std::move(stage)) {}
+  ~ScopedStage() { times_.add(stage_, timer_.seconds()); }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  StageTimes& times_;
+  std::string stage_;
+  WallTimer timer_;
+};
+
+}  // namespace wck

@@ -1,0 +1,218 @@
+#include "wavelet/transform.hpp"
+
+#include <array>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+// CDF 9/7 lifting coefficients (JPEG 2000 irreversible transform).
+constexpr double kAlpha = -1.586134342059924;
+constexpr double kBeta = -0.052980118572961;
+constexpr double kGamma = 0.882911075530934;
+constexpr double kDelta = 0.443506852043971;
+constexpr double kScale = 1.230174104914001;
+
+/// Lifting workspace for one line: even (s) and odd (d) subsequences
+/// with symmetric boundary extension.
+struct Lifting {
+  std::vector<double> s;
+  std::vector<double> d;
+
+  void load(const Line<double>& ln) {
+    const std::size_t n = ln.count;
+    const std::size_t nd = n / 2;
+    const std::size_t ns = n - nd;
+    s.resize(ns);
+    d.resize(nd);
+    for (std::size_t i = 0; i < ns; ++i) s[i] = ln[2 * i];
+    for (std::size_t i = 0; i < nd; ++i) d[i] = ln[2 * i + 1];
+  }
+
+  /// Loads from the [L | H] band layout instead of interleaved samples.
+  void load_bands(const Line<double>& ln) {
+    const std::size_t n = ln.count;
+    const std::size_t nd = n / 2;
+    const std::size_t ns = n - nd;
+    s.resize(ns);
+    d.resize(nd);
+    for (std::size_t i = 0; i < ns; ++i) s[i] = ln[i];
+    for (std::size_t i = 0; i < nd; ++i) d[i] = ln[ns + i];
+  }
+
+  void store_bands(const Line<double>& ln) const {
+    for (std::size_t i = 0; i < s.size(); ++i) ln[i] = s[i];
+    for (std::size_t i = 0; i < d.size(); ++i) ln[s.size() + i] = d[i];
+  }
+
+  void store(const Line<double>& ln) const {
+    for (std::size_t i = 0; i < s.size(); ++i) ln[2 * i] = s[i];
+    for (std::size_t i = 0; i < d.size(); ++i) ln[2 * i + 1] = d[i];
+  }
+
+  // Symmetric extension accessors.
+  [[nodiscard]] double s_at(std::ptrdiff_t i) const noexcept {
+    if (i < 0) i = -i;
+    const auto n = static_cast<std::ptrdiff_t>(s.size());
+    if (i >= n) i = 2 * n - 2 - i;
+    return s[static_cast<std::size_t>(i < 0 ? 0 : i)];
+  }
+  [[nodiscard]] double d_at(std::ptrdiff_t i) const noexcept {
+    if (d.empty()) return 0.0;
+    if (i < 0) i = -i - 1;
+    const auto n = static_cast<std::ptrdiff_t>(d.size());
+    if (i >= n) i = 2 * n - 1 - i;
+    if (i < 0) i = 0;
+    return d[static_cast<std::size_t>(i)];
+  }
+
+  // One predict step: d[i] += c * (s[i] + s[i+1]).
+  void predict(double c) noexcept {
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      d[i] += c * (s_at(static_cast<std::ptrdiff_t>(i)) +
+                   s_at(static_cast<std::ptrdiff_t>(i) + 1));
+    }
+  }
+  // One update step: s[i] += c * (d[i-1] + d[i]).
+  void update(double c) noexcept {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s[i] += c * (d_at(static_cast<std::ptrdiff_t>(i) - 1) +
+                   d_at(static_cast<std::ptrdiff_t>(i)));
+    }
+  }
+  void scale(double cs, double cd) noexcept {
+    for (double& v : s) v *= cs;
+    for (double& v : d) v *= cd;
+  }
+};
+
+void cdf53_forward_line(const Line<double>& ln, Lifting& w) {
+  if (ln.count < 2) return;
+  w.load(ln);
+  w.predict(-0.5);
+  w.update(0.25);
+  w.store_bands(ln);
+}
+
+void cdf53_inverse_line(const Line<double>& ln, Lifting& w) {
+  if (ln.count < 2) return;
+  w.load_bands(ln);
+  w.update(-0.25);
+  w.predict(0.5);
+  w.store(ln);
+}
+
+void cdf97_forward_line(const Line<double>& ln, Lifting& w) {
+  if (ln.count < 2) return;
+  w.load(ln);
+  w.predict(kAlpha);
+  w.update(kBeta);
+  w.predict(kGamma);
+  w.update(kDelta);
+  w.scale(kScale, 1.0 / kScale);
+  w.store_bands(ln);
+}
+
+void cdf97_inverse_line(const Line<double>& ln, Lifting& w) {
+  if (ln.count < 2) return;
+  w.load_bands(ln);
+  w.scale(1.0 / kScale, kScale);
+  w.update(-kDelta);
+  w.predict(-kGamma);
+  w.update(-kBeta);
+  w.predict(-kAlpha);
+  w.store(ln);
+}
+
+[[nodiscard]] Shape halved(const Shape& s) {
+  Shape h = s;
+  for (std::size_t ax = 0; ax < s.rank(); ++ax) h[ax] = (s[ax] + 1) / 2;
+  return h;
+}
+
+[[nodiscard]] NdSpan<double> low_block(NdSpan<double> a, const Shape& low) {
+  std::array<std::size_t, kMaxRank> offs{};
+  std::array<std::size_t, kMaxRank> exts{};
+  for (std::size_t ax = 0; ax < a.rank(); ++ax) exts[ax] = low[ax];
+  return a.subblock(std::span(offs.data(), a.rank()), std::span(exts.data(), a.rank()));
+}
+
+using LineFn = void (*)(const Line<double>&, Lifting&);
+
+void lifting_forward(NdSpan<double> a, int levels, LineFn line_fn) {
+  Lifting w;
+  NdSpan<double> block = a;
+  for (int l = 0; l < levels; ++l) {
+    for (std::size_t ax = 0; ax < block.rank(); ++ax) {
+      block.for_each_line(ax, [&](const Line<double>& ln) { line_fn(ln, w); });
+    }
+    block = low_block(block, halved(block.shape()));
+  }
+}
+
+void lifting_inverse(NdSpan<double> a, int levels, LineFn line_fn) {
+  std::vector<NdSpan<double>> blocks;
+  blocks.reserve(static_cast<std::size_t>(levels));
+  NdSpan<double> block = a;
+  for (int l = 0; l < levels; ++l) {
+    blocks.push_back(block);
+    block = low_block(block, halved(block.shape()));
+  }
+  Lifting w;
+  for (int l = levels; l-- > 0;) {
+    NdSpan<double> b = blocks[static_cast<std::size_t>(l)];
+    for (std::size_t ax = b.rank(); ax-- > 0;) {
+      b.for_each_line(ax, [&](const Line<double>& ln) { line_fn(ln, w); });
+    }
+  }
+}
+
+}  // namespace
+
+const char* wavelet_kind_name(WaveletKind kind) {
+  switch (kind) {
+    case WaveletKind::kHaar:
+      return "haar";
+    case WaveletKind::kCdf53:
+      return "cdf53";
+    case WaveletKind::kCdf97:
+      return "cdf97";
+  }
+  throw InvalidArgumentError("unknown wavelet kind");
+}
+
+void wavelet_forward(NdSpan<double> a, WaveletKind kind, int levels) {
+  if (levels < 1) throw InvalidArgumentError("wavelet levels must be >= 1");
+  switch (kind) {
+    case WaveletKind::kHaar:
+      haar_forward(a, levels);
+      return;
+    case WaveletKind::kCdf53:
+      lifting_forward(a, levels, cdf53_forward_line);
+      return;
+    case WaveletKind::kCdf97:
+      lifting_forward(a, levels, cdf97_forward_line);
+      return;
+  }
+  throw InvalidArgumentError("unknown wavelet kind");
+}
+
+void wavelet_inverse(NdSpan<double> a, WaveletKind kind, int levels) {
+  if (levels < 1) throw InvalidArgumentError("wavelet levels must be >= 1");
+  switch (kind) {
+    case WaveletKind::kHaar:
+      haar_inverse(a, levels);
+      return;
+    case WaveletKind::kCdf53:
+      lifting_inverse(a, levels, cdf53_inverse_line);
+      return;
+    case WaveletKind::kCdf97:
+      lifting_inverse(a, levels, cdf97_inverse_line);
+      return;
+  }
+  throw InvalidArgumentError("unknown wavelet kind");
+}
+
+}  // namespace wck

@@ -1,0 +1,39 @@
+// Selectable wavelet transforms for the compression pipeline.
+//
+// The paper uses the Haar transform (Sec. III-A) and motivates wavelets
+// via JPEG 2000 (Sec. II-C), whose standard transforms are the CDF 5/3
+// (LeGall) and CDF 9/7 biorthogonal wavelets. Its future work names
+// "improvement of the compression algorithm"; these longer filters
+// decorrelate smooth data better than Haar, concentrating more energy
+// in the low band at the cost of more arithmetic.
+//
+// All transforms share the Haar module's band layout: each level splits
+// every axis into [L | H] halves in place, recursing into the low
+// corner, so WaveletPlan / for_each_high_band apply unchanged.
+// Implemented with lifting steps and symmetric boundary extension;
+// inverses undo the lifting exactly (up to FP rounding).
+#pragma once
+
+#include <cstdint>
+
+#include "ndarray/ndarray.hpp"
+#include "wavelet/haar.hpp"
+
+namespace wck {
+
+enum class WaveletKind : std::uint8_t {
+  kHaar = 0,   ///< the paper's transform (Eq. 2-3)
+  kCdf53 = 1,  ///< LeGall 5/3 (JPEG 2000 lossless path)
+  kCdf97 = 2,  ///< CDF 9/7 (JPEG 2000 lossy path)
+};
+
+/// Human-readable name ("haar", "cdf53", "cdf97").
+[[nodiscard]] const char* wavelet_kind_name(WaveletKind kind);
+
+/// In-place forward transform of `a`, `levels` deep, using `kind`.
+void wavelet_forward(NdSpan<double> a, WaveletKind kind, int levels = 1);
+
+/// In-place inverse transform.
+void wavelet_inverse(NdSpan<double> a, WaveletKind kind, int levels = 1);
+
+}  // namespace wck

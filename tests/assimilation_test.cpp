@@ -1,0 +1,143 @@
+// Tests for nudging data assimilation (the Sec. II-B mechanism).
+#include <gtest/gtest.h>
+
+#include "climate/assimilation.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+ClimateConfig grid() {
+  ClimateConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 16;
+  cfg.nz = 2;
+  return cfg;
+}
+
+double temp_error(const MiniClimate& a, const MiniClimate& b) {
+  return relative_error(a.temperature().values(), b.temperature().values()).mean_rel;
+}
+
+TEST(Assimilation, SingleCycleReducesError) {
+  MiniClimate truth(grid());
+  truth.run(50);
+  MiniClimate model(grid());
+  // Perturb the model: restart it from a coarse state.
+  NdArray<double> zeta = truth.vorticity();
+  NdArray<double> temp = truth.temperature();
+  for (auto& v : temp.values()) v += 0.5;
+  model.restore(zeta, temp, truth.step_count());
+
+  const double before = temp_error(truth, model);
+  AssimilationConfig cfg;
+  cfg.stride = 1;  // dense observations
+  cfg.nudging_strength = 0.5;
+  NudgingAssimilator da(cfg);
+  da.assimilate(model, truth);
+  const double after = temp_error(truth, model);
+  EXPECT_LT(after, before * 0.6);
+  EXPECT_EQ(da.cycles(), 1u);
+}
+
+TEST(Assimilation, SparseObservationsStillHelpOverCycles) {
+  MiniClimate truth(grid());
+  MiniClimate model(grid());
+  truth.run(100);
+  NdArray<double> temp = truth.temperature();
+  for (auto& v : temp.values()) v += 1.0;
+  model.restore(truth.vorticity(), temp, truth.step_count());
+
+  AssimilationConfig cfg;
+  cfg.stride = 4;
+  cfg.nudging_strength = 0.5;
+  NudgingAssimilator da(cfg);
+  const double before = temp_error(truth, model);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    truth.run(5);
+    model.run(5);
+    da.assimilate(model, truth);
+  }
+  EXPECT_LT(temp_error(truth, model), before);
+}
+
+TEST(Assimilation, BoundsLossyRestartErrorGrowth) {
+  // The headline property: with assimilation, a perturbed twin stays
+  // close to the truth instead of diverging chaotically.
+  MiniClimate truth(grid());
+  truth.run(200);
+
+  auto perturbed_copy = [&] {
+    MiniClimate m(grid());
+    NdArray<double> zeta = truth.vorticity();
+    zeta[0] += 1e-4;
+    m.restore(zeta, truth.temperature(), truth.step_count());
+    return m;
+  };
+
+  MiniClimate free_run = perturbed_copy();
+  MiniClimate da_run = perturbed_copy();
+  MiniClimate truth_for_da(grid());
+  truth_for_da.restore(truth.vorticity(), truth.temperature(), truth.step_count());
+
+  AssimilationConfig cfg;
+  cfg.stride = 2;
+  cfg.nudging_strength = 0.3;
+  NudgingAssimilator da(cfg);
+
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    truth.run(20);
+    free_run.run(20);
+    truth_for_da.run(20);
+    da_run.run(20);
+    da.assimilate(da_run, truth_for_da);
+  }
+  EXPECT_LT(temp_error(truth_for_da, da_run), temp_error(truth, free_run) + 1e-12);
+}
+
+TEST(Assimilation, NoiseLimitsAchievableError) {
+  MiniClimate truth(grid());
+  MiniClimate model(grid());
+  truth.run(50);
+  model.restore(truth.vorticity(), truth.temperature(), truth.step_count());
+
+  AssimilationConfig cfg;
+  cfg.stride = 1;
+  cfg.nudging_strength = 1.0;
+  cfg.observation_noise = 0.5;  // noisy sensors
+  NudgingAssimilator da(cfg);
+  da.assimilate(model, truth);
+  // With strength 1 and noisy sensors, the model now carries the noise.
+  const auto err = relative_error(truth.temperature().values(),
+                                  model.temperature().values());
+  EXPECT_GT(err.max_abs, 0.1);
+  EXPECT_LT(err.max_abs, 5.0);
+}
+
+TEST(Assimilation, GridMismatchRejected) {
+  MiniClimate a(grid());
+  ClimateConfig other = grid();
+  other.nx = 64;
+  MiniClimate b(other);
+  NudgingAssimilator da(AssimilationConfig{});
+  EXPECT_THROW(da.assimilate(a, b), InvalidArgumentError);
+}
+
+TEST(Assimilation, InvalidConfigRejected) {
+  AssimilationConfig cfg;
+  cfg.nudging_strength = 0.0;
+  EXPECT_THROW(NudgingAssimilator{cfg}, InvalidArgumentError);
+  cfg = AssimilationConfig{};
+  cfg.nudging_strength = 1.5;
+  EXPECT_THROW(NudgingAssimilator{cfg}, InvalidArgumentError);
+  cfg = AssimilationConfig{};
+  cfg.stride = 0;
+  EXPECT_THROW(NudgingAssimilator{cfg}, InvalidArgumentError);
+  cfg = AssimilationConfig{};
+  cfg.observation_noise = -1.0;
+  EXPECT_THROW(NudgingAssimilator{cfg}, InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace wck

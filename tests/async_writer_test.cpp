@@ -1,0 +1,135 @@
+// Tests for the asynchronous (non-blocking) checkpoint writer.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "ckpt/async_writer.hpp"
+#include "core/synthetic.hpp"
+
+namespace wck {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wck_async_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(AsyncWriter, CheckpointReflectsSnapshotNotLaterMutations) {
+  TempDir dir;
+  NdArray<double> state = make_smooth_field(Shape{64, 64}, 1);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+  const NdArray<double> at_snapshot = state;
+
+  const GzipCodec codec;
+  AsyncCheckpointWriter writer(codec);
+  auto future = writer.write_async(dir.path() / "a.wck", reg, 5);
+
+  // Mutate immediately — the non-blocking point of the design.
+  for (auto& v : state.values()) v += 1000.0;
+
+  const CheckpointInfo info = future.get();
+  EXPECT_EQ(info.step, 5u);
+
+  NdArray<double> restored(at_snapshot.shape());
+  CheckpointRegistry rreg;
+  rreg.add("state", &restored);
+  (void)read_checkpoint(dir.path() / "a.wck", rreg);
+  EXPECT_EQ(restored, at_snapshot);
+}
+
+TEST(AsyncWriter, MultipleQueuedWritesAllLand) {
+  TempDir dir;
+  NdArray<double> state = make_smooth_field(Shape{32, 32}, 2);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+
+  const NullCodec codec;
+  AsyncCheckpointWriter writer(codec);
+  std::vector<std::future<CheckpointInfo>> futures;
+  for (int i = 0; i < 8; ++i) {
+    state[0] = static_cast<double>(i);
+    futures.push_back(
+        writer.write_async(dir.path() / ("c" + std::to_string(i) + ".wck"), reg,
+                           static_cast<std::uint64_t>(i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().step, static_cast<std::uint64_t>(i));
+  }
+  // Each file holds its own snapshot.
+  for (int i = 0; i < 8; ++i) {
+    NdArray<double> restored(state.shape());
+    CheckpointRegistry rreg;
+    rreg.add("state", &restored);
+    (void)read_checkpoint(dir.path() / ("c" + std::to_string(i) + ".wck"), rreg);
+    EXPECT_DOUBLE_EQ(restored[0], static_cast<double>(i));
+  }
+}
+
+TEST(AsyncWriter, DrainWaitsForCompletion) {
+  TempDir dir;
+  NdArray<double> state = make_smooth_field(Shape{64, 64}, 3);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+
+  CompressionParams p;
+  p.quantizer.divisions = 128;
+  const WaveletLossyCodec codec(p);
+  AsyncCheckpointWriter writer(codec);
+  for (int i = 0; i < 4; ++i) {
+    (void)writer.write_async(dir.path() / ("d" + std::to_string(i) + ".wck"), reg,
+                             static_cast<std::uint64_t>(i));
+  }
+  writer.drain();
+  EXPECT_EQ(writer.pending(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::filesystem::exists(dir.path() / ("d" + std::to_string(i) + ".wck")));
+  }
+}
+
+TEST(AsyncWriter, ErrorsSurfaceThroughFuture) {
+  NdArray<double> state = make_smooth_field(Shape{8, 8}, 4);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+  const NullCodec codec;
+  AsyncCheckpointWriter writer(codec);
+  auto future = writer.write_async("/nonexistent/dir/x.wck", reg, 1);
+  EXPECT_THROW((void)future.get(), IoError);
+}
+
+TEST(AsyncWriter, DestructorDrainsQueue) {
+  TempDir dir;
+  NdArray<double> state = make_smooth_field(Shape{32, 32}, 5);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+  {
+    const GzipCodec codec;
+    AsyncCheckpointWriter writer(codec);
+    for (int i = 0; i < 3; ++i) {
+      (void)writer.write_async(dir.path() / ("e" + std::to_string(i) + ".wck"), reg,
+                               static_cast<std::uint64_t>(i));
+    }
+    // Destructor must finish all queued work before returning.
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::filesystem::exists(dir.path() / ("e" + std::to_string(i) + ".wck")));
+  }
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,83 @@
+// Tests for the burst-buffer storage model.
+#include <gtest/gtest.h>
+
+#include "iomodel/burst_buffer.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+BurstBufferConfig small_bb() {
+  BurstBufferConfig c;
+  c.bb_bandwidth_bytes_per_s = 100.0;
+  c.pfs_bandwidth_bytes_per_s = 10.0;
+  c.capacity_bytes = 1000.0;
+  return c;
+}
+
+TEST(BurstBuffer, AbsorbedWriteRunsAtBufferSpeed) {
+  BurstBufferModel bb(small_bb());
+  const double t = bb.write(500.0);
+  // 500 B at 100 B/s = 5 s; during those 5 s the PFS drains 50 B.
+  EXPECT_DOUBLE_EQ(t, 5.0);
+  EXPECT_DOUBLE_EQ(bb.fill_bytes(), 450.0);
+}
+
+TEST(BurstBuffer, OverflowThrottledToPfs) {
+  BurstBufferModel bb(small_bb());
+  const double t = bb.write(1500.0);
+  // 1000 B absorbed at 100 B/s (10 s) + 500 B overflow at 10 B/s (50 s).
+  EXPECT_DOUBLE_EQ(t, 60.0);
+}
+
+TEST(BurstBuffer, ComputePhaseDrains) {
+  BurstBufferModel bb(small_bb());
+  (void)bb.write(500.0);  // fill 450 after self-drain
+  bb.compute(10.0);       // drains 100 B
+  EXPECT_DOUBLE_EQ(bb.fill_bytes(), 350.0);
+  bb.compute(1000.0);
+  EXPECT_DOUBLE_EQ(bb.fill_bytes(), 0.0);
+}
+
+TEST(BurstBuffer, RepeatedBurstsWithoutDrainEventuallyOverflow) {
+  BurstBufferModel bb(small_bb());
+  const double t1 = bb.write(600.0);
+  const double t2 = bb.write(600.0);  // only ~460 B of room left
+  EXPECT_GT(t2, t1);
+}
+
+TEST(BurstBuffer, SteadyStateSustainability) {
+  BurstBufferModel bb(small_bb());
+  EXPECT_TRUE(bb.sustainable(100.0, 20.0));   // 5 B/s average << 10 B/s drain
+  EXPECT_FALSE(bb.sustainable(300.0, 20.0));  // 15 B/s average > drain
+  EXPECT_FALSE(bb.sustainable(1.0, 0.0));
+}
+
+TEST(BurstBuffer, FasterThanPfsForCheckpointBursts) {
+  // The ref [30] claim in model form: the visible checkpoint time with a
+  // burst buffer is far below a direct PFS write.
+  BurstBufferConfig c;
+  c.bb_bandwidth_bytes_per_s = 400e9;
+  c.pfs_bandwidth_bytes_per_s = 20e9;
+  c.capacity_bytes = 1e12;
+  BurstBufferModel bb(c);
+  const double ckpt_bytes = 100e9;
+  const double bb_time = bb.write(ckpt_bytes);
+  const double pfs_time = ckpt_bytes / c.pfs_bandwidth_bytes_per_s;
+  EXPECT_LT(bb_time, pfs_time / 10.0);
+}
+
+TEST(BurstBuffer, InvalidConfigRejected) {
+  BurstBufferConfig c = small_bb();
+  c.bb_bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(BurstBufferModel{c}, InvalidArgumentError);
+  c = small_bb();
+  c.capacity_bytes = -1.0;
+  EXPECT_THROW(BurstBufferModel{c}, InvalidArgumentError);
+  BurstBufferModel bb(small_bb());
+  EXPECT_THROW((void)bb.write(-1.0), InvalidArgumentError);
+  EXPECT_THROW(bb.compute(-1.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,102 @@
+// Tests for chunked (parallel) compression of a single array.
+#include <gtest/gtest.h>
+
+#include "core/chunked.hpp"
+#include "core/synthetic.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+ChunkedParams params_with(std::size_t chunks, int n = 128) {
+  ChunkedParams p;
+  p.base.quantizer.divisions = n;
+  p.chunks = chunks;
+  return p;
+}
+
+TEST(Chunked, RoundTripSequential) {
+  const auto field = make_temperature_field(Shape{64, 32, 4}, 1);
+  for (const std::size_t chunks : {1u, 2u, 5u, 64u}) {
+    const auto comp = chunked_compress(field, params_with(chunks));
+    const auto back = chunked_decompress(comp.data);
+    EXPECT_EQ(back.shape(), field.shape()) << chunks;
+    const auto err = relative_error(field.values(), back.values());
+    EXPECT_LT(err.mean_rel_percent(), 0.5) << chunks;
+  }
+}
+
+TEST(Chunked, RoundTripParallelMatchesSequentialBytes) {
+  // Determinism: the stream must not depend on the thread count.
+  const auto field = make_temperature_field(Shape{60, 32, 4}, 2);
+  const auto seq = chunked_compress(field, params_with(6));
+  ThreadPool pool(4);
+  const auto par = chunked_compress(field, params_with(6), &pool);
+  EXPECT_EQ(seq.data, par.data);
+
+  const auto back_seq = chunked_decompress(seq.data);
+  const auto back_par = chunked_decompress(par.data, &pool);
+  EXPECT_EQ(back_seq, back_par);
+}
+
+TEST(Chunked, ChunkCountClampedToRows) {
+  const auto field = make_smooth_field(Shape{3, 64}, 3);
+  const auto comp = chunked_compress(field, params_with(100));
+  const auto back = chunked_decompress(comp.data);
+  EXPECT_EQ(back.shape(), field.shape());
+}
+
+TEST(Chunked, Rank1Supported) {
+  const auto field = make_smooth_field(Shape{10000}, 4);
+  const auto comp = chunked_compress(field, params_with(8));
+  const auto back = chunked_decompress(comp.data);
+  const auto err = relative_error(field.values(), back.values());
+  EXPECT_LT(err.mean_rel_percent(), 1.0);
+}
+
+TEST(Chunked, RateCloseToUnchunked) {
+  // Per-chunk tables and lost cross-chunk correlation cost a little
+  // space, but the rate must stay in the same regime.
+  const auto field = make_temperature_field(Shape{128, 32, 4}, 5);
+  const WaveletCompressor whole(params_with(1).base);
+  const auto whole_comp = whole.compress(field);
+  const auto chunked = chunked_compress(field, params_with(8));
+  EXPECT_LT(chunked.data.size(), whole_comp.data.size() * 3 / 2);
+}
+
+TEST(Chunked, DiagnosticsAggregate) {
+  const auto field = make_temperature_field(Shape{64, 32, 2}, 6);
+  const auto comp = chunked_compress(field, params_with(4));
+  EXPECT_EQ(comp.original_bytes, field.size_bytes());
+  EXPECT_GT(comp.payload_bytes, 0u);
+  EXPECT_LE(comp.quantized_count, comp.high_count);
+  EXPECT_GT(comp.times.get("wavelet"), 0.0);
+}
+
+TEST(Chunked, AutoChunksUsesPoolWidth) {
+  const auto field = make_temperature_field(Shape{64, 16, 2}, 7);
+  ThreadPool pool(3);
+  ChunkedParams p = params_with(0);
+  const auto comp = chunked_compress(field, p, &pool);
+  const auto back = chunked_decompress(comp.data, &pool);
+  EXPECT_EQ(back.shape(), field.shape());
+}
+
+TEST(Chunked, MalformedStreamsRejected) {
+  EXPECT_THROW((void)chunked_decompress({}), FormatError);
+  const auto field = make_smooth_field(Shape{16, 16}, 8);
+  auto comp = chunked_compress(field, params_with(2));
+  comp.data[10] ^= std::byte{0x01};
+  EXPECT_THROW((void)chunked_decompress(comp.data), Error);
+  Bytes cut(comp.data.begin(), comp.data.begin() + 20);
+  EXPECT_THROW((void)chunked_decompress(cut), Error);
+}
+
+TEST(Chunked, EmptyInputRejected) {
+  NdArray<double> empty;
+  EXPECT_THROW((void)chunked_compress(empty, params_with(2)), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,280 @@
+// Tests for the MiniClimate model: determinism, smoothness, physical
+// sanity, conservation in the inviscid limit, chaos, and restart
+// semantics — the properties the paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "climate/mini_climate.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+ClimateConfig small_config() {
+  ClimateConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 16;
+  cfg.nz = 3;
+  return cfg;
+}
+
+TEST(MiniClimate, DeterministicForSeed) {
+  MiniClimate a(small_config());
+  MiniClimate b(small_config());
+  a.run(20);
+  b.run(20);
+  EXPECT_EQ(a.temperature(), b.temperature());
+  EXPECT_EQ(a.vorticity(), b.vorticity());
+  EXPECT_EQ(a.pressure(), b.pressure());
+}
+
+TEST(MiniClimate, DifferentSeedsDiverge) {
+  ClimateConfig cfg = small_config();
+  MiniClimate a(cfg);
+  cfg.seed += 1;
+  MiniClimate b(cfg);
+  EXPECT_FALSE(a.vorticity() == b.vorticity());
+}
+
+TEST(MiniClimate, StateShapesAreLevelMajor) {
+  const MiniClimate m(small_config());
+  const Shape want{3, 16, 32};
+  EXPECT_EQ(m.temperature().shape(), want);
+  EXPECT_EQ(m.vorticity().shape(), want);
+  EXPECT_EQ(m.pressure().shape(), want);
+  EXPECT_EQ(m.wind_u().shape(), want);
+}
+
+TEST(MiniClimate, StepCountAdvances) {
+  MiniClimate m(small_config());
+  EXPECT_EQ(m.step_count(), 0u);
+  m.run(7);
+  EXPECT_EQ(m.step_count(), 7u);
+}
+
+TEST(MiniClimate, StateStaysFiniteAndBounded) {
+  MiniClimate m(small_config());
+  m.run(300);
+  for (const double v : m.vorticity().values()) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LT(std::abs(v), 100.0);
+  }
+  for (const double t : m.temperature().values()) {
+    ASSERT_TRUE(std::isfinite(t));
+    ASSERT_GT(t, 150.0);  // plausible Kelvin range
+    ASSERT_LT(t, 400.0);
+  }
+  for (const double p : m.pressure().values()) {
+    ASSERT_GT(p, 1000.0);
+    ASSERT_LT(p, 2e5);
+  }
+}
+
+TEST(MiniClimate, FieldsAreSpatiallySmooth) {
+  // The property the wavelet front-end needs: neighbouring values are
+  // close relative to the global range (paper Sec. II-C).
+  MiniClimate m(small_config());
+  m.run(100);
+  const auto& t = m.temperature();
+  const std::size_t nx = 32;
+  const std::size_t ny = 16;
+  double max_step = 0.0;
+  double lo = t[0];
+  double hi = t[0];
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t i = 0; i + 1 < nx; ++i) {
+        max_step = std::max(max_step, std::abs(t(k, j, i + 1) - t(k, j, i)));
+      }
+    }
+  }
+  for (const double v : t.values()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(max_step, (hi - lo) / 3.0);
+}
+
+TEST(MiniClimate, ArakawaConservesEnergyAndEnstrophyInviscid) {
+  // With forcing, drag, viscosity, coupling and relaxation off, the
+  // Arakawa spatial discretization conserves kinetic energy and
+  // enstrophy exactly; SSP RK3 adds an O(dt^3)-per-step drift. Check the
+  // drift is small, and that halving dt shrinks it by ~2^3 over the same
+  // physical time (third-order convergence).
+  ClimateConfig cfg = small_config();
+  cfg.nz = 1;
+  cfg.viscosity = 0.0;
+  cfg.drag = 0.0;
+  cfg.forcing_amplitude = 0.0;
+  cfg.vertical_coupling = 0.0;
+  cfg.thermal_relaxation = 0.0;
+  cfg.thermal_diffusivity = 0.0;
+
+  // Enstrophy sum(zeta^2) is the exactly conserved invariant of the
+  // Arakawa scheme; its drift comes purely from RK3 and converges at
+  // third order in dt.
+  auto enstrophy_drift = [&](double dt, std::uint64_t steps) {
+    ClimateConfig c = cfg;
+    c.dt = dt;
+    MiniClimate m(c);
+    const double z0 = m.enstrophy();
+    m.run(steps);
+    return std::abs(m.enstrophy() - z0) / z0;
+  };
+  const double coarse = enstrophy_drift(0.02, 100);
+  EXPECT_LT(coarse, 1e-4);
+  const double fine = enstrophy_drift(0.01, 200);  // same physical time
+  EXPECT_LT(fine, coarse / 4.0);  // high-order convergence
+
+  // The kinetic-energy diagnostic (central-difference winds) is close
+  // to but not identical to the conserved energy functional; its drift
+  // stays bounded and small.
+  ClimateConfig c = cfg;
+  c.dt = 0.02;
+  MiniClimate m(c);
+  const double e0 = m.kinetic_energy();
+  m.run(100);
+  EXPECT_NEAR(m.kinetic_energy(), e0, 0.02 * e0);
+}
+
+TEST(MiniClimate, DragDissipatesEnergyWithoutForcing) {
+  ClimateConfig cfg = small_config();
+  cfg.forcing_amplitude = 0.0;
+  cfg.drag = 0.05;
+  MiniClimate m(cfg);
+  const double e0 = m.kinetic_energy();
+  m.run(200);
+  EXPECT_LT(m.kinetic_energy(), e0);
+}
+
+TEST(MiniClimate, SensitiveDependenceOnInitialConditions) {
+  // Chaos: a tiny perturbation grows by orders of magnitude — the
+  // mechanism behind the paper's Fig. 10 error growth after a lossy
+  // restart.
+  ClimateConfig cfg = small_config();
+  cfg.nz = 1;
+  MiniClimate a(cfg);
+  MiniClimate b(cfg);
+
+  NdArray<double> zeta = b.vorticity();
+  zeta[0] += 1e-9;
+  b.restore(zeta, b.temperature(), 0);
+
+  const double initial_diff = 1e-9;
+  a.run(4000);
+  b.run(4000);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < zeta.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.vorticity()[i] - b.vorticity()[i]));
+  }
+  EXPECT_GT(max_diff, 100.0 * initial_diff);
+}
+
+TEST(MiniClimate, RestoreRoundTripIsExact) {
+  MiniClimate a(small_config());
+  a.run(50);
+  const NdArray<double> zeta = a.vorticity();
+  const NdArray<double> temp = a.temperature();
+  const std::uint64_t step = a.step_count();
+
+  MiniClimate b(small_config());
+  b.restore(zeta, temp, step);
+  EXPECT_EQ(b.step_count(), step);
+  EXPECT_EQ(b.vorticity(), a.vorticity());
+  EXPECT_EQ(b.temperature(), a.temperature());
+  // Diagnostics recomputed from the same prognostics must agree.
+  EXPECT_EQ(b.pressure(), a.pressure());
+  EXPECT_EQ(b.wind_u(), a.wind_u());
+
+  // Continued evolution must match exactly (bitwise determinism).
+  a.run(25);
+  b.run(25);
+  EXPECT_EQ(a.temperature(), b.temperature());
+}
+
+TEST(MiniClimate, RestoreShapeMismatchRejected) {
+  MiniClimate m(small_config());
+  NdArray<double> wrong(Shape{2, 16, 32});
+  EXPECT_THROW(m.restore(wrong, m.temperature(), 0), InvalidArgumentError);
+}
+
+TEST(MiniClimate, FieldsListControlsCheckpointContract) {
+  MiniClimate m(small_config());
+  const auto fields = m.fields();
+  ASSERT_EQ(fields.size(), 6u);
+  EXPECT_EQ(fields[0].name, "vorticity");
+  EXPECT_TRUE(fields[0].prognostic);
+  EXPECT_EQ(fields[1].name, "temperature");
+  EXPECT_TRUE(fields[1].prognostic);
+  for (std::size_t i = 2; i < fields.size(); ++i) {
+    EXPECT_FALSE(fields[i].prognostic) << fields[i].name;
+  }
+  for (const auto& f : fields) {
+    EXPECT_NE(f.array, nullptr);
+    EXPECT_EQ(f.array->shape(), m.temperature().shape());
+  }
+}
+
+TEST(MiniClimate, WindDiagnosticsMatchStreamfunctionDerivatives) {
+  // u = -dpsi/dy and v = dpsi/dx imply du/dx + dv/dy = 0 discretely:
+  // the diagnosed horizontal flow is divergence-free.
+  MiniClimate m(small_config());
+  m.run(30);
+  const auto& u = m.wind_u();
+  const auto& v = m.wind_v();
+  const std::size_t nx = 32;
+  const std::size_t ny = 16;
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      const std::size_t jp = (j + 1) % ny;
+      const std::size_t jm = (j + ny - 1) % ny;
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t ip = (i + 1) % nx;
+        const std::size_t im = (i + nx - 1) % nx;
+        const double div =
+            (u(k, j, ip) - u(k, j, im)) / 2.0 + (v(k, jp, i) - v(k, jm, i)) / 2.0;
+        ASSERT_NEAR(div, 0.0, 1e-10);
+      }
+    }
+  }
+}
+
+TEST(MiniClimate, PressureDecreasesWithHeight) {
+  MiniClimate m(small_config());
+  m.run(20);
+  const auto& p = m.pressure();
+  double mean0 = 0.0;
+  double mean2 = 0.0;
+  for (std::size_t j = 0; j < 16; ++j) {
+    for (std::size_t i = 0; i < 32; ++i) {
+      mean0 += p(0, j, i);
+      mean2 += p(2, j, i);
+    }
+  }
+  EXPECT_GT(mean0, mean2);
+}
+
+TEST(MiniClimate, InvalidConfigRejected) {
+  ClimateConfig cfg = small_config();
+  cfg.nx = 33;  // not a power of two
+  EXPECT_THROW(MiniClimate{cfg}, InvalidArgumentError);
+  cfg = small_config();
+  cfg.dt = 0.0;
+  EXPECT_THROW(MiniClimate{cfg}, InvalidArgumentError);
+  cfg = small_config();
+  cfg.nz = 0;
+  EXPECT_THROW(MiniClimate{cfg}, InvalidArgumentError);
+}
+
+TEST(MiniClimate, SingleLevelSupported) {
+  ClimateConfig cfg = small_config();
+  cfg.nz = 1;
+  MiniClimate m(cfg);
+  m.run(10);
+  for (const double w : m.wind_w().values()) EXPECT_DOUBLE_EQ(w, 0.0);
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,476 @@
+// Unit and property tests for the from-scratch DEFLATE implementation,
+// including cross-validation against the system zlib when available.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include "deflate/deflate.hpp"
+#include "deflate/deflate_tables.hpp"
+#include "deflate/huffman.hpp"
+#include "deflate/lz77.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#ifdef WCK_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace wck {
+namespace {
+
+Bytes make_bytes(const std::string& s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes b(n);
+  for (auto& v : b) v = static_cast<std::byte>(rng.bounded(256));
+  return b;
+}
+
+/// Highly compressible data resembling formatted checkpoint payloads:
+/// long runs, repeated structures, slowly varying values.
+Bytes structured_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes b;
+  b.reserve(n);
+  while (b.size() < n) {
+    const auto mode = rng.bounded(3);
+    if (mode == 0) {
+      const auto run = 4 + rng.bounded(64);
+      const auto v = static_cast<std::byte>(rng.bounded(8));
+      for (std::uint64_t i = 0; i < run && b.size() < n; ++i) b.push_back(v);
+    } else if (mode == 1) {
+      for (int i = 0; i < 16 && b.size() < n; ++i) {
+        b.push_back(static_cast<std::byte>(i));
+      }
+    } else {
+      b.push_back(static_cast<std::byte>(rng.bounded(256)));
+    }
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------
+// Huffman primitives
+// ---------------------------------------------------------------------
+
+TEST(Huffman, CodeLengthsSatisfyKraft) {
+  std::vector<std::uint64_t> freqs = {45, 13, 12, 16, 9, 5};
+  const auto lengths = build_code_lengths(freqs, 15);
+  double kraft = 0.0;
+  for (const auto l : lengths) {
+    ASSERT_GT(l, 0u);
+    kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_DOUBLE_EQ(kraft, 1.0);
+}
+
+TEST(Huffman, OptimalForClassicExample) {
+  // Frequencies from the textbook example; total cost must equal the
+  // unrestricted Huffman optimum (224 bits here).
+  std::vector<std::uint64_t> freqs = {45, 13, 12, 16, 9, 5};
+  const auto lengths = build_code_lengths(freqs, 15);
+  std::uint64_t cost = 0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) cost += freqs[i] * lengths[i];
+  EXPECT_EQ(cost, 45u * 1 + 13 * 3 + 12 * 3 + 16 * 3 + 9 * 4 + 5 * 4);
+}
+
+TEST(Huffman, LengthLimitRespected) {
+  // Exponential frequencies force long codes without a limit.
+  std::vector<std::uint64_t> freqs(12);
+  std::uint64_t f = 1;
+  for (auto& v : freqs) {
+    v = f;
+    f *= 3;
+  }
+  const auto lengths = build_code_lengths(freqs, 5);
+  for (const auto l : lengths) {
+    EXPECT_LE(l, 5u);
+    EXPECT_GT(l, 0u);
+  }
+  double kraft = 0.0;
+  for (const auto l : lengths) kraft += std::pow(2.0, -static_cast<double>(l));
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(Huffman, SingleSymbolGetsLengthOne) {
+  std::vector<std::uint64_t> freqs = {0, 0, 42, 0};
+  const auto lengths = build_code_lengths(freqs, 15);
+  EXPECT_EQ(lengths, (std::vector<std::uint8_t>{0, 0, 1, 0}));
+}
+
+TEST(Huffman, EmptyAlphabetAllZero) {
+  std::vector<std::uint64_t> freqs = {0, 0, 0};
+  const auto lengths = build_code_lengths(freqs, 15);
+  EXPECT_EQ(lengths, (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(Huffman, TooSmallLimitRejected) {
+  std::vector<std::uint64_t> freqs(9, 1);  // 9 symbols cannot fit 3 bits
+  EXPECT_THROW((void)build_code_lengths(freqs, 3), InvalidArgumentError);
+}
+
+TEST(Huffman, CanonicalCodesAreRfc1951Example) {
+  // RFC 1951 3.2.2 example: lengths (3,3,3,3,3,2,4,4) yield the listed
+  // canonical codes.
+  const std::vector<std::uint8_t> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  const auto cc = CanonicalCode::from_lengths(lengths);
+  const std::vector<std::uint16_t> want = {0b010, 0b011, 0b100,  0b101,
+                                           0b110, 0b00,  0b1110, 0b1111};
+  EXPECT_EQ(cc.codes, want);
+}
+
+TEST(Huffman, EncodeDecodeRoundTripAllSymbols) {
+  const std::vector<std::uint8_t> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  const auto cc = CanonicalCode::from_lengths(lengths);
+  const HuffmanDecoder dec(lengths);
+
+  std::vector<std::byte> buf;
+  BitWriter bw(buf);
+  for (int s = 0; s < 8; ++s) cc.emit(bw, s);
+  bw.align_to_byte();
+
+  BitReader br(buf);
+  for (int s = 0; s < 8; ++s) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, DecoderSlowPathForLongCodes) {
+  // A skewed alphabet that produces codes longer than the fast-table
+  // width (10 bits) when limited to 15.
+  std::vector<std::uint64_t> freqs(20);
+  std::uint64_t f = 1;
+  for (auto& v : freqs) {
+    v = f;
+    f = f * 2 + 1;
+  }
+  const auto lengths = build_code_lengths(freqs, 15);
+  EXPECT_GT(*std::max_element(lengths.begin(), lengths.end()), 10);
+
+  const auto cc = CanonicalCode::from_lengths(lengths);
+  const HuffmanDecoder dec(lengths);
+  std::vector<std::byte> buf;
+  BitWriter bw(buf);
+  for (int s = 0; s < 20; ++s) cc.emit(bw, s);
+  bw.align_to_byte();
+  BitReader br(buf);
+  for (int s = 0; s < 20; ++s) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, OversubscribedLengthsRejected) {
+  const std::vector<std::uint8_t> lengths = {1, 1, 1};  // 3 codes of length 1
+  EXPECT_THROW(HuffmanDecoder dec(lengths), FormatError);
+}
+
+TEST(Huffman, IncompleteCodeRejectedUnlessAllowed) {
+  const std::vector<std::uint8_t> lengths = {2, 0, 0};  // only half the space
+  EXPECT_THROW(HuffmanDecoder dec(lengths), FormatError);
+  const std::vector<std::uint8_t> single = {1, 0, 0};
+  EXPECT_NO_THROW(HuffmanDecoder dec(single, /*allow_incomplete=*/true));
+}
+
+// ---------------------------------------------------------------------
+// Symbol tables
+// ---------------------------------------------------------------------
+
+TEST(DeflateTables, LengthCodeCoversFullRange) {
+  namespace dt = deflate_tables;
+  for (int len = dt::kMinMatch; len <= dt::kMaxMatch; ++len) {
+    const int c = dt::length_to_code(len);
+    ASSERT_GE(c, 0);
+    ASSERT_LE(c, 28);
+    const auto& e = dt::kLengthCodes[static_cast<std::size_t>(c)];
+    EXPECT_GE(len, static_cast<int>(e.base));
+    EXPECT_LT(len - e.base, 1 << e.extra) << "len=" << len;
+  }
+  EXPECT_EQ(dt::length_to_code(258), 28);
+}
+
+TEST(DeflateTables, DistCodeCoversFullRange) {
+  namespace dt = deflate_tables;
+  for (int dist = 1; dist <= dt::kWindowSize; ++dist) {
+    const int c = dt::dist_to_code(dist);
+    ASSERT_GE(c, 0);
+    ASSERT_LE(c, 29);
+    const auto& e = dt::kDistCodes[static_cast<std::size_t>(c)];
+    EXPECT_GE(dist, static_cast<int>(e.base));
+    EXPECT_LT(dist - e.base, 1 << e.extra) << "dist=" << dist;
+  }
+}
+
+// ---------------------------------------------------------------------
+// LZ77
+// ---------------------------------------------------------------------
+
+std::size_t reconstructed_size(const std::vector<Lz77Token>& tokens) {
+  std::size_t n = 0;
+  for (const auto& t : tokens) n += t.is_match() ? static_cast<std::size_t>(t.length()) : 1;
+  return n;
+}
+
+Bytes reconstruct(const std::vector<Lz77Token>& tokens) {
+  Bytes out;
+  for (const auto& t : tokens) {
+    if (t.is_match()) {
+      const std::size_t start = out.size() - static_cast<std::size_t>(t.distance());
+      for (int i = 0; i < t.length(); ++i) out.push_back(out[start + static_cast<std::size_t>(i)]);
+    } else {
+      out.push_back(static_cast<std::byte>(t.literal_byte()));
+    }
+  }
+  return out;
+}
+
+class Lz77Levels : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lz77Levels, ParseReconstructsInput) {
+  const auto params = lz77_params_for_level(GetParam());
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Bytes input = structured_bytes(20000, seed);
+    const auto tokens = lz77_parse(input, params);
+    EXPECT_EQ(reconstruct(tokens), input) << "seed=" << seed;
+  }
+}
+
+TEST_P(Lz77Levels, MatchesShrinkTokenCountOnRepetitiveData) {
+  const Bytes input = make_bytes(std::string(5000, 'x'));
+  const auto tokens = lz77_parse(input, lz77_params_for_level(GetParam()));
+  EXPECT_EQ(reconstructed_size(tokens), input.size());
+  EXPECT_LT(tokens.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, Lz77Levels, ::testing::Values(1, 3, 6, 9));
+
+TEST(Lz77, TokenPackingLimits) {
+  const auto lit = Lz77Token::literal(0xFF);
+  EXPECT_FALSE(lit.is_match());
+  EXPECT_EQ(lit.literal_byte(), 0xFF);
+
+  const auto m = Lz77Token::match(258, 32768);
+  EXPECT_TRUE(m.is_match());
+  EXPECT_EQ(m.length(), 258);
+  EXPECT_EQ(m.distance(), 32768);
+
+  const auto m2 = Lz77Token::match(3, 1);
+  EXPECT_EQ(m2.length(), 3);
+  EXPECT_EQ(m2.distance(), 1);
+}
+
+TEST(Lz77, InvalidLevelRejected) {
+  EXPECT_THROW((void)lz77_params_for_level(0), InvalidArgumentError);
+  EXPECT_THROW((void)lz77_params_for_level(10), InvalidArgumentError);
+}
+
+TEST(Lz77, MatchesRespectWindow) {
+  // Two identical 1 KiB blocks separated by > 32 KiB must not match
+  // across the window.
+  Bytes input = structured_bytes(1024, 5);
+  const Bytes filler = random_bytes(40000, 6);
+  input.insert(input.end(), filler.begin(), filler.end());
+  const Bytes head = structured_bytes(1024, 5);
+  input.insert(input.end(), head.begin(), head.end());
+  const auto tokens = lz77_parse(input, lz77_params_for_level(6));
+  for (const auto& t : tokens) {
+    if (t.is_match()) EXPECT_LE(t.distance(), 32768);
+  }
+  EXPECT_EQ(reconstruct(tokens), input);
+}
+
+// ---------------------------------------------------------------------
+// DEFLATE round trips
+// ---------------------------------------------------------------------
+
+struct RoundTripCase {
+  const char* name;
+  Bytes data;
+};
+
+std::vector<RoundTripCase> round_trip_cases() {
+  std::vector<RoundTripCase> cases;
+  cases.push_back({"empty", {}});
+  cases.push_back({"one_byte", make_bytes("A")});
+  cases.push_back({"short_text", make_bytes("hello, hello, hello world")});
+  cases.push_back({"all_same", make_bytes(std::string(100000, 'z'))});
+  cases.push_back({"random_small", random_bytes(500, 42)});
+  cases.push_back({"random_large", random_bytes(300000, 43)});
+  cases.push_back({"structured_large", structured_bytes(300000, 44)});
+  // All 256 byte values, repeated (exercises 9-bit fixed codes).
+  Bytes all;
+  for (int r = 0; r < 40; ++r) {
+    for (int v = 0; v < 256; ++v) all.push_back(static_cast<std::byte>(v));
+  }
+  cases.push_back({"all_byte_values", std::move(all)});
+  return cases;
+}
+
+TEST(Deflate, RoundTripAllCases) {
+  for (const auto& c : round_trip_cases()) {
+    SCOPED_TRACE(c.name);
+    const Bytes comp = deflate_compress(c.data);
+    const Bytes back = deflate_decompress(comp, c.data.size());
+    EXPECT_EQ(back, c.data);
+  }
+}
+
+TEST(Deflate, RoundTripAllLevels) {
+  const Bytes data = structured_bytes(100000, 7);
+  for (int level = 1; level <= 9; ++level) {
+    SCOPED_TRACE(level);
+    const Bytes comp = deflate_compress(data, DeflateOptions{level});
+    EXPECT_EQ(deflate_decompress(comp), data);
+  }
+}
+
+TEST(Deflate, HigherLevelNeverMuchWorse) {
+  const Bytes data = structured_bytes(200000, 8);
+  const auto size1 = deflate_compress(data, DeflateOptions{1}).size();
+  const auto size9 = deflate_compress(data, DeflateOptions{9}).size();
+  EXPECT_LE(size9, size1 + size1 / 10);
+}
+
+TEST(Deflate, IncompressibleDataFallsBackNearStored) {
+  const Bytes data = random_bytes(100000, 9);
+  const Bytes comp = deflate_compress(data);
+  // Stored-block overhead is 5 bytes / 65535: expansion must be tiny.
+  EXPECT_LE(comp.size(), data.size() + data.size() / 100 + 64);
+  EXPECT_EQ(deflate_decompress(comp), data);
+}
+
+TEST(Deflate, CompressibleDataActuallyShrinks) {
+  const Bytes data = make_bytes(std::string(65536, 'q'));
+  const Bytes comp = deflate_compress(data);
+  EXPECT_LT(comp.size(), data.size() / 100);
+}
+
+TEST(Deflate, MultiBlockInputs) {
+  // > 64K tokens of literals forces multiple blocks.
+  const Bytes data = random_bytes(200000, 10);
+  const Bytes comp = deflate_compress(data, DeflateOptions{1});
+  EXPECT_EQ(deflate_decompress(comp), data);
+}
+
+TEST(Deflate, MalformedStreamsRejected) {
+  EXPECT_THROW((void)deflate_decompress({}), FormatError);
+
+  Bytes junk = random_bytes(64, 11);
+  // Force reserved block type 11 in the first block header.
+  junk[0] = static_cast<std::byte>(0x06);  // BFINAL=0, BTYPE=11
+  EXPECT_THROW((void)deflate_decompress(junk), FormatError);
+}
+
+TEST(Deflate, TruncatedStreamRejected) {
+  const Bytes data = structured_bytes(50000, 12);
+  Bytes comp = deflate_compress(data);
+  comp.resize(comp.size() / 2);
+  EXPECT_THROW((void)deflate_decompress(comp), FormatError);
+}
+
+// ---------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------
+
+TEST(Gzip, RoundTrip) {
+  const Bytes data = structured_bytes(80000, 13);
+  const Bytes gz = gzip_compress(data);
+  EXPECT_EQ(gzip_decompress(gz), data);
+  // gzip magic.
+  EXPECT_EQ(static_cast<unsigned>(gz[0]), 0x1Fu);
+  EXPECT_EQ(static_cast<unsigned>(gz[1]), 0x8Bu);
+}
+
+TEST(Gzip, CorruptedBodyDetected) {
+  const Bytes data = structured_bytes(50000, 14);
+  Bytes gz = gzip_compress(data);
+  gz[gz.size() / 2] ^= std::byte{0x01};
+  EXPECT_THROW((void)gzip_decompress(gz), Error);  // Format or Corrupt
+}
+
+TEST(Gzip, CorruptedCrcDetected) {
+  const Bytes data = structured_bytes(50000, 15);
+  Bytes gz = gzip_compress(data);
+  gz[gz.size() - 5] ^= std::byte{0x01};  // inside the CRC field
+  EXPECT_THROW((void)gzip_decompress(gz), CorruptDataError);
+}
+
+TEST(Gzip, BadMagicRejected) {
+  Bytes junk = make_bytes("not a gzip stream at all");
+  EXPECT_THROW((void)gzip_decompress(junk), FormatError);
+}
+
+TEST(Zlib, RoundTrip) {
+  const Bytes data = structured_bytes(80000, 16);
+  const Bytes z = zlib_compress(data);
+  EXPECT_EQ(zlib_decompress(z), data);
+  // CMF/FLG checksum property.
+  EXPECT_EQ((static_cast<unsigned>(z[0]) * 256 + static_cast<unsigned>(z[1])) % 31, 0u);
+}
+
+TEST(Zlib, AdlerMismatchDetected) {
+  const Bytes data = structured_bytes(50000, 17);
+  Bytes z = zlib_compress(data);
+  z[z.size() - 1] ^= std::byte{0x01};
+  EXPECT_THROW((void)zlib_decompress(z), CorruptDataError);
+}
+
+// ---------------------------------------------------------------------
+// Cross-validation against system zlib (reference implementation)
+// ---------------------------------------------------------------------
+
+#ifdef WCK_HAVE_ZLIB
+Bytes zlib_ref_compress(std::span<const std::byte> input, int level) {
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  Bytes out(bound);
+  EXPECT_EQ(compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
+                      reinterpret_cast<const Bytef*>(input.data()),
+                      static_cast<uLong>(input.size()), level),
+            Z_OK);
+  out.resize(bound);
+  return out;
+}
+
+Bytes zlib_ref_decompress(std::span<const std::byte> input, std::size_t expected) {
+  Bytes out(expected);
+  uLongf out_len = static_cast<uLongf>(expected);
+  EXPECT_EQ(uncompress(reinterpret_cast<Bytef*>(out.data()), &out_len,
+                       reinterpret_cast<const Bytef*>(input.data()),
+                       static_cast<uLong>(input.size())),
+            Z_OK);
+  out.resize(out_len);
+  return out;
+}
+
+TEST(ZlibInterop, ReferenceDecodesOurStreams) {
+  for (const auto& c : round_trip_cases()) {
+    SCOPED_TRACE(c.name);
+    const Bytes ours = zlib_compress(c.data);
+    EXPECT_EQ(zlib_ref_decompress(ours, c.data.size()), c.data);
+  }
+}
+
+TEST(ZlibInterop, WeDecodeReferenceStreams) {
+  for (const auto& c : round_trip_cases()) {
+    SCOPED_TRACE(c.name);
+    for (const int level : {1, 6, 9}) {
+      const Bytes theirs = zlib_ref_compress(c.data, level);
+      EXPECT_EQ(zlib_decompress(theirs), c.data) << "level=" << level;
+    }
+  }
+}
+
+TEST(ZlibInterop, CompressionRatioCompetitive) {
+  const Bytes data = structured_bytes(500000, 21);
+  const auto ours = zlib_compress(data, DeflateOptions{6}).size();
+  const auto theirs = zlib_ref_compress(data, 6).size();
+  // We do not need to beat zlib, but we must be in the same league.
+  EXPECT_LE(ours, theirs * 3 / 2) << "ours=" << ours << " theirs=" << theirs;
+}
+#endif  // WCK_HAVE_ZLIB
+
+}  // namespace
+}  // namespace wck

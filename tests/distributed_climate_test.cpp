@@ -1,0 +1,155 @@
+// Tests for the domain-decomposed MiniClimate: exact agreement with the
+// serial model, and per-rank checkpoint/restart.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "ckpt/codec.hpp"
+#include "climate/distributed.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+ClimateConfig grid() {
+  ClimateConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 16;
+  cfg.nz = 2;
+  return cfg;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wck_dist_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+TEST(DistributedClimate, MatchesSerialBitwise) {
+  // The decisive property: for any rank count, the distributed
+  // trajectory equals the serial one exactly (same FP operations).
+  MiniClimate serial(grid());
+  serial.run(25);
+
+  for (const std::size_t ranks : {1u, 2u, 4u}) {
+    World world(ranks);
+    world.run([&](Comm& comm) {
+      DistributedClimate dist(grid(), comm);
+      dist.run(25);
+      const auto zeta = dist.gather_vorticity(0);
+      const auto temp = dist.gather_temperature(0);
+      if (comm.rank() == 0) {
+        EXPECT_EQ(zeta, serial.vorticity()) << ranks << " ranks";
+        EXPECT_EQ(temp, serial.temperature()) << ranks << " ranks";
+      }
+    });
+  }
+}
+
+TEST(DistributedClimate, LocalSlabsPartitionTheGlobalField) {
+  World world(4);
+  world.run([&](Comm& comm) {
+    DistributedClimate dist(grid(), comm);
+    dist.run(3);
+    const auto slab = dist.local_temperature();
+    EXPECT_EQ(slab.shape(), Shape({2, 4, 32}));
+    EXPECT_EQ(dist.local_rows(), 4u);
+    EXPECT_EQ(dist.first_row(), comm.rank() * 4);
+  });
+}
+
+TEST(DistributedClimate, PerRankCheckpointRestartExactWithLosslessCodec) {
+  TempDir dir;
+  World world(2);
+  world.run([&](Comm& comm) {
+    const GzipCodec codec;
+    DistributedClimate model(grid(), comm);
+    model.run(10);
+    (void)model.write_local_checkpoint(dir.path(), codec);
+    const auto zeta_at_ckpt = model.local_vorticity();
+    model.run(7);  // diverge
+    model.read_local_checkpoint(dir.path(), 10);
+    EXPECT_EQ(model.step_count(), 10u);
+    EXPECT_EQ(model.local_vorticity(), zeta_at_ckpt);
+
+    // Continued run equals an unperturbed twin (bitwise determinism).
+    DistributedClimate twin(grid(), comm);
+    twin.run(10);
+    model.run(5);
+    twin.run(5);
+    EXPECT_EQ(model.local_temperature(), twin.local_temperature());
+  });
+}
+
+TEST(DistributedClimate, PerRankLossyRestartBoundsError) {
+  TempDir dir;
+  World world(2);
+  world.run([&](Comm& comm) {
+    CompressionParams p;
+    p.quantizer.divisions = 128;
+    const WaveletLossyCodec codec(p);
+    DistributedClimate model(grid(), comm);
+    model.run(10);
+    const auto before = model.local_temperature();
+    (void)model.write_local_checkpoint(dir.path(), codec);
+    model.read_local_checkpoint(dir.path(), 10);
+    const auto err = relative_error(before.values(), model.local_temperature().values());
+    EXPECT_GT(err.mean_rel, 0.0);
+    EXPECT_LT(err.mean_rel_percent(), 1.0);
+  });
+}
+
+TEST(DistributedClimate, EveryRankWritesItsOwnFile) {
+  TempDir dir;
+  World world(4);
+  world.run([&](Comm& comm) {
+    const NullCodec codec;
+    DistributedClimate model(grid(), comm);
+    model.run(2);
+    (void)model.write_local_checkpoint(dir.path(), codec);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::size_t files = 0;
+      for ([[maybe_unused]] const auto& e : std::filesystem::directory_iterator(dir.path())) {
+        ++files;
+      }
+      EXPECT_EQ(files, 4u);
+    }
+  });
+}
+
+TEST(DistributedClimate, IndivisibleGridRejected) {
+  World world(3);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    DistributedClimate model(grid(), comm);  // ny=16 not divisible by 3
+    (void)model;
+  }),
+               InvalidArgumentError);
+}
+
+TEST(DistributedClimate, RestoreShapeValidated) {
+  World world(2);
+  world.run([&](Comm& comm) {
+    DistributedClimate model(grid(), comm);
+    NdArray<double> wrong(Shape{2, 3, 32});
+    EXPECT_THROW(model.restore_local(wrong, wrong, 0), InvalidArgumentError);
+  });
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,155 @@
+// Unit tests for the bitmap and the Fig. 5 payload serialization.
+#include <gtest/gtest.h>
+
+#include "encode/bitmap.hpp"
+#include "encode/payload.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+TEST(BitmapTest, SetGetAcrossWordBoundaries) {
+  Bitmap bm(130);
+  bm.set(0, true);
+  bm.set(63, true);
+  bm.set(64, true);
+  bm.set(129, true);
+  EXPECT_TRUE(bm.get(0));
+  EXPECT_FALSE(bm.get(1));
+  EXPECT_TRUE(bm.get(63));
+  EXPECT_TRUE(bm.get(64));
+  EXPECT_TRUE(bm.get(129));
+  EXPECT_EQ(bm.count(), 4u);
+  bm.set(64, false);
+  EXPECT_FALSE(bm.get(64));
+  EXPECT_EQ(bm.count(), 3u);
+}
+
+TEST(BitmapTest, PushBackGrows) {
+  Bitmap bm;
+  for (int i = 0; i < 100; ++i) bm.push_back(i % 3 == 0);
+  EXPECT_EQ(bm.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bm.get(static_cast<std::size_t>(i)), i % 3 == 0);
+}
+
+TEST(BitmapTest, SerializeDeserializeRoundTrip) {
+  Xoshiro256 rng(1);
+  for (const std::size_t size : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    Bitmap bm(size);
+    for (std::size_t i = 0; i < size; ++i) bm.set(i, rng.uniform() < 0.5);
+    std::vector<std::byte> bytes;
+    bm.serialize_to(bytes);
+    EXPECT_EQ(bytes.size(), (size + 7) / 8);
+    const Bitmap back = Bitmap::deserialize(bytes, size);
+    EXPECT_EQ(back, bm) << "size=" << size;
+  }
+}
+
+TEST(BitmapTest, DeserializeTruncatedRejected) {
+  std::vector<std::byte> bytes(1);
+  EXPECT_THROW((void)Bitmap::deserialize(bytes, 9), FormatError);
+}
+
+TEST(BitmapTest, OutOfRangeAccessRejected) {
+  Bitmap bm(8);
+  EXPECT_THROW((void)bm.get(8), InvalidArgumentError);
+  EXPECT_THROW(bm.set(8, true), InvalidArgumentError);
+}
+
+LossyPayload sample_payload() {
+  LossyPayload p;
+  p.shape = Shape{4, 4};
+  p.levels = 1;
+  p.quantizer = QuantizerKind::kSpike;
+  p.averages = {0.5, -0.5, 0.0};
+  p.low_band = {1.0, 2.0, 3.0, 4.0};  // 2x2 low corner of a 4x4 array
+  p.quantized = Bitmap(12);           // 16 - 4 high elements
+  // Quantize elements 0, 2, 5; others exact.
+  p.quantized.set(0, true);
+  p.quantized.set(2, true);
+  p.quantized.set(5, true);
+  p.indices = {0, 2, 1};
+  p.exact_values = {9.0, 8.0, 7.0, 6.0, 5.0, 4.5, 3.5, 2.5, 1.5};
+  return p;
+}
+
+TEST(Payload, RoundTrip) {
+  const LossyPayload p = sample_payload();
+  const Bytes data = encode_payload(p);
+  const LossyPayload q = decode_payload(data);
+  EXPECT_EQ(q.shape, p.shape);
+  EXPECT_EQ(q.levels, p.levels);
+  EXPECT_EQ(q.quantizer, p.quantizer);
+  EXPECT_EQ(q.averages, p.averages);
+  EXPECT_EQ(q.low_band, p.low_band);
+  EXPECT_EQ(q.quantized, p.quantized);
+  EXPECT_EQ(q.indices, p.indices);
+  EXPECT_EQ(q.exact_values, p.exact_values);
+}
+
+TEST(Payload, EncodeValidatesConsistency) {
+  LossyPayload p = sample_payload();
+  p.indices.push_back(0);  // one more index than set bits
+  EXPECT_THROW((void)encode_payload(p), InvalidArgumentError);
+
+  p = sample_payload();
+  p.exact_values.pop_back();
+  EXPECT_THROW((void)encode_payload(p), InvalidArgumentError);
+}
+
+TEST(Payload, CrcDetectsBitFlipAnywhere) {
+  const Bytes data = encode_payload(sample_payload());
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes bad = data;
+    bad[rng.bounded(bad.size())] ^= std::byte{0x40};
+    EXPECT_THROW((void)decode_payload(bad), Error);
+  }
+}
+
+TEST(Payload, TruncationRejected) {
+  const Bytes data = encode_payload(sample_payload());
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{10}, data.size() - 1}) {
+    Bytes cut(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)decode_payload(cut), Error) << "keep=" << keep;
+  }
+}
+
+TEST(Payload, BadMagicRejected) {
+  Bytes data = encode_payload(sample_payload());
+  data[0] = std::byte{0x00};
+  EXPECT_THROW((void)decode_payload(data), Error);
+}
+
+TEST(Payload, IndexBeyondTableRejected) {
+  LossyPayload p = sample_payload();
+  p.indices[0] = 200;  // averages table has 3 entries
+  const Bytes data = encode_payload(p);
+  EXPECT_THROW((void)decode_payload(data), FormatError);
+}
+
+TEST(Payload, TrailingGarbageRejected) {
+  // Valid payload + CRC, then junk: the CRC check fails because it now
+  // covers the junk; the combined effect must be an error either way.
+  Bytes data = encode_payload(sample_payload());
+  data.push_back(std::byte{0xAA});
+  data.push_back(std::byte{0xBB});
+  EXPECT_THROW((void)decode_payload(data), Error);
+}
+
+TEST(Payload, OversizedAveragesTableRejected) {
+  LossyPayload p = sample_payload();
+  p.averages.resize(300, 0.0);
+  EXPECT_THROW((void)encode_payload(p), InvalidArgumentError);
+}
+
+TEST(Payload, BandSizesMustSumToArraySize) {
+  LossyPayload p = sample_payload();
+  p.low_band.push_back(5.0);  // 5 low + 12 high != 16
+  const Bytes data = encode_payload(p);
+  EXPECT_THROW((void)decode_payload(data), FormatError);
+}
+
+}  // namespace
+}  // namespace wck

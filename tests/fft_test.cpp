@@ -1,0 +1,212 @@
+// Unit tests for the FFT and the spectral Poisson solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "fft/fft.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+using Cplx = std::complex<double>;
+
+std::vector<Cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Cplx> v(n);
+  for (auto& x : v) x = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return v;
+}
+
+TEST(Fft, PowerOfTwoCheck) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(96));
+}
+
+TEST(Fft, NonPowerOfTwoRejected) {
+  std::vector<Cplx> v(6);
+  EXPECT_THROW(fft_inplace(v, false), InvalidArgumentError);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Cplx> v(8, {0.0, 0.0});
+  v[0] = {1.0, 0.0};
+  fft_inplace(v, false);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleModeHasSingleBin) {
+  const std::size_t n = 64;
+  std::vector<Cplx> v(n);
+  const int k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * std::numbers::pi * k * static_cast<double>(i) / n;
+    v[i] = {std::cos(phase), std::sin(phase)};
+  }
+  fft_inplace(v, false);
+  for (std::size_t b = 0; b < n; ++b) {
+    const double mag = std::abs(v[b]);
+    if (b == static_cast<std::size_t>(k)) {
+      EXPECT_NEAR(mag, static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, InverseRecoversSignal) {
+  for (const std::size_t n : {1u, 2u, 8u, 256u, 4096u}) {
+    auto v = random_signal(n, n);
+    const auto orig = v;
+    fft_inplace(v, false);
+    fft_inplace(v, true);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-10) << "n=" << n;
+      EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-10) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 512;
+  auto v = random_signal(n, 3);
+  double time_energy = 0.0;
+  for (const auto& x : v) time_energy += std::norm(x);
+  fft_inplace(v, false);
+  double freq_energy = 0.0;
+  for (const auto& x : v) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-9 * time_energy * static_cast<double>(n));
+}
+
+TEST(Fft, LinearityHolds) {
+  const std::size_t n = 128;
+  auto a = random_signal(n, 4);
+  auto b = random_signal(n, 5);
+  std::vector<Cplx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  fft_inplace(a, false);
+  fft_inplace(b, false);
+  fft_inplace(sum, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cplx want = 2.0 * a[i] + 3.0 * b[i];
+    EXPECT_NEAR(std::abs(sum[i] - want), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft2d, InverseRecoversField) {
+  const std::size_t ny = 16;
+  const std::size_t nx = 32;
+  auto v = random_signal(ny * nx, 6);
+  const auto orig = v;
+  fft2d_inplace(v, ny, nx, false);
+  fft2d_inplace(v, ny, nx, true);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(std::abs(v[i] - orig[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft2d, SizeMismatchRejected) {
+  std::vector<Cplx> v(15);
+  EXPECT_THROW(fft2d_inplace(v, 4, 4, false), InvalidArgumentError);
+}
+
+TEST(Poisson, SolvesDiscreteLaplacianExactly) {
+  // Property: applying the 5-point Laplacian to the solution recovers
+  // the (zero-mean) right-hand side to machine precision.
+  const std::size_t ny = 32;
+  const std::size_t nx = 64;
+  const double dy = 0.7;
+  const double dx = 1.3;
+  Xoshiro256 rng(7);
+  std::vector<double> rhs(ny * nx);
+  double mean = 0.0;
+  for (auto& r : rhs) {
+    r = rng.uniform(-1.0, 1.0);
+    mean += r;
+  }
+  mean /= static_cast<double>(rhs.size());
+  for (auto& r : rhs) r -= mean;  // solvability
+
+  const PoissonSolver solver(ny, nx, dy, dx);
+  std::vector<double> psi(ny * nx);
+  solver.solve(rhs, psi);
+
+  for (std::size_t j = 0; j < ny; ++j) {
+    const std::size_t jp = (j + 1) % ny;
+    const std::size_t jm = (j + ny - 1) % ny;
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t ip = (i + 1) % nx;
+      const std::size_t im = (i + nx - 1) % nx;
+      const double lap =
+          (psi[j * nx + ip] + psi[j * nx + im] - 2.0 * psi[j * nx + i]) / (dx * dx) +
+          (psi[jp * nx + i] + psi[jm * nx + i] - 2.0 * psi[j * nx + i]) / (dy * dy);
+      EXPECT_NEAR(lap, rhs[j * nx + i], 1e-9);
+    }
+  }
+}
+
+TEST(Poisson, SolutionHasZeroMean) {
+  const PoissonSolver solver(16, 16, 1.0, 1.0);
+  Xoshiro256 rng(8);
+  std::vector<double> rhs(256);
+  for (auto& r : rhs) r = rng.uniform(-1.0, 1.0);
+  std::vector<double> psi(256);
+  solver.solve(rhs, psi);
+  double mean = 0.0;
+  for (const double p : psi) mean += p;
+  EXPECT_NEAR(mean / 256.0, 0.0, 1e-12);
+}
+
+TEST(Poisson, SinusoidalModeAnalytic) {
+  // For rhs = sin(2 pi x / nx), the discrete solution is
+  // rhs / lambda with lambda = (2 cos(2 pi / nx) - 2) / dx^2.
+  const std::size_t ny = 8;
+  const std::size_t nx = 64;
+  const PoissonSolver solver(ny, nx, 1.0, 1.0);
+  std::vector<double> rhs(ny * nx);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      rhs[j * nx + i] =
+          std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(nx));
+    }
+  }
+  std::vector<double> psi(ny * nx);
+  solver.solve(rhs, psi);
+  const double lambda = 2.0 * std::cos(2.0 * std::numbers::pi / static_cast<double>(nx)) - 2.0;
+  for (std::size_t c = 0; c < rhs.size(); ++c) {
+    EXPECT_NEAR(psi[c], rhs[c] / lambda, 1e-9);
+  }
+}
+
+TEST(Poisson, AliasingInputsAllowed) {
+  const PoissonSolver solver(8, 8, 1.0, 1.0);
+  Xoshiro256 rng(9);
+  std::vector<double> field(64);
+  for (auto& r : field) r = rng.uniform(-1.0, 1.0);
+  std::vector<double> expect(64);
+  solver.solve(field, expect);
+  solver.solve(field, field);  // aliased
+  EXPECT_EQ(field, expect);
+}
+
+TEST(Poisson, InvalidArgsRejected) {
+  EXPECT_THROW(PoissonSolver(7, 8, 1.0, 1.0), InvalidArgumentError);
+  EXPECT_THROW(PoissonSolver(8, 8, 0.0, 1.0), InvalidArgumentError);
+  const PoissonSolver solver(8, 8, 1.0, 1.0);
+  std::vector<double> bad(63);
+  std::vector<double> out(64);
+  EXPECT_THROW(solver.solve(bad, out), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,113 @@
+// Tests for the FPC-style predictive lossless FP compressor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/synthetic.hpp"
+#include "fpc/fpc.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+std::vector<double> to_vec(const NdArray<double>& a) {
+  return {a.values().begin(), a.values().end()};
+}
+
+TEST(Fpc, RoundTripEmptyAndSmall) {
+  EXPECT_EQ(fpc_decompress(fpc_compress({})), std::vector<double>{});
+  const std::vector<double> one = {3.25};
+  EXPECT_EQ(fpc_decompress(fpc_compress(one)), one);
+  const std::vector<double> two = {1.0, -1.0};
+  EXPECT_EQ(fpc_decompress(fpc_compress(two)), two);
+}
+
+TEST(Fpc, RoundTripBitExactOnSpecials) {
+  // Losslessness must hold for every bit pattern, including negative
+  // zero, infinities, denormals and NaN payloads.
+  std::vector<double> specials = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      std::numeric_limits<double>::epsilon(),
+  };
+  const auto back = fpc_decompress(fpc_compress(specials));
+  ASSERT_EQ(back.size(), specials.size());
+  for (std::size_t i = 0; i < specials.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]), std::bit_cast<std::uint64_t>(specials[i]))
+        << "i=" << i;
+  }
+}
+
+TEST(Fpc, RoundTripRandomBitPatterns) {
+  Xoshiro256 rng(1);
+  std::vector<double> values(20000);
+  for (auto& v : values) v = std::bit_cast<double>(rng());
+  const auto back = fpc_decompress(fpc_compress(values));
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]), std::bit_cast<std::uint64_t>(values[i]));
+  }
+}
+
+TEST(Fpc, RoundTripSmoothField) {
+  const auto field = make_temperature_field(Shape{128, 82, 2}, 2);
+  const auto values = to_vec(field);
+  EXPECT_EQ(fpc_decompress(fpc_compress(values)), values);
+}
+
+TEST(Fpc, CompressesSmoothDataBelowRaw) {
+  const auto field = make_temperature_field(Shape{128, 82, 2}, 3);
+  const auto values = to_vec(field);
+  const Bytes comp = fpc_compress(values);
+  EXPECT_LT(comp.size(), values.size() * sizeof(double));
+}
+
+TEST(Fpc, ConstantDataCompressesExtremelyWell) {
+  const std::vector<double> values(100000, 42.0);
+  const Bytes comp = fpc_compress(values);
+  // One header nibble + ~1 residual byte for the first few values, then
+  // perfect predictions: ~0.5-1.5 bytes per value.
+  EXPECT_LT(comp.size(), values.size() * 2);
+}
+
+TEST(Fpc, TableSizeTradesRatio) {
+  const auto field = make_smooth_field(Shape{64, 64, 8}, 4);
+  const auto values = to_vec(field);
+  for (const int log2 : {8, 12, 16, 20}) {
+    const Bytes comp = fpc_compress(values, FpcOptions{log2});
+    EXPECT_EQ(fpc_decompress(comp), values) << "table_log2=" << log2;
+  }
+}
+
+TEST(Fpc, InvalidOptionsRejected) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW((void)fpc_compress(v, FpcOptions{3}), InvalidArgumentError);
+  EXPECT_THROW((void)fpc_compress(v, FpcOptions{25}), InvalidArgumentError);
+}
+
+TEST(Fpc, MalformedStreamsRejected) {
+  EXPECT_THROW((void)fpc_decompress({}), FormatError);
+  Bytes junk(16, std::byte{0x5A});
+  EXPECT_THROW((void)fpc_decompress(junk), FormatError);
+
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  Bytes good = fpc_compress(v);
+  Bytes cut(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(good.size() - 2));
+  EXPECT_THROW((void)fpc_decompress(cut), FormatError);
+
+  Bytes extended = good;
+  extended.push_back(std::byte{0});
+  EXPECT_THROW((void)fpc_decompress(extended), FormatError);
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,76 @@
+// Unit tests for the thread pool and simulated-rank harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/rank_set.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw InvalidArgumentError("boom"); });
+  EXPECT_THROW((void)f.get(), InvalidArgumentError);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw CorruptDataError("bad rank");
+                                 }),
+               CorruptDataError);
+}
+
+TEST(ThreadPoolTest, ManyTasksComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 500);
+}
+
+TEST(RankSetTest, RunVisitsEveryRank) {
+  RankSet ranks(17, 4);
+  std::vector<std::atomic<int>> hits(17);
+  ranks.run([&](std::size_t r) { hits[r].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RankSetTest, MapGathersPerRankResults) {
+  RankSet ranks(8, 2);
+  const auto out = ranks.map<std::size_t>([](std::size_t r) { return r * r; });
+  for (std::size_t r = 0; r < 8; ++r) EXPECT_EQ(out[r], r * r);
+}
+
+}  // namespace
+}  // namespace wck

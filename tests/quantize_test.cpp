@@ -1,0 +1,256 @@
+// Unit and property tests for the two quantization methods
+// (paper Sec. III-B, Fig. 4, Eq. 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "quantize/quantizer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+/// High-band-like data: a large spike near zero plus sparse heavy tails —
+/// the distribution shape sketched in the paper's Fig. 4.
+std::vector<double> spiky_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.95) {
+      v.push_back(rng.normal() * 0.01);  // the spike
+    } else {
+      v.push_back(rng.uniform(-10.0, 10.0));  // the tails
+    }
+  }
+  return v;
+}
+
+TEST(SimpleQuantizer, AllValuesQuantized) {
+  const auto values = spiky_values(10000, 1);
+  const auto s = QuantizationScheme::analyze_simple(values, 16);
+  for (const double v : values) {
+    EXPECT_NE(s.classify(v), QuantizationScheme::kUnquantized);
+  }
+}
+
+TEST(SimpleQuantizer, AtMostNDistinctRepresentatives) {
+  const auto values = spiky_values(10000, 2);
+  for (const int n : {1, 2, 4, 8, 128}) {
+    const auto s = QuantizationScheme::analyze_simple(values, n);
+    std::set<int> used;
+    for (const double v : values) used.insert(s.classify(v));
+    EXPECT_LE(static_cast<int>(used.size()), n);
+    EXPECT_EQ(static_cast<int>(s.averages().size()), n);
+  }
+}
+
+TEST(SimpleQuantizer, RepresentativeIsPartitionMean) {
+  // Two well-separated clusters with n=2: each average must be the
+  // cluster mean.
+  const std::vector<double> values = {0.0, 1.0, 2.0, 10.0, 11.0, 12.0};
+  const auto s = QuantizationScheme::analyze_simple(values, 2);
+  EXPECT_DOUBLE_EQ(s.averages()[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.averages()[1], 11.0);
+  EXPECT_EQ(s.classify(0.5), 0);
+  EXPECT_EQ(s.classify(11.5), 1);
+}
+
+TEST(SimpleQuantizer, MaxValueMapsToLastPartition) {
+  const std::vector<double> values = {0.0, 0.5, 1.0};
+  const auto s = QuantizationScheme::analyze_simple(values, 4);
+  EXPECT_EQ(s.classify(1.0), 3);
+  EXPECT_EQ(s.classify(0.0), 0);
+}
+
+TEST(SimpleQuantizer, QuantizationErrorBoundedByPartitionWidth) {
+  const auto values = spiky_values(5000, 3);
+  const auto [lo, hi] =
+      std::minmax_element(values.begin(), values.end());
+  for (const int n : {4, 16, 64}) {
+    const auto s = QuantizationScheme::analyze_simple(values, n);
+    const double width = (*hi - *lo) / n;
+    for (const double v : values) {
+      const double rep = s.averages()[static_cast<std::size_t>(s.classify(v))];
+      EXPECT_LE(std::abs(v - rep), width + 1e-12) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimpleQuantizer, ErrorShrinksAsNGrows) {
+  // The paper's Fig. 8 trend: larger division number -> smaller error.
+  const auto values = spiky_values(20000, 4);
+  double prev_err = 1e300;
+  for (const int n : {1, 4, 16, 64, 256}) {
+    const auto s = QuantizationScheme::analyze_simple(values, n);
+    double err = 0.0;
+    for (const double v : values) {
+      err += std::abs(v - s.averages()[static_cast<std::size_t>(s.classify(v))]);
+    }
+    EXPECT_LE(err, prev_err * 1.001) << "n=" << n;
+    prev_err = err;
+  }
+}
+
+TEST(SimpleQuantizer, ConstantInputDegenerate) {
+  const std::vector<double> values(100, 7.5);
+  const auto s = QuantizationScheme::analyze_simple(values, 8);
+  EXPECT_EQ(s.classify(7.5), 0);
+  EXPECT_DOUBLE_EQ(s.averages()[0], 7.5);
+}
+
+TEST(SimpleQuantizer, EmptyInputYieldsEmptyScheme) {
+  const auto s = QuantizationScheme::analyze_simple({}, 8);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.classify(1.0), QuantizationScheme::kUnquantized);
+}
+
+TEST(SimpleQuantizer, InvalidDivisionsRejected) {
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW((void)QuantizationScheme::analyze_simple(values, 0), InvalidArgumentError);
+  EXPECT_THROW((void)QuantizationScheme::analyze_simple(values, 257), InvalidArgumentError);
+}
+
+TEST(SpikeQuantizer, DetectsSpikePartitions) {
+  const auto values = spiky_values(50000, 5);
+  const auto s = QuantizationScheme::analyze_spike(values, 16, 64);
+  // The spike near 0 must be detected.
+  EXPECT_NE(s.classify(0.0), QuantizationScheme::kUnquantized);
+  // Eq. 4: the detected partitions hold at least Ntotal/d values each.
+  const Histogram h = Histogram::build(values, 64);
+  const double threshold = static_cast<double>(values.size()) / 64;
+  for (std::size_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(s.spike_mask()[p],
+              static_cast<double>(h.counts[p]) >= threshold)
+        << "partition " << p;
+  }
+}
+
+TEST(SpikeQuantizer, TailValuesStayExact) {
+  const auto values = spiky_values(50000, 6);
+  const auto s = QuantizationScheme::analyze_spike(values, 16, 64);
+  // Extreme tail values sit in sparse partitions: unquantized.
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  EXPECT_EQ(s.classify(*lo), QuantizationScheme::kUnquantized);
+  EXPECT_EQ(s.classify(*hi), QuantizationScheme::kUnquantized);
+}
+
+TEST(SpikeQuantizer, QuantizedFractionIsLarge) {
+  // 95% of the mass is in the spike; nearly all values should quantize.
+  const auto values = spiky_values(50000, 7);
+  const auto s = QuantizationScheme::analyze_spike(values, 32, 64);
+  std::size_t quantized = 0;
+  for (const double v : values) {
+    quantized += s.classify(v) != QuantizationScheme::kUnquantized;
+  }
+  EXPECT_GT(quantized, values.size() * 90 / 100);
+  EXPECT_LT(quantized, values.size());  // but not everything
+}
+
+TEST(SpikeQuantizer, LowerErrorThanSimpleAtSameN) {
+  // The paper's headline claim (Fig. 8): proposed quantization reduces
+  // error versus simple quantization at comparable n.
+  const auto values = spiky_values(50000, 8);
+  for (const int n : {4, 16, 128}) {
+    const auto simple = QuantizationScheme::analyze_simple(values, n);
+    const auto spike = QuantizationScheme::analyze_spike(values, n, 64);
+    auto total_err = [&](const QuantizationScheme& s) {
+      double err = 0.0;
+      for (const double v : values) {
+        const int idx = s.classify(v);
+        if (idx != QuantizationScheme::kUnquantized) {
+          err += std::abs(v - s.averages()[static_cast<std::size_t>(idx)]);
+        }
+      }
+      return err;
+    };
+    EXPECT_LT(total_err(spike), total_err(simple)) << "n=" << n;
+  }
+}
+
+TEST(SpikeQuantizer, PerfectlyUniformDataQuantizesEverything) {
+  // Evenly spaced values: every partition holds exactly the average
+  // count, so Eq. 4 detects all partitions and behaviour matches simple
+  // quantization.
+  std::vector<double> values(8000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i) / static_cast<double>(values.size());
+  }
+  const auto s = QuantizationScheme::analyze_spike(values, 16, 8);
+  for (const double v : values) {
+    EXPECT_NE(s.classify(v), QuantizationScheme::kUnquantized);
+  }
+}
+
+TEST(SpikeQuantizer, RandomUniformDataQuantizesAboutHalf) {
+  // With random uniform data each partition's count fluctuates around
+  // the mean, so roughly half the partitions clear the Eq. 4 threshold.
+  Xoshiro256 rng(9);
+  std::vector<double> values(100000);
+  for (auto& v : values) v = rng.uniform(0.0, 1.0);
+  const auto s = QuantizationScheme::analyze_spike(values, 16, 8);
+  std::size_t quantized = 0;
+  for (const double v : values) {
+    quantized += s.classify(v) != QuantizationScheme::kUnquantized;
+  }
+  EXPECT_GT(quantized, values.size() / 10);
+  EXPECT_LT(quantized, values.size());
+}
+
+TEST(SpikeQuantizer, RepresentativeCountBounded) {
+  const auto values = spiky_values(20000, 10);
+  for (const int n : {1, 8, 256}) {
+    const auto s = QuantizationScheme::analyze_spike(values, n, 64);
+    EXPECT_EQ(static_cast<int>(s.averages().size()), n);
+    for (const double v : values) {
+      const int idx = s.classify(v);
+      if (idx != QuantizationScheme::kUnquantized) {
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, n);
+      }
+    }
+  }
+}
+
+TEST(SpikeQuantizer, InvalidParamsRejected) {
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW((void)QuantizationScheme::analyze_spike(values, 0, 64), InvalidArgumentError);
+  EXPECT_THROW((void)QuantizationScheme::analyze_spike(values, 16, 0), InvalidArgumentError);
+}
+
+TEST(QuantizerConfig, AnalyzeDispatches) {
+  const auto values = spiky_values(1000, 11);
+  QuantizerConfig cfg;
+  cfg.kind = QuantizerKind::kSimple;
+  cfg.divisions = 8;
+  EXPECT_EQ(QuantizationScheme::analyze(values, cfg).kind(), QuantizerKind::kSimple);
+  cfg.kind = QuantizerKind::kSpike;
+  EXPECT_EQ(QuantizationScheme::analyze(values, cfg).kind(), QuantizerKind::kSpike);
+}
+
+TEST(HistogramTest, CountsSumToInput) {
+  const auto values = spiky_values(12345, 12);
+  const Histogram h = Histogram::build(values, 64);
+  std::uint64_t total = 0;
+  for (const auto c : h.counts) total += c;
+  EXPECT_EQ(total, values.size());
+}
+
+TEST(HistogramTest, BinOfClampsToEdges) {
+  const std::vector<double> values = {0.0, 1.0};
+  const Histogram h = Histogram::build(values, 4);
+  EXPECT_EQ(h.bin_of(-5.0), 0);
+  EXPECT_EQ(h.bin_of(5.0), 3);
+  EXPECT_EQ(h.bin_of(0.0), 0);
+  EXPECT_EQ(h.bin_of(1.0), 3);
+}
+
+TEST(HistogramTest, InvalidBinsRejected) {
+  EXPECT_THROW((void)Histogram::build({}, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,136 @@
+// Tests for XOR parity encoding and the in-memory checkpoint store.
+#include <gtest/gtest.h>
+
+#include "redundancy/xor_parity.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+Bytes random_payload(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes b(n);
+  for (auto& v : b) v = static_cast<std::byte>(rng.bounded(256));
+  return b;
+}
+
+TEST(XorParity, RecoverAnySingleMember) {
+  std::vector<Bytes> group;
+  for (std::uint64_t i = 0; i < 4; ++i) group.push_back(random_payload(1000, i + 1));
+  const ParityBlock pb = xor_encode(group);
+  for (std::size_t missing = 0; missing < group.size(); ++missing) {
+    const Bytes rec = xor_recover(pb, group, missing);
+    EXPECT_EQ(rec, group[missing]) << "missing=" << missing;
+  }
+}
+
+TEST(XorParity, MixedSizesHandled) {
+  std::vector<Bytes> group = {random_payload(100, 1), random_payload(1, 2),
+                              random_payload(5000, 3), Bytes{}};
+  const ParityBlock pb = xor_encode(group);
+  EXPECT_EQ(pb.parity.size(), 5000u);
+  for (std::size_t missing = 0; missing < group.size(); ++missing) {
+    EXPECT_EQ(xor_recover(pb, group, missing), group[missing]);
+  }
+}
+
+TEST(XorParity, ParityOverheadIsOneMaxPayload) {
+  std::vector<Bytes> group = {random_payload(300, 1), random_payload(200, 2)};
+  const ParityBlock pb = xor_encode(group);
+  EXPECT_EQ(pb.parity.size(), 300u);
+}
+
+TEST(XorParity, InvalidInputsRejected) {
+  EXPECT_THROW((void)xor_encode({}), InvalidArgumentError);
+  std::vector<Bytes> group = {random_payload(10, 1), random_payload(10, 2)};
+  const ParityBlock pb = xor_encode(group);
+  EXPECT_THROW((void)xor_recover(pb, group, 2), InvalidArgumentError);
+  std::vector<Bytes> wrong_size = {random_payload(11, 1), random_payload(10, 2)};
+  EXPECT_THROW((void)xor_recover(pb, wrong_size, 1), InvalidArgumentError);
+}
+
+TEST(InMemoryStore, RetrieveAliveRank) {
+  InMemoryCheckpointStore store(6, 3);
+  store.store(2, random_payload(500, 7));
+  const auto got = store.retrieve(2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, random_payload(500, 7));
+}
+
+TEST(InMemoryStore, RecoverSingleFailurePerGroup) {
+  InMemoryCheckpointStore store(6, 3);
+  std::vector<Bytes> payloads;
+  for (std::size_t r = 0; r < 6; ++r) {
+    payloads.push_back(random_payload(200 + r * 10, r + 1));
+    store.store(r, payloads.back());
+  }
+  // One failure in each group (groups: {0,1,2}, {3,4,5}).
+  store.fail_rank(1);
+  store.fail_rank(5);
+  for (std::size_t r = 0; r < 6; ++r) {
+    const auto got = store.retrieve(r);
+    ASSERT_TRUE(got.has_value()) << "rank " << r;
+    EXPECT_EQ(*got, payloads[r]) << "rank " << r;
+  }
+}
+
+TEST(InMemoryStore, DoubleFailureInGroupUnrecoverable) {
+  InMemoryCheckpointStore store(6, 3);
+  for (std::size_t r = 0; r < 6; ++r) store.store(r, random_payload(100, r + 1));
+  store.fail_rank(0);
+  store.fail_rank(2);  // same group as 0
+  EXPECT_FALSE(store.retrieve(0).has_value());
+  EXPECT_FALSE(store.retrieve(2).has_value());
+  // The other group is unaffected.
+  EXPECT_TRUE(store.retrieve(4).has_value());
+}
+
+TEST(InMemoryStore, FailuresInDifferentGroupsIndependent) {
+  InMemoryCheckpointStore store(9, 3);
+  for (std::size_t r = 0; r < 9; ++r) store.store(r, random_payload(64, r + 1));
+  store.fail_rank(0);
+  store.fail_rank(3);
+  store.fail_rank(8);
+  for (std::size_t r = 0; r < 9; ++r) {
+    EXPECT_TRUE(store.retrieve(r).has_value()) << "rank " << r;
+  }
+}
+
+TEST(InMemoryStore, NeverStoredRankYieldsNothing) {
+  InMemoryCheckpointStore store(4, 2);
+  EXPECT_FALSE(store.retrieve(3).has_value());
+}
+
+TEST(InMemoryStore, StoredBytesIncludesParityOverhead) {
+  InMemoryCheckpointStore store(4, 2);
+  store.store(0, random_payload(1000, 1));
+  store.store(1, random_payload(1000, 2));
+  // 2 payloads + 1 parity in group 0 (group 1 parity is empty).
+  EXPECT_GE(store.stored_bytes(), 3000u);
+  EXPECT_LT(store.stored_bytes(), 3100u);
+}
+
+TEST(InMemoryStore, UpdateRefreshesParity) {
+  InMemoryCheckpointStore store(2, 2);
+  store.store(0, random_payload(100, 1));
+  store.store(1, random_payload(100, 2));
+  const Bytes updated = random_payload(100, 3);
+  store.store(0, updated);
+  store.fail_rank(0);
+  const auto got = store.retrieve(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, updated);  // not the stale payload
+}
+
+TEST(InMemoryStore, InvalidConfigRejected) {
+  EXPECT_THROW(InMemoryCheckpointStore(0, 2), InvalidArgumentError);
+  EXPECT_THROW(InMemoryCheckpointStore(4, 1), InvalidArgumentError);
+  InMemoryCheckpointStore store(4, 2);
+  EXPECT_THROW(store.store(4, {}), InvalidArgumentError);
+  EXPECT_THROW(store.fail_rank(9), InvalidArgumentError);
+  EXPECT_THROW((void)store.retrieve(17), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace wck

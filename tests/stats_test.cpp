@@ -1,0 +1,94 @@
+// Unit tests for the Eq. 5 / Eq. 6 evaluation metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/error_metrics.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+TEST(RelativeError, ExactReconstructionIsZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto s = relative_error(x, x);
+  EXPECT_DOUBLE_EQ(s.mean_rel, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_rel, 0.0);
+  EXPECT_DOUBLE_EQ(s.rmse, 0.0);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(RelativeError, Equation6Definition) {
+  // rei = |xi - x~i| / (max - min); range here is 10 - 0 = 10.
+  const std::vector<double> x = {0.0, 5.0, 10.0};
+  const std::vector<double> y = {1.0, 5.0, 10.0};  // abs err 1 at i=0
+  const auto s = relative_error(x, y);
+  EXPECT_DOUBLE_EQ(s.value_range, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_rel, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean_rel, 0.1 / 3.0);
+  EXPECT_DOUBLE_EQ(s.max_abs, 1.0);
+}
+
+TEST(RelativeError, PercentAccessors) {
+  const std::vector<double> x = {0.0, 1.0};
+  const std::vector<double> y = {0.012, 1.0};
+  const auto s = relative_error(x, y);
+  EXPECT_NEAR(s.max_rel_percent(), 1.2, 1e-12);
+}
+
+TEST(RelativeError, ConstantOriginalHandled) {
+  const std::vector<double> x = {5.0, 5.0};
+  const auto exact = relative_error(x, x);
+  EXPECT_DOUBLE_EQ(exact.mean_rel, 0.0);
+  const std::vector<double> y = {5.0, 6.0};
+  const auto off = relative_error(x, y);
+  EXPECT_GT(off.max_rel, 0.0);  // error reported, no division by zero
+  EXPECT_TRUE(std::isfinite(off.max_rel));
+}
+
+TEST(RelativeError, SizeMismatchRejected) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW((void)relative_error(x, y), InvalidArgumentError);
+}
+
+TEST(RelativeError, EmptyInputIsZero) {
+  const auto s = relative_error({}, {});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_rel, 0.0);
+}
+
+TEST(RelativeError, RmseMatchesHandComputation) {
+  const std::vector<double> x = {0.0, 0.0, 0.0, 10.0};
+  const std::vector<double> y = {3.0, -4.0, 0.0, 10.0};
+  const auto s = relative_error(x, y);
+  EXPECT_DOUBLE_EQ(s.rmse, std::sqrt((9.0 + 16.0) / 4.0));
+}
+
+TEST(CompressionRate, Equation5) {
+  EXPECT_DOUBLE_EQ(compression_rate_percent(1000, 120), 12.0);
+  EXPECT_DOUBLE_EQ(compression_rate_percent(1000, 1000), 100.0);
+  EXPECT_DOUBLE_EQ(compression_rate_percent(0, 10), 0.0);
+}
+
+TEST(RunningStatsTest, MomentsMatchDirectComputation) {
+  RunningStats rs;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace wck

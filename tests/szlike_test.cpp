@@ -1,0 +1,111 @@
+// Tests for the SZ-style Lorenzo-predictor error-bounded compressor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/synthetic.hpp"
+#include "szlike/lorenzo.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+void expect_bounded(const NdArray<double>& orig, const NdArray<double>& recon, double eb) {
+  ASSERT_EQ(recon.shape(), orig.shape());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    ASSERT_LE(std::abs(orig[i] - recon[i]), eb * (1.0 + 1e-12)) << "i=" << i;
+  }
+}
+
+TEST(SzLike, PointwiseBoundHoldsOnSmoothData) {
+  const auto field = make_temperature_field(Shape{64, 32, 4}, 1);
+  for (const double eb : {1.0, 1e-2, 1e-5}) {
+    const Bytes comp = szlike_compress(field, SzLikeOptions{eb, 6});
+    expect_bounded(field, szlike_decompress(comp), eb);
+  }
+}
+
+TEST(SzLike, PointwiseBoundHoldsOnNoise) {
+  // White noise defeats the predictor; correctness must survive via
+  // escapes even when compression does not.
+  const auto field = make_random_field(Shape{40, 40}, 2, -100.0, 100.0);
+  const double eb = 1e-3;
+  const Bytes comp = szlike_compress(field, SzLikeOptions{eb, 6});
+  expect_bounded(field, szlike_decompress(comp), eb);
+}
+
+TEST(SzLike, SmoothDataCompressesWell) {
+  const auto field = make_temperature_field(Shape{128, 82, 2}, 3);
+  const Bytes comp = szlike_compress(field, SzLikeOptions{1e-2, 6});
+  // Lorenzo on smooth data: most codes are the zero code.
+  EXPECT_LT(comp.size(), field.size_bytes() / 10);
+}
+
+TEST(SzLike, TighterBoundCostsMoreSpace) {
+  const auto field = make_temperature_field(Shape{64, 64}, 4);
+  std::size_t prev = 0;
+  for (const double eb : {1.0, 1e-2, 1e-4, 1e-8}) {
+    const auto size = szlike_compress(field, SzLikeOptions{eb, 6}).size();
+    if (prev != 0) EXPECT_GE(size, prev) << "eb=" << eb;
+    prev = size;
+  }
+}
+
+TEST(SzLike, AllRanksSupported) {
+  for (const Shape& shape : {Shape{100}, Shape{10, 11}, Shape{4, 5, 6}, Shape{3, 4, 5, 2}}) {
+    const auto field = make_smooth_field(shape, 5 + shape.rank());
+    const Bytes comp = szlike_compress(field, SzLikeOptions{1e-4, 6});
+    expect_bounded(field, szlike_decompress(comp), 1e-4);
+  }
+}
+
+TEST(SzLike, ConstantFieldNearlyFree) {
+  const NdArray<double> field(Shape{100, 100}, 3.14);
+  const Bytes comp = szlike_compress(field, SzLikeOptions{1e-6, 6});
+  EXPECT_LT(comp.size(), 600u);
+}
+
+TEST(SzLike, EscapesKeepOutliersExact) {
+  auto field = make_smooth_field(Shape{32, 32}, 6);
+  field(16, 16) = 1e12;  // wild outlier: code range cannot reach it
+  const Bytes comp = szlike_compress(field, SzLikeOptions{1e-4, 6});
+  const auto recon = szlike_decompress(comp);
+  EXPECT_DOUBLE_EQ(recon(16, 16), 1e12);
+  expect_bounded(field, recon, 1e-4);
+}
+
+TEST(SzLike, NonFiniteValuesStoredExactly) {
+  auto field = make_smooth_field(Shape{16, 16}, 7);
+  field(3, 3) = std::numeric_limits<double>::infinity();
+  const Bytes comp = szlike_compress(field, SzLikeOptions{1e-3, 6});
+  const auto recon = szlike_decompress(comp);
+  EXPECT_TRUE(std::isinf(recon(3, 3)));
+}
+
+TEST(SzLike, InvalidInputsRejected) {
+  const auto field = make_smooth_field(Shape{8}, 8);
+  EXPECT_THROW((void)szlike_compress(field, SzLikeOptions{0.0, 6}), InvalidArgumentError);
+  EXPECT_THROW((void)szlike_compress(field, SzLikeOptions{-1.0, 6}), InvalidArgumentError);
+  NdArray<double> empty;
+  EXPECT_THROW((void)szlike_compress(empty, SzLikeOptions{}), InvalidArgumentError);
+}
+
+TEST(SzLike, MalformedStreamsRejected) {
+  EXPECT_THROW((void)szlike_decompress({}), Error);
+  Bytes junk(50, std::byte{0x3C});
+  EXPECT_THROW((void)szlike_decompress(junk), Error);
+  const auto field = make_smooth_field(Shape{16, 16}, 9);
+  Bytes comp = szlike_compress(field, SzLikeOptions{1e-3, 6});
+  comp.resize(comp.size() - 3);
+  EXPECT_THROW((void)szlike_decompress(comp), Error);
+}
+
+TEST(SzLike, Deterministic) {
+  const auto field = make_temperature_field(Shape{32, 16, 2}, 10);
+  EXPECT_EQ(szlike_compress(field, SzLikeOptions{1e-3, 6}),
+            szlike_compress(field, SzLikeOptions{1e-3, 6}));
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,127 @@
+// Tests for the selectable wavelet transforms (Haar / CDF 5/3 / CDF 9/7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compressor.hpp"
+#include "core/synthetic.hpp"
+#include "util/rng.hpp"
+#include "wavelet/transform.hpp"
+
+namespace wck {
+namespace {
+
+NdArray<double> random_array(const Shape& shape, std::uint64_t seed) {
+  NdArray<double> a(shape);
+  Xoshiro256 rng(seed);
+  for (auto& v : a.values()) v = rng.uniform(-10.0, 10.0);
+  return a;
+}
+
+TEST(Transforms, KindNames) {
+  EXPECT_STREQ(wavelet_kind_name(WaveletKind::kHaar), "haar");
+  EXPECT_STREQ(wavelet_kind_name(WaveletKind::kCdf53), "cdf53");
+  EXPECT_STREQ(wavelet_kind_name(WaveletKind::kCdf97), "cdf97");
+}
+
+TEST(Transforms, HaarDispatchMatchesDirectCalls) {
+  NdArray<double> a = random_array(Shape{32, 16}, 1);
+  NdArray<double> b = a;
+  wavelet_forward(a.view(), WaveletKind::kHaar, 2);
+  haar_forward(b.view(), 2);
+  EXPECT_EQ(a, b);
+}
+
+class TransformRoundTrip
+    : public ::testing::TestWithParam<std::tuple<WaveletKind, Shape, int>> {};
+
+TEST_P(TransformRoundTrip, ForwardInverseIsNearIdentity) {
+  const auto& [kind, shape, levels] = GetParam();
+  const NdArray<double> orig = random_array(shape, 3 + shape.size());
+  NdArray<double> a = orig;
+  wavelet_forward(a.view(), kind, levels);
+  wavelet_inverse(a.view(), kind, levels);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], orig[i], 1e-8) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsShapesLevels, TransformRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(WaveletKind::kHaar, WaveletKind::kCdf53, WaveletKind::kCdf97),
+        ::testing::Values(Shape{64}, Shape{63}, Shape{2}, Shape{3}, Shape{16, 16},
+                          Shape{15, 17}, Shape{8, 6, 4}, Shape{1156, 82, 2}),
+        ::testing::Values(1, 2)));
+
+TEST(Transforms, LongerFiltersConcentrateEnergyBetterOnSmoothData) {
+  // The reason to offer CDF transforms: on smooth data, their high bands
+  // hold (much) less energy than Haar's.
+  const auto field = make_smooth_field(Shape{128, 128}, 5);
+  const WaveletPlan plan = WaveletPlan::create(field.shape(), 1);
+
+  auto high_energy = [&](WaveletKind kind) {
+    NdArray<double> a = field;
+    wavelet_forward(a.view(), kind, 1);
+    double e = 0.0;
+    for_each_high_band(a.view(), plan.final_low_extents(), [&](double& v) { e += v * v; });
+    return e;
+  };
+  const double haar = high_energy(WaveletKind::kHaar);
+  const double cdf53 = high_energy(WaveletKind::kCdf53);
+  const double cdf97 = high_energy(WaveletKind::kCdf97);
+  EXPECT_LT(cdf53, haar);
+  EXPECT_LT(cdf97, haar);
+}
+
+TEST(Transforms, Cdf53ConstantSignalHasZeroHighBand) {
+  NdArray<double> a(Shape{64}, 7.0);
+  wavelet_forward(a.view(), WaveletKind::kCdf53, 1);
+  for (std::size_t i = 32; i < 64; ++i) EXPECT_NEAR(a[i], 0.0, 1e-12);
+  // Low band of a constant stays constant for 5/3 (no scaling step).
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_NEAR(a[i], 7.0, 1e-12);
+}
+
+TEST(Transforms, Cdf97LinearSignalHasTinyHighBand) {
+  // 9/7 has two vanishing moments: linear ramps produce (near-)zero
+  // detail away from boundaries.
+  NdArray<double> a(Shape{128});
+  for (std::size_t i = 0; i < 128; ++i) a[i] = 3.0 + 0.25 * static_cast<double>(i);
+  wavelet_forward(a.view(), WaveletKind::kCdf97, 1);
+  for (std::size_t i = 66; i < 126; ++i) {  // interior of the H band
+    EXPECT_NEAR(a[i], 0.0, 1e-9) << "i=" << i;
+  }
+}
+
+TEST(Transforms, PipelineRoundTripsWithEveryKind) {
+  const auto field = make_temperature_field(Shape{64, 32, 4}, 6);
+  for (const auto kind : {WaveletKind::kHaar, WaveletKind::kCdf53, WaveletKind::kCdf97}) {
+    CompressionParams p;
+    p.quantizer.divisions = 128;
+    p.wavelet = kind;
+    const auto rt = WaveletCompressor(p).round_trip(field);
+    EXPECT_EQ(rt.reconstructed.shape(), field.shape()) << wavelet_kind_name(kind);
+    EXPECT_LT(rt.error.mean_rel_percent(), 0.5) << wavelet_kind_name(kind);
+  }
+}
+
+TEST(Transforms, StreamRecordsWaveletKind) {
+  // Decompression picks the transform from the stream, not from any
+  // decoder-side parameter.
+  const auto field = make_smooth_field(Shape{32, 32}, 7);
+  CompressionParams p;
+  p.wavelet = WaveletKind::kCdf97;
+  const auto comp = WaveletCompressor(p).compress(field);
+  const auto back = WaveletCompressor::decompress(comp.data);
+  const auto err = relative_error(field.values(), back.values());
+  EXPECT_LT(err.mean_rel_percent(), 1.0);
+}
+
+TEST(Transforms, InvalidLevelsRejected) {
+  NdArray<double> a(Shape{8});
+  EXPECT_THROW(wavelet_forward(a.view(), WaveletKind::kCdf53, 0), InvalidArgumentError);
+  EXPECT_THROW(wavelet_inverse(a.view(), WaveletKind::kCdf97, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace wck

@@ -1,0 +1,270 @@
+// Unit tests for the util subsystem: checksums, byte/bit I/O, RNG.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "util/bitio.hpp"
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace wck {
+namespace {
+
+std::span<const std::byte> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
+}
+
+TEST(Crc32, KnownVectors) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const char* msg = "The quick brown fox jumps over the lazy dog";
+  const auto all = bytes_of(msg);
+  Crc32 inc;
+  // Split at awkward boundaries to exercise the slice-by-4 remainder.
+  inc.update(all.subspan(0, 1));
+  inc.update(all.subspan(1, 6));
+  inc.update(all.subspan(7));
+  EXPECT_EQ(inc.value(), crc32(all));
+}
+
+TEST(Crc32, ResetRestartsState) {
+  Crc32 c;
+  c.update(bytes_of("garbage"));
+  c.reset();
+  c.update(bytes_of("123456789"));
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Adler32, KnownVectors) {
+  EXPECT_EQ(adler32(bytes_of("Wikipedia")), 0x11E60398u);
+  EXPECT_EQ(adler32(bytes_of("")), 1u);  // initial state
+}
+
+TEST(Adler32, LargeInputModularReduction) {
+  // > 5552 bytes forces the block-wise modular reduction path.
+  std::vector<std::byte> big(100000, std::byte{0xAB});
+  Adler32 inc;
+  inc.update(std::span<const std::byte>(big).subspan(0, 12345));
+  inc.update(std::span<const std::byte>(big).subspan(12345));
+  EXPECT_EQ(inc.value(), adler32(std::span<const std::byte>(big)));
+}
+
+TEST(ByteWriterReader, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  w.f32(2.5f);
+  w.str("checkpoint");
+  const Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.141592653589793);
+  EXPECT_FLOAT_EQ(r.f32(), 2.5f);
+  EXPECT_EQ(r.str(), "checkpoint");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteWriterReader, VarintRoundTrip) {
+  ByteWriter w;
+  const std::uint64_t cases[] = {0,          1,          127,        128,
+                                 300,        16383,      16384,      ~0ull,
+                                 1ull << 32, 1ull << 63, 0xDEADBEEFCAFEull};
+  for (const auto v : cases) w.varint(v);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  for (const auto v : cases) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteWriterReader, F64ArrayRoundTrip) {
+  std::vector<double> vals = {1.0, -2.5, 1e300, -1e-300, 0.0};
+  ByteWriter w;
+  w.f64_array(vals);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  std::vector<double> back(vals.size());
+  r.f64_array(back);
+  EXPECT_EQ(back, vals);
+}
+
+TEST(ByteReader, TruncationThrowsFormatError) {
+  ByteWriter w;
+  w.u16(7);
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_NO_THROW((void)r.u16());
+  EXPECT_THROW((void)r.u8(), FormatError);
+}
+
+TEST(ByteReader, VarintOverflowRejected) {
+  Bytes buf(11, std::byte{0xFF});  // 11 continuation bytes: > 64 bits
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.varint(), FormatError);
+}
+
+TEST(ByteWriter, ExternalBufferAppends) {
+  Bytes buf;
+  buf.push_back(std::byte{0x01});
+  ByteWriter w(buf);
+  w.u8(0x02);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_THROW((void)w.take(), InvalidArgumentError);
+}
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  std::vector<std::byte> buf;
+  BitWriter bw(buf);
+  const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (const int b : pattern) bw.put(static_cast<std::uint32_t>(b), 1);
+  bw.align_to_byte();
+
+  BitReader br(buf);
+  for (const int b : pattern) EXPECT_EQ(br.get(1), static_cast<std::uint32_t>(b));
+}
+
+TEST(BitIo, MultiBitFieldsRoundTrip) {
+  std::vector<std::byte> buf;
+  BitWriter bw(buf);
+  bw.put(0b101, 3);
+  bw.put(0xFFFF, 16);
+  bw.put(0, 0);  // zero-width write is a no-op
+  bw.put(0x12345, 20);
+  bw.align_to_byte();
+
+  BitReader br(buf);
+  EXPECT_EQ(br.get(3), 0b101u);
+  EXPECT_EQ(br.get(16), 0xFFFFu);
+  EXPECT_EQ(br.get(20), 0x12345u);
+}
+
+TEST(BitIo, PeekDoesNotConsume) {
+  std::vector<std::byte> buf;
+  BitWriter bw(buf);
+  bw.put(0x5A, 8);
+  bw.align_to_byte();
+  BitReader br(buf);
+  EXPECT_EQ(br.peek(4), 0xAu);
+  EXPECT_EQ(br.peek(4), 0xAu);
+  EXPECT_EQ(br.get(8), 0x5Au);
+}
+
+TEST(BitIo, ReverseBits) {
+  EXPECT_EQ(BitWriter::reverse(0b1, 1), 0b1u);
+  EXPECT_EQ(BitWriter::reverse(0b100, 3), 0b001u);
+  EXPECT_EQ(BitWriter::reverse(0b1101, 4), 0b1011u);
+}
+
+TEST(BitIo, TruncatedReadThrows) {
+  std::vector<std::byte> buf = {std::byte{0xFF}};
+  BitReader br(buf);
+  EXPECT_EQ(br.get(8), 0xFFu);
+  EXPECT_THROW((void)br.get(1), FormatError);
+}
+
+TEST(BitIo, AlignedRawReadAfterBits) {
+  std::vector<std::byte> buf;
+  BitWriter bw(buf);
+  bw.put(0b1, 1);
+  bw.align_to_byte();
+  bw.put(0xAB, 8);
+  bw.put(0xCD, 8);
+
+  BitReader br(buf);
+  EXPECT_EQ(br.get(1), 1u);
+  br.align_to_byte();
+  std::byte out[2];
+  br.read_aligned(out, 2);
+  EXPECT_EQ(static_cast<unsigned>(out[0]), 0xABu);
+  EXPECT_EQ(static_cast<unsigned>(out[1]), 0xCDu);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(12345);
+  Xoshiro256 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsPlausible) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(StageTimes, AccumulatesAndMerges) {
+  StageTimes t;
+  t.add("wavelet", 1.0);
+  t.add("wavelet", 0.5);
+  t.add("gzip", 2.0);
+  EXPECT_DOUBLE_EQ(t.get("wavelet"), 1.5);
+  EXPECT_DOUBLE_EQ(t.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), 3.5);
+
+  StageTimes u;
+  u.add("gzip", 1.0);
+  t.merge(u);
+  EXPECT_DOUBLE_EQ(t.get("gzip"), 3.0);
+}
+
+TEST(ScopedStageTimer, MeasuresScope) {
+  StageTimes t;
+  {
+    ScopedStage s(t, "work");
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  }
+  EXPECT_GT(t.get("work"), 0.0);
+}
+
+}  // namespace
+}  // namespace wck

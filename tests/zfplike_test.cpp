@@ -1,0 +1,122 @@
+// Tests for the ZFP-inspired block-transform codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/synthetic.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/error.hpp"
+#include "zfplike/block_codec.hpp"
+
+namespace wck {
+namespace {
+
+TEST(ZfpLike, RoundTripErrorBoundedOnSmoothData) {
+  const auto field = make_temperature_field(Shape{64, 32, 4}, 1);
+  for (const int precision : {12, 20, 28}) {
+    const Bytes comp = zfplike_compress(field, ZfpLikeOptions{precision, 6});
+    const auto back = zfplike_decompress(comp);
+    ASSERT_EQ(back.shape(), field.shape());
+    const auto err = relative_error(field.values(), back.values());
+    // Block-relative precision: max error shrinks ~2x per extra bit.
+    // The constant absorbs the lifting transform's bit loss across
+    // three axis passes and the block-max vs array-range denominators.
+    const double bound = std::pow(2.0, 9 - precision);
+    EXPECT_LT(err.max_rel, bound) << "precision=" << precision;
+  }
+}
+
+TEST(ZfpLike, MorePrecisionMeansLessError) {
+  const auto field = make_smooth_field(Shape{48, 48}, 2);
+  double prev = 1e300;
+  for (const int precision : {10, 16, 22, 28}) {
+    const auto back = zfplike_decompress(zfplike_compress(field, {precision, 6}));
+    const auto err = relative_error(field.values(), back.values());
+    EXPECT_LT(err.mean_rel, prev) << "precision=" << precision;
+    prev = err.mean_rel;
+  }
+}
+
+TEST(ZfpLike, SmoothDataCompressesWell) {
+  const auto field = make_temperature_field(Shape{128, 82, 2}, 3);
+  const Bytes comp = zfplike_compress(field, ZfpLikeOptions{16, 6});
+  EXPECT_LT(comp.size(), field.size_bytes() / 4);
+}
+
+TEST(ZfpLike, NonMultipleOfFourShapes) {
+  for (const Shape& shape : {Shape{5}, Shape{7, 9}, Shape{6, 5, 3}, Shape{3, 3, 3, 3},
+                             Shape{1156, 82, 2}}) {
+    const auto field = make_smooth_field(shape, 4 + shape.rank());
+    const auto back = zfplike_decompress(zfplike_compress(field, {24, 6}));
+    ASSERT_EQ(back.shape(), shape);
+    const auto err = relative_error(field.values(), back.values());
+    EXPECT_LT(err.max_rel, 1e-4) << shape.to_string();
+  }
+  // A single-element array (zero range) round-trips to high absolute
+  // accuracy.
+  const NdArray<double> one(Shape{1, 1}, 42.5);
+  const auto back = zfplike_decompress(zfplike_compress(one, {24, 6}));
+  EXPECT_NEAR(back(0, 0), 42.5, 42.5 * 1e-5);
+}
+
+TEST(ZfpLike, ZeroBlocksNearlyFree) {
+  const NdArray<double> zeros(Shape{64, 64}, 0.0);
+  const Bytes comp = zfplike_compress(zeros, {20, 6});
+  EXPECT_LT(comp.size(), 200u);
+  const auto back = zfplike_decompress(comp);
+  for (const double v : back.values()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ZfpLike, NonFiniteBlocksStoredRaw) {
+  auto field = make_smooth_field(Shape{16, 16}, 5);
+  field(2, 2) = std::numeric_limits<double>::infinity();
+  const auto back = zfplike_decompress(zfplike_compress(field, {20, 6}));
+  EXPECT_TRUE(std::isinf(back(2, 2)));
+  // The rest of that block is exact (raw storage).
+  EXPECT_DOUBLE_EQ(back(2, 3), field(2, 3));
+}
+
+TEST(ZfpLike, MixedMagnitudeBlocksKeepLocalAccuracy) {
+  // Block-floating-point's selling point: a small-magnitude region far
+  // from a large-magnitude one keeps its own relative accuracy.
+  NdArray<double> field(Shape{8, 8}, 0.0);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      field(j, i) = 1e6 + static_cast<double>(i + j);       // block A: huge
+      field(j + 4, i + 4) = 1e-6 * (1.0 + 0.1 * (i + j));   // block B: tiny
+    }
+  }
+  const auto back = zfplike_decompress(zfplike_compress(field, {24, 6}));
+  for (std::size_t j = 4; j < 8; ++j) {
+    for (std::size_t i = 4; i < 8; ++i) {
+      const double rel = std::abs(back(j, i) - field(j, i)) / field(j, i);
+      EXPECT_LT(rel, 1e-4) << j << "," << i;
+    }
+  }
+}
+
+TEST(ZfpLike, Deterministic) {
+  const auto field = make_temperature_field(Shape{32, 16, 2}, 6);
+  EXPECT_EQ(zfplike_compress(field, {20, 6}), zfplike_compress(field, {20, 6}));
+}
+
+TEST(ZfpLike, InvalidInputsRejected) {
+  const auto field = make_smooth_field(Shape{8}, 7);
+  EXPECT_THROW((void)zfplike_compress(field, {7, 6}), InvalidArgumentError);
+  EXPECT_THROW((void)zfplike_compress(field, {31, 6}), InvalidArgumentError);
+  NdArray<double> empty;
+  EXPECT_THROW((void)zfplike_compress(empty, {20, 6}), InvalidArgumentError);
+}
+
+TEST(ZfpLike, MalformedStreamsRejected) {
+  EXPECT_THROW((void)zfplike_decompress({}), Error);
+  Bytes junk(60, std::byte{0x21});
+  EXPECT_THROW((void)zfplike_decompress(junk), Error);
+  const auto field = make_smooth_field(Shape{16, 16}, 8);
+  Bytes comp = zfplike_compress(field, {20, 6});
+  comp.resize(comp.size() - 4);
+  EXPECT_THROW((void)zfplike_decompress(comp), Error);
+}
+
+}  // namespace
+}  // namespace wck

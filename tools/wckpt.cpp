@@ -1,0 +1,241 @@
+// wckpt — command-line front end for the lossy checkpoint compressor.
+//
+// Subcommands:
+//   gen        --shape=AxBxC --out=FILE [--seed=N] [--kind=temperature|smooth|random]
+//              Writes a deterministic synthetic field as raw little-endian doubles.
+//   compress   --in=FILE --shape=AxBxC --out=FILE [--quantizer=spike|simple]
+//              [--n=128] [--d=64] [--levels=1] [--entropy=deflate|gzip-file|none]
+//              Compresses a raw double file with the paper's pipeline.
+//   decompress --in=FILE --out=FILE
+//              Restores raw doubles from a compressed stream.
+//   info       --in=FILE
+//              Prints shape/parameters/sizes of a compressed stream.
+//   verify     --in=FILE --original=FILE
+//              Decompresses and reports Eq. 5/6 metrics vs the original.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "core/synthetic.hpp"
+#include "stats/error_metrics.hpp"
+#include "util/error.hpp"
+
+namespace wck::tool {
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: wckpt <gen|compress|decompress|info|verify> [--key=value ...]\n"
+               "  gen        --shape=AxBxC --out=FILE [--seed=N] [--kind=temperature]\n"
+               "  compress   --in=FILE --shape=AxBxC --out=FILE [--quantizer=spike|simple]\n"
+               "             [--n=128] [--d=64] [--levels=1] [--entropy=deflate|gzip-file|none]\n"
+               "  decompress --in=FILE --out=FILE\n"
+               "  info       --in=FILE\n"
+               "  verify     --in=FILE --original=FILE\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) usage(("unexpected argument: " + arg).c_str());
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) usage(("flag needs a value: --" + arg).c_str());
+    flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return flags;
+}
+
+std::string require(const std::map<std::string, std::string>& flags, const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) usage(("missing required flag --" + key).c_str());
+  return it->second;
+}
+
+std::string get_or(const std::map<std::string, std::string>& flags, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Shape parse_shape(const std::string& text) {
+  std::vector<std::size_t> extents;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto x = text.find('x', pos);
+    const std::string part = text.substr(pos, x == std::string::npos ? x : x - pos);
+    const long v = std::strtol(part.c_str(), nullptr, 10);
+    if (v <= 0) usage(("bad shape component: " + part).c_str());
+    extents.push_back(static_cast<std::size_t>(v));
+    if (x == std::string::npos) break;
+    pos = x + 1;
+  }
+  if (extents.empty() || extents.size() > kMaxRank) usage("shape must have rank 1..4");
+  Shape s = Shape::of_rank(extents.size());
+  for (std::size_t a = 0; a < extents.size(); ++a) s[a] = extents[a];
+  return s;
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw IoError("cannot open " + path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(data.data()), size);
+  if (!f) throw IoError("read failed: " + path);
+  return data;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw IoError("cannot open " + path + " for writing");
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) throw IoError("write failed: " + path);
+}
+
+NdArray<double> read_raw_array(const std::string& path, const Shape& shape) {
+  const Bytes data = read_file(path);
+  if (data.size() != shape.size() * sizeof(double)) {
+    throw InvalidArgumentError(path + " holds " + std::to_string(data.size()) +
+                               " bytes but shape " + shape.to_string() + " needs " +
+                               std::to_string(shape.size() * sizeof(double)));
+  }
+  std::vector<double> values(shape.size());
+  std::memcpy(values.data(), data.data(), data.size());
+  return NdArray<double>(shape, std::move(values));
+}
+
+CompressionParams params_from_flags(const std::map<std::string, std::string>& flags) {
+  CompressionParams p;
+  const std::string q = get_or(flags, "quantizer", "spike");
+  if (q == "spike" || q == "proposed") {
+    p.quantizer.kind = QuantizerKind::kSpike;
+  } else if (q == "simple") {
+    p.quantizer.kind = QuantizerKind::kSimple;
+  } else {
+    usage(("unknown quantizer: " + q).c_str());
+  }
+  p.quantizer.divisions = static_cast<int>(std::strtol(get_or(flags, "n", "128").c_str(), nullptr, 10));
+  p.quantizer.spike_partitions =
+      static_cast<int>(std::strtol(get_or(flags, "d", "64").c_str(), nullptr, 10));
+  p.wavelet_levels =
+      static_cast<int>(std::strtol(get_or(flags, "levels", "1").c_str(), nullptr, 10));
+  const std::string e = get_or(flags, "entropy", "deflate");
+  if (e == "deflate") {
+    p.entropy = EntropyMode::kDeflate;
+  } else if (e == "gzip-file") {
+    p.entropy = EntropyMode::kTempFileGzip;
+  } else if (e == "none") {
+    p.entropy = EntropyMode::kNone;
+  } else {
+    usage(("unknown entropy mode: " + e).c_str());
+  }
+  return p;
+}
+
+int cmd_gen(const std::map<std::string, std::string>& flags) {
+  const Shape shape = parse_shape(require(flags, "shape"));
+  const auto seed =
+      static_cast<std::uint64_t>(std::strtoll(get_or(flags, "seed", "2015").c_str(), nullptr, 10));
+  const std::string kind = get_or(flags, "kind", "temperature");
+  NdArray<double> field;
+  if (kind == "temperature") {
+    field = make_temperature_field(shape, seed);
+  } else if (kind == "smooth") {
+    field = make_smooth_field(shape, seed);
+  } else if (kind == "random") {
+    field = make_random_field(shape, seed);
+  } else {
+    usage(("unknown field kind: " + kind).c_str());
+  }
+  write_file(require(flags, "out"), std::as_bytes(field.values()));
+  std::printf("wrote %s %s (%zu bytes)\n", kind.c_str(), shape.to_string().c_str(),
+              field.size_bytes());
+  return 0;
+}
+
+int cmd_compress(const std::map<std::string, std::string>& flags) {
+  const Shape shape = parse_shape(require(flags, "shape"));
+  const NdArray<double> field = read_raw_array(require(flags, "in"), shape);
+  const WaveletCompressor compressor(params_from_flags(flags));
+  const CompressedArray comp = compressor.compress(field);
+  write_file(require(flags, "out"), comp.data);
+  std::printf("%zu -> %zu bytes (compression rate %.2f %%)\n", comp.original_bytes,
+              comp.data.size(), comp.compression_rate_percent());
+  for (const auto& [stage, seconds] : comp.times.by_stage()) {
+    std::printf("  %-16s %8.3f ms\n", stage.c_str(), seconds * 1e3);
+  }
+  return 0;
+}
+
+int cmd_decompress(const std::map<std::string, std::string>& flags) {
+  const Bytes data = read_file(require(flags, "in"));
+  const NdArray<double> field = WaveletCompressor::decompress(data);
+  write_file(require(flags, "out"), std::as_bytes(field.values()));
+  std::printf("restored %s (%zu bytes)\n", field.shape().to_string().c_str(),
+              field.size_bytes());
+  return 0;
+}
+
+int cmd_info(const std::map<std::string, std::string>& flags) {
+  const std::string path = require(flags, "in");
+  const Bytes data = read_file(path);
+  const NdArray<double> field = WaveletCompressor::decompress(data);
+  std::printf("%s:\n", path.c_str());
+  std::printf("  stream size        %zu bytes\n", data.size());
+  std::printf("  array shape        %s\n", field.shape().to_string().c_str());
+  std::printf("  decompressed size  %zu bytes\n", field.size_bytes());
+  std::printf("  compression rate   %.2f %%\n",
+              100.0 * static_cast<double>(data.size()) /
+                  static_cast<double>(field.size_bytes()));
+  return 0;
+}
+
+int cmd_verify(const std::map<std::string, std::string>& flags) {
+  const Bytes data = read_file(require(flags, "in"));
+  const NdArray<double> restored = WaveletCompressor::decompress(data);
+  const NdArray<double> original =
+      read_raw_array(require(flags, "original"), restored.shape());
+  const ErrorStats err = relative_error(original.values(), restored.values());
+  std::printf("compression rate  %.2f %%\n",
+              100.0 * static_cast<double>(data.size()) /
+                  static_cast<double>(original.size_bytes()));
+  std::printf("avg rel error     %.6f %%\n", err.mean_rel_percent());
+  std::printf("max rel error     %.6f %%\n", err.max_rel_percent());
+  std::printf("max abs error     %.6g\n", err.max_abs);
+  std::printf("rmse              %.6g\n", err.rmse);
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv);
+  if (cmd == "gen") return cmd_gen(flags);
+  if (cmd == "compress") return cmd_compress(flags);
+  if (cmd == "decompress") return cmd_decompress(flags);
+  if (cmd == "info") return cmd_info(flags);
+  if (cmd == "verify") return cmd_verify(flags);
+  usage(("unknown command: " + cmd).c_str());
+}
+
+}  // namespace
+}  // namespace wck::tool
+
+int main(int argc, char** argv) {
+  try {
+    return wck::tool::run(argc, argv);
+  } catch (const wck::Error& e) {
+    std::fprintf(stderr, "wckpt: %s\n", e.what());
+    return 1;
+  }
+}
