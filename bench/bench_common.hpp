@@ -31,7 +31,7 @@ class Args {
       arg.remove_prefix(2);
       const auto eq = arg.find('=');
       if (eq == std::string_view::npos) {
-        values_[std::string(arg)] = "1";
+        values_[std::string(arg)] = std::string("1");
       } else {
         values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
       }

@@ -1,0 +1,65 @@
+# Sanitizer build modes (WCK_SANITIZE).
+#
+# WCK_SANITIZE is a semicolon-separated list of sanitizers applied to
+# every target in the tree (src/, tools/, tests/, bench/, examples/):
+#
+#   -DWCK_SANITIZE=address;undefined   # ASan + UBSan (the default CI combo)
+#   -DWCK_SANITIZE=thread              # TSan (mutually exclusive with ASan)
+#   -DWCK_SANITIZE=memory              # MSan (requires Clang + instrumented libc++)
+#   -DWCK_SANITIZE=leak                # standalone LSan
+#
+# Flags are applied globally (add_compile_options / add_link_options)
+# rather than per-target so that every library, test and tool — including
+# ones added by future PRs — is instrumented without further plumbing.
+# Mixing instrumented and uninstrumented translation units is the classic
+# way to get false negatives, so global scope is deliberate.
+
+set(WCK_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers: address;undefined | thread | memory | leak (empty = off)")
+
+set(_wck_known_sanitizers address undefined thread memory leak)
+
+function(wck_enable_sanitizers)
+  if(NOT WCK_SANITIZE)
+    return()
+  endif()
+
+  foreach(san IN LISTS WCK_SANITIZE)
+    if(NOT san IN_LIST _wck_known_sanitizers)
+      message(FATAL_ERROR
+        "WCK_SANITIZE: unknown sanitizer '${san}' "
+        "(expected one of: ${_wck_known_sanitizers})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST WCK_SANITIZE AND
+     ("address" IN_LIST WCK_SANITIZE OR "leak" IN_LIST WCK_SANITIZE OR
+      "memory" IN_LIST WCK_SANITIZE))
+    message(FATAL_ERROR
+      "WCK_SANITIZE: 'thread' cannot be combined with address/leak/memory "
+      "(the runtimes are mutually exclusive)")
+  endif()
+  if("memory" IN_LIST WCK_SANITIZE AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "WCK_SANITIZE=memory requires Clang (GCC has no MemorySanitizer); "
+      "current compiler is ${CMAKE_CXX_COMPILER_ID}. "
+      "Use -DCMAKE_CXX_COMPILER=clang++ or pick address;undefined / thread.")
+  endif()
+
+  string(REPLACE ";" "," _san_csv "${WCK_SANITIZE}")
+  add_compile_options(-fsanitize=${_san_csv} -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=${_san_csv})
+
+  if("undefined" IN_LIST WCK_SANITIZE)
+    # Abort on the first UB report so ctest actually fails; recoverable
+    # reports otherwise print and continue, and a green run means nothing.
+    add_compile_options(-fno-sanitize-recover=all)
+  endif()
+  if("memory" IN_LIST WCK_SANITIZE)
+    add_compile_options(-fsanitize-memory-track-origins)
+  endif()
+
+  message(STATUS "Sanitizers enabled: ${WCK_SANITIZE}")
+endfunction()
+
+wck_enable_sanitizers()

@@ -72,6 +72,12 @@ CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
   CheckpointInfo info;
   info.step = r.varint();
   info.field_count = r.varint();
+
+  // Decode every field before touching the registry: a restore must be
+  // transactional, so a corrupt later field cannot leave the application
+  // with some arrays restored and others still holding live state.
+  std::vector<std::pair<NdArray<double>*, NdArray<double>>> staged;
+  staged.reserve(info.field_count <= 1024 ? info.field_count : 0);
   for (std::size_t f = 0; f < info.field_count; ++f) {
     const std::string name = r.str();
     const std::string codec_name = r.str();
@@ -92,11 +98,12 @@ CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
       throw FormatError("checkpoint: field " + name + " shape " + decoded.shape().to_string() +
                         " does not match registered array " + target->shape().to_string());
     }
-    *target = std::move(decoded);
-    info.original_bytes += target->size_bytes();
+    info.original_bytes += decoded.size_bytes();
     info.stored_bytes += size;
+    staged.emplace_back(target, std::move(decoded));
   }
   if (!r.exhausted()) throw FormatError("checkpoint: trailing bytes");
+  for (auto& [target, decoded] : staged) *target = std::move(decoded);
   return info;
 }
 

@@ -46,8 +46,11 @@ class ThreadPool {
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the returned future carries its result/exception.
+  /// Dropping the future silently swallows that exception, hence
+  /// [[nodiscard]]: callers that truly don't care must say so by
+  /// assigning to a variable (and should usually collect and get()).
   template <typename Fn>
-  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+  [[nodiscard]] auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     auto fut = task->get_future();
@@ -70,13 +73,26 @@ class ThreadPool {
     const std::size_t chunk = (n + chunks - 1) / chunks;
     std::vector<std::future<void>> futs;
     futs.reserve(chunks);
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t lo = begin + c * chunk;
-      const std::size_t hi = std::min(end, lo + chunk);
-      if (lo >= hi) break;
-      futs.push_back(submit([lo, hi, &fn] {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      }));
+    try {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = begin + c * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        if (lo >= hi) break;
+        futs.push_back(submit([lo, hi, &fn] {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        }));
+      }
+    } catch (...) {
+      // submit() threw (allocation failure). Already-queued chunks still
+      // reference `fn` and this frame; future destructors do not block,
+      // so wait for them explicitly before letting the frame unwind.
+      for (auto& f : futs) {
+        try {
+          f.get();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+      }
+      throw;
     }
     std::exception_ptr first_error;
     for (auto& f : futs) {

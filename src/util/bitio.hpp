@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
@@ -18,8 +19,12 @@ class BitWriter {
   explicit BitWriter(std::vector<std::byte>& out) : out_(out) {}
 
   /// Appends the low `count` bits of `bits` (0 <= count <= 32),
-  /// least-significant bit first.
+  /// least-significant bit first. `count == 0` writes nothing; counts
+  /// outside [0, 32] violate the precondition and throw — `bits & mask`
+  /// with a negative or oversized shift would otherwise be undefined.
   void put(std::uint32_t bits, int count) {
+    check_count(count);
+    if (count == 0) return;
     acc_ |= static_cast<std::uint64_t>(bits & mask(count)) << nbits_;
     nbits_ += count;
     while (nbits_ >= 8) {
@@ -55,6 +60,14 @@ class BitWriter {
   }
 
  private:
+  static void check_count(int count) {
+    if (count < 0 || count > 32) {
+      throw InvalidArgumentError("BitWriter: bit count " + std::to_string(count) +
+                                 " outside [0, 32]");
+    }
+  }
+
+  /// Precondition: 1 <= count <= 32 (0 is handled before masking).
   [[nodiscard]] static std::uint32_t mask(int count) noexcept {
     return count >= 32 ? 0xFFFFFFFFu : ((1u << count) - 1u);
   }
@@ -71,6 +84,7 @@ class BitReader {
 
   /// Reads `count` bits (0 <= count <= 32), LSB-first.
   [[nodiscard]] std::uint32_t get(int count) {
+    check_count(count);
     fill(count);
     if (nbits_ < count) throw FormatError("bit stream truncated");
     const auto v = static_cast<std::uint32_t>(acc_ & mask(count));
@@ -82,12 +96,14 @@ class BitReader {
   /// Peeks up to `count` bits without consuming; if fewer remain, the
   /// missing high bits are zero. Used by table-driven Huffman decode.
   [[nodiscard]] std::uint32_t peek(int count) {
+    check_count(count);
     fill(count);
     return static_cast<std::uint32_t>(acc_ & mask(count));
   }
 
   /// Consumes `count` bits previously peeked. Throws if not available.
   void consume(int count) {
+    check_count(count);
     if (nbits_ < count) throw FormatError("bit stream truncated");
     acc_ >>= count;
     nbits_ -= count;
@@ -123,6 +139,13 @@ class BitReader {
   [[nodiscard]] std::size_t byte_position() const noexcept { return pos_ - nbits_ / 8; }
 
  private:
+  static void check_count(int count) {
+    if (count < 0 || count > 32) {
+      throw InvalidArgumentError("BitReader: bit count " + std::to_string(count) +
+                                 " outside [0, 32]");
+    }
+  }
+
   void fill(int want) noexcept {
     while (nbits_ < want && pos_ < data_.size()) {
       acc_ |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++])) << nbits_;

@@ -146,6 +146,7 @@ class ByteReader {
   /// Reads `count` little-endian doubles into `out`.
   void f64_array(std::span<double> out) {
     const auto bytes = raw(out.size() * sizeof(double));
+    if (out.empty()) return;  // memcpy with a null span base is UB even for n == 0
     if constexpr (std::endian::native == std::endian::little) {
       std::memcpy(out.data(), bytes.data(), bytes.size());
     } else {

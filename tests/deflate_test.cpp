@@ -11,6 +11,7 @@
 #include "deflate/deflate_tables.hpp"
 #include "deflate/huffman.hpp"
 #include "deflate/lz77.hpp"
+#include "util/bitio.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -277,7 +278,9 @@ TEST(Lz77, MatchesRespectWindow) {
   input.insert(input.end(), head.begin(), head.end());
   const auto tokens = lz77_parse(input, lz77_params_for_level(6));
   for (const auto& t : tokens) {
-    if (t.is_match()) EXPECT_LE(t.distance(), 32768);
+    if (t.is_match()) {
+      EXPECT_LE(t.distance(), 32768);
+    }
   }
   EXPECT_EQ(reconstruct(tokens), input);
 }
@@ -416,6 +419,151 @@ TEST(Zlib, AdlerMismatchDetected) {
   Bytes z = zlib_compress(data);
   z[z.size() - 1] ^= std::byte{0x01};
   EXPECT_THROW((void)zlib_decompress(z), CorruptDataError);
+}
+
+// ---------------------------------------------------------------------
+// Truncated / corrupt-header decode paths: each must reject with a typed
+// error and produce no output — never over-read or return partial data.
+// ---------------------------------------------------------------------
+
+TEST(Gzip, EveryHeaderPrefixTruncationRejected) {
+  const Bytes gz = gzip_compress(structured_bytes(5000, 18));
+  // The fixed header is 10 bytes; also cut inside body and trailer.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{9}, std::size_t{10},
+        gz.size() / 2, gz.size() - 8, gz.size() - 4, gz.size() - 1}) {
+    Bytes cut(gz.begin(), gz.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)gzip_decompress(cut), Error) << "keep=" << keep;
+  }
+}
+
+TEST(Gzip, UnsupportedMethodAndFlagExtensionsHandled) {
+  const Bytes gz = gzip_compress(structured_bytes(2000, 19));
+  {
+    Bytes bad = gz;
+    bad[2] = std::byte{9};  // CM != 8 (deflate)
+    EXPECT_THROW((void)gzip_decompress(bad), FormatError);
+  }
+  {
+    // FNAME flag set but no NUL-terminated name present: the z-string
+    // skipper must hit the bounds check, not walk off the buffer.
+    Bytes bad(gz.begin(), gz.begin() + 10);
+    bad[3] = std::byte{0x08};  // FLG = FNAME
+    EXPECT_THROW((void)gzip_decompress(bad), Error);
+  }
+  {
+    // FEXTRA with an XLEN that overruns the stream.
+    Bytes bad = gz;
+    bad[3] = std::byte{0x04};  // FLG = FEXTRA
+    bad.resize(12);
+    bad[10] = std::byte{0xFF};  // XLEN = 0xFFFF
+    bad[11] = std::byte{0xFF};
+    EXPECT_THROW((void)gzip_decompress(bad), Error);
+  }
+}
+
+TEST(Zlib, CorruptHeaderRejected) {
+  const Bytes z = zlib_compress(structured_bytes(2000, 20));
+  {
+    Bytes bad = z;
+    bad[0] = std::byte{0x79};  // breaks the FCHECK divisibility
+    EXPECT_THROW((void)zlib_decompress(bad), FormatError);
+  }
+  {
+    Bytes bad = z;
+    bad[0] = static_cast<std::byte>((static_cast<unsigned>(bad[0]) & 0xF0u) | 0x09u);  // CM=9
+    EXPECT_THROW((void)zlib_decompress(bad), FormatError);
+  }
+  {
+    // FDICT set (with FCHECK re-balanced): preset dictionaries are
+    // unsupported and must be rejected, not misparsed.
+    Bytes bad = z;
+    std::uint8_t flg = static_cast<std::uint8_t>(bad[1]);
+    flg = static_cast<std::uint8_t>(flg | 0x20u);
+    flg = static_cast<std::uint8_t>(flg & ~0x1Fu);
+    const int rem = (0x78 * 256 + flg) % 31;
+    if (rem != 0) flg = static_cast<std::uint8_t>(flg + (31 - rem));
+    bad[1] = static_cast<std::byte>(flg);
+    EXPECT_THROW((void)zlib_decompress(bad), FormatError);
+  }
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    Bytes cut(z.begin(), z.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)zlib_decompress(cut), Error) << "keep=" << keep;
+  }
+}
+
+TEST(Deflate, CorruptBlockStructureRejected) {
+  {
+    // Reserved block type 11.
+    Bytes bad;
+    BitWriter bw(bad);
+    bw.put(1, 1);     // BFINAL
+    bw.put(0b11, 2);  // BTYPE = reserved
+    bw.align_to_byte();
+    EXPECT_THROW((void)deflate_decompress(bad), FormatError);
+  }
+  {
+    // Stored block with LEN/NLEN mismatch.
+    Bytes bad;
+    BitWriter bw(bad);
+    bw.put(1, 1);
+    bw.put(0b00, 2);
+    bw.align_to_byte();
+    bw.put(0x0004, 16);  // LEN = 4
+    bw.put(0x1234, 16);  // NLEN != ~LEN
+    bw.align_to_byte();
+    EXPECT_THROW((void)deflate_decompress(bad), FormatError);
+  }
+  {
+    // Stored block whose LEN runs past the end of the stream.
+    Bytes bad;
+    BitWriter bw(bad);
+    bw.put(1, 1);
+    bw.put(0b00, 2);
+    bw.align_to_byte();
+    const std::uint16_t len = 1000;
+    bw.put(len, 16);
+    bw.put(static_cast<std::uint16_t>(~len), 16);
+    bw.put(0xAB, 8);  // only 1 of the promised 1000 bytes
+    bw.align_to_byte();
+    EXPECT_THROW((void)deflate_decompress(bad), FormatError);
+  }
+  {
+    // Dynamic block with HLIT beyond the 286-symbol alphabet.
+    Bytes bad;
+    BitWriter bw(bad);
+    bw.put(1, 1);
+    bw.put(0b10, 2);
+    bw.put(31, 5);  // HLIT = 288 > 286
+    bw.put(0, 5);
+    bw.put(0, 4);
+    bw.align_to_byte();
+    EXPECT_THROW((void)deflate_decompress(bad), FormatError);
+  }
+  {
+    // Truncated mid code-length tables.
+    const Bytes comp = deflate_compress(structured_bytes(60000, 21));
+    Bytes cut(comp.begin(), comp.begin() + 4);
+    EXPECT_THROW((void)deflate_decompress(cut), FormatError);
+  }
+  {
+    // Empty input: not even a block header.
+    EXPECT_THROW((void)deflate_decompress(Bytes{}), FormatError);
+  }
+}
+
+TEST(Deflate, MatchDistanceBeforeStreamStartRejected) {
+  // Fixed-Huffman block whose first symbol is a match: the distance
+  // necessarily reaches before the (empty) output. Symbol 257 (len 3) is
+  // code 0b0000001 (7 bits); distance code 0 is 00000 (5 bits).
+  Bytes bad;
+  BitWriter bw(bad);
+  bw.put(1, 1);
+  bw.put(0b01, 2);
+  bw.put_huffman(0b0000001, 7);  // litlen symbol 257: length 3
+  bw.put_huffman(0b00000, 5);    // distance symbol 0: distance 1
+  bw.align_to_byte();
+  EXPECT_THROW((void)deflate_decompress(bad), FormatError);
 }
 
 // ---------------------------------------------------------------------

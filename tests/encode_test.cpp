@@ -3,6 +3,7 @@
 
 #include "encode/bitmap.hpp"
 #include "encode/payload.hpp"
+#include "util/checksum.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -136,6 +137,71 @@ TEST(Payload, TrailingGarbageRejected) {
   data.push_back(std::byte{0xAA});
   data.push_back(std::byte{0xBB});
   EXPECT_THROW((void)decode_payload(data), Error);
+}
+
+/// Recomputes the trailing CRC-32 after a deliberate corruption, so the
+/// decoder gets past the integrity check and its *structural* validation
+/// paths are the ones under test.
+Bytes resign(Bytes data) {
+  const std::uint32_t crc =
+      crc32(std::span<const std::byte>(data).subspan(0, data.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    data[data.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((crc >> (8 * i)) & 0xFFu);
+  }
+  return data;
+}
+
+TEST(Payload, CorruptHeaderFieldsRejectedEvenWithValidCrc) {
+  const Bytes good = encode_payload(sample_payload());
+  // Header layout: magic(4) version(1) quantizer(1) wavelet(1) rank(1)
+  // levels(1) extents... — corrupt each byte to an invalid value and
+  // re-sign, so rejection comes from the field validator, not the CRC.
+  const struct {
+    std::size_t offset;
+    std::uint8_t value;
+    const char* what;
+  } cases[] = {
+      {4, 99, "unsupported version"}, {5, 7, "unknown quantizer kind"},
+      {6, 9, "unknown wavelet kind"}, {7, 0, "rank zero"},
+      {7, 200, "rank beyond kMaxRank"}, {8, 0, "zero transform depth"},
+      {9, 0, "zero extent"},
+  };
+  for (const auto& c : cases) {
+    Bytes bad = good;
+    bad[c.offset] = static_cast<std::byte>(c.value);
+    EXPECT_THROW((void)decode_payload(resign(std::move(bad))), FormatError) << c.what;
+  }
+}
+
+TEST(Payload, CorruptCountFieldsRejectedEvenWithValidCrc) {
+  // Count varints for sample_payload() (all < 128, 1 byte each) sit at
+  // offsets 11..14: n_avg, n_low, n_high, n_idx.
+  const Bytes good = encode_payload(sample_payload());
+  const struct {
+    std::size_t offset;
+    std::uint8_t value;
+    const char* what;
+  } cases[] = {
+      {11, 120, "averages count inflated past stream size"},
+      {12, 3, "band sizes no longer sum to array size"},
+      {13, 90, "high-band count inflated"},
+      {14, 12, "more indexes than set bitmap bits"},
+      {14, 0, "fewer indexes than set bitmap bits"},
+  };
+  for (const auto& c : cases) {
+    Bytes bad = good;
+    bad[c.offset] = static_cast<std::byte>(c.value);
+    EXPECT_THROW((void)decode_payload(resign(std::move(bad))), FormatError) << c.what;
+  }
+}
+
+TEST(Payload, EveryPrefixTruncationRejected) {
+  const Bytes data = encode_payload(sample_payload());
+  for (std::size_t keep = 0; keep < data.size(); ++keep) {
+    Bytes cut(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)decode_payload(cut), Error) << "keep=" << keep;
+  }
 }
 
 TEST(Payload, OversizedAveragesTableRejected) {

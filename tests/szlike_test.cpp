@@ -47,7 +47,9 @@ TEST(SzLike, TighterBoundCostsMoreSpace) {
   std::size_t prev = 0;
   for (const double eb : {1.0, 1e-2, 1e-4, 1e-8}) {
     const auto size = szlike_compress(field, SzLikeOptions{eb, 6}).size();
-    if (prev != 0) EXPECT_GE(size, prev) << "eb=" << eb;
+    if (prev != 0) {
+      EXPECT_GE(size, prev) << "eb=" << eb;
+    }
     prev = size;
   }
 }

@@ -58,7 +58,9 @@ TEST(Truncation, FewerBitsCompressBetter) {
   std::size_t prev = 0;
   for (const int keep : {40, 24, 8}) {
     const auto size = truncation_compress(field, keep).size();
-    if (prev != 0) EXPECT_LT(size, prev) << "keep=" << keep;
+    if (prev != 0) {
+      EXPECT_LT(size, prev) << "keep=" << keep;
+    }
     prev = size;
   }
 }

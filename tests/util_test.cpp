@@ -172,6 +172,55 @@ TEST(BitIo, ReverseBits) {
   EXPECT_EQ(BitWriter::reverse(0b1101, 4), 0b1011u);
 }
 
+TEST(BitIo, PutZeroCountWritesNothing) {
+  Bytes buf;
+  BitWriter bw(buf);
+  // mask(0) is empty: the value operand must be ignored entirely.
+  bw.put(0xFFFFFFFFu, 0);
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.put(0b101, 3);
+  bw.put(0xDEADBEEFu, 0);
+  bw.align_to_byte();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(static_cast<std::uint8_t>(buf[0]), 0b101u);
+}
+
+TEST(BitIo, PutFullWordRoundTrips) {
+  Bytes buf;
+  BitWriter bw(buf);
+  bw.put(0xDEADBEEFu, 32);  // count == 32 must not overflow the mask
+  bw.put(1, 1);             // force a non-aligned tail over the 32-bit put
+  bw.put(0xCAFEBABEu, 32);
+  bw.align_to_byte();
+  BitReader br(buf);
+  EXPECT_EQ(br.get(32), 0xDEADBEEFu);
+  EXPECT_EQ(br.get(1), 1u);
+  EXPECT_EQ(br.get(32), 0xCAFEBABEu);
+}
+
+TEST(BitIo, WriterRejectsCountOutOfRange) {
+  Bytes buf;
+  BitWriter bw(buf);
+  EXPECT_THROW(bw.put(0, -1), InvalidArgumentError);
+  EXPECT_THROW(bw.put(0, 33), InvalidArgumentError);
+  EXPECT_THROW(bw.put(0, 64), InvalidArgumentError);
+  // A rejected put must not have committed any bits.
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.put(0x7, 3);
+  EXPECT_EQ(bw.bit_count(), 3u);
+}
+
+TEST(BitIo, ReaderRejectsCountOutOfRange) {
+  const Bytes data(8, std::byte{0xFF});
+  BitReader br(data);
+  EXPECT_THROW((void)br.get(-1), InvalidArgumentError);
+  EXPECT_THROW((void)br.get(33), InvalidArgumentError);
+  EXPECT_THROW((void)br.peek(33), InvalidArgumentError);
+  EXPECT_THROW(br.consume(-1), InvalidArgumentError);
+  // The reader is still usable after a precondition failure.
+  EXPECT_EQ(br.get(8), 0xFFu);
+}
+
 TEST(BitIo, TruncatedReadThrows) {
   std::vector<std::byte> buf = {std::byte{0xFF}};
   BitReader br(buf);

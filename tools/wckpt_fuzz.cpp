@@ -1,0 +1,221 @@
+// Deterministic decode-robustness fuzz driver.
+//
+// Builds a corpus of valid encoded artifacts — a Fig. 5 payload, full
+// WaveletCompressor streams, a multi-field checkpoint, raw DEFLATE and
+// both containers, FPC and chunked streams — then applies seeded random
+// mutations (bit flips, truncations, length-field corruption; see
+// util/mutate.hpp) and feeds each mutant to its decoder. The contract:
+// every decoder either throws a typed wck::Error or returns a valid
+// result. Any other exception, crash, or sanitizer report is a defect.
+//
+// Run under ASan/UBSan for the real assurance:
+//   cmake --preset asan-ubsan && cmake --build --preset asan-ubsan
+//   ./build/asan-ubsan/tools/wckpt_fuzz --mutations 10000 --seed 42
+//
+// Exit code 0 = all mutants handled cleanly; 1 = contract violation.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/codec.hpp"
+#include "core/chunked.hpp"
+#include "core/compressor.hpp"
+#include "core/synthetic.hpp"
+#include "core/truncation.hpp"
+#include "deflate/deflate.hpp"
+#include "deflate/huffman_only.hpp"
+#include "encode/payload.hpp"
+#include "fpc/fpc.hpp"
+#include "util/error.hpp"
+#include "util/mutate.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+struct CorpusEntry {
+  std::string name;
+  Bytes data;
+  std::function<void(const Bytes&)> decode;
+};
+
+LossyPayload reference_payload() {
+  LossyPayload p;
+  p.shape = Shape{16, 8};
+  p.levels = 1;
+  p.averages = {0.0, 0.5, -0.5, 1.25, 2.0};
+  p.low_band.resize(32);
+  for (std::size_t i = 0; i < p.low_band.size(); ++i) {
+    p.low_band[i] = 0.125 * static_cast<double>(i);
+  }
+  p.quantized = Bitmap(96);
+  for (std::size_t i = 0; i < 96; i += 3) p.quantized.set(i, true);  // 32 set
+  for (std::size_t i = 0; i < 32; ++i) {
+    p.indices.push_back(static_cast<std::uint8_t>(i % p.averages.size()));
+  }
+  p.exact_values.resize(96 - 32, -7.5);
+  return p;
+}
+
+std::vector<CorpusEntry> build_corpus() {
+  std::vector<CorpusEntry> corpus;
+
+  corpus.push_back({"payload", encode_payload(reference_payload()),
+                    [](const Bytes& b) { (void)decode_payload(b); }});
+
+  const auto field = make_smooth_field(Shape{32, 32}, 11);
+  for (const auto& [mode, name] :
+       {std::pair{EntropyMode::kDeflate, "wavelet-deflate"},
+        std::pair{EntropyMode::kHuffmanOnly, "wavelet-huffman"},
+        std::pair{EntropyMode::kNone, "wavelet-raw"}}) {
+    CompressionParams params;
+    params.quantizer.divisions = 64;
+    params.entropy = mode;
+    corpus.push_back({name, WaveletCompressor(params).compress(field).data,
+                      [](const Bytes& b) { (void)WaveletCompressor::decompress(b); }});
+  }
+
+  {
+    NdArray<double> a = make_smooth_field(Shape{24, 24}, 21);
+    NdArray<double> b = make_temperature_field(Shape{16, 16}, 22);
+    CheckpointRegistry reg;
+    reg.add("alpha", &a);
+    reg.add("beta", &b);
+    corpus.push_back({"checkpoint-gzip", serialize_checkpoint(reg, GzipCodec{}, 5),
+                      [](const Bytes& bytes) {
+                        NdArray<double> ra;
+                        NdArray<double> rb;
+                        CheckpointRegistry rreg;
+                        rreg.add("alpha", &ra);
+                        rreg.add("beta", &rb);
+                        (void)restore_checkpoint(bytes, rreg);
+                      }});
+    corpus.push_back({"checkpoint-lossy", serialize_checkpoint(reg, WaveletLossyCodec{}, 6),
+                      [](const Bytes& bytes) {
+                        NdArray<double> ra;
+                        NdArray<double> rb;
+                        CheckpointRegistry rreg;
+                        rreg.add("alpha", &ra);
+                        rreg.add("beta", &rb);
+                        (void)restore_checkpoint(bytes, rreg);
+                      }});
+  }
+
+  Bytes text(6000);
+  Xoshiro256 fill(33);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    text[i] = (i % 48 < 40) ? static_cast<std::byte>('a' + i % 17)
+                            : static_cast<std::byte>(fill.bounded(256));
+  }
+  corpus.push_back({"deflate-raw", deflate_compress(text, {}),
+                    [](const Bytes& b) { (void)deflate_decompress(b); }});
+  corpus.push_back({"gzip", gzip_compress(text, {}),
+                    [](const Bytes& b) { (void)gzip_decompress(b); }});
+  corpus.push_back({"zlib", zlib_compress(text, {}),
+                    [](const Bytes& b) { (void)zlib_decompress(b); }});
+  corpus.push_back({"huffman-only", huffman_only_compress(text),
+                    [](const Bytes& b) { (void)huffman_only_decompress(b); }});
+
+  corpus.push_back({"fpc", fpc_compress(field.values()),
+                    [](const Bytes& b) { (void)fpc_decompress(b); }});
+  corpus.push_back({"truncation", truncation_compress(field, 20),
+                    [](const Bytes& b) { (void)truncation_decompress(b); }});
+  {
+    ChunkedParams cp;
+    corpus.push_back({"chunked", chunked_compress(field, cp).data,
+                      [](const Bytes& b) { (void)chunked_decompress(b); }});
+  }
+  return corpus;
+}
+
+int run(std::uint64_t mutations, std::uint64_t seed, bool verbose) {
+  const std::vector<CorpusEntry> corpus = build_corpus();
+  Xoshiro256 rng(seed);
+  std::uint64_t rejected = 0;
+  std::uint64_t accepted = 0;
+
+  for (std::uint64_t t = 0; t < mutations; ++t) {
+    const CorpusEntry& entry = corpus[t % corpus.size()];
+    Bytes bad = entry.data;
+    const int n_mut = 1 + static_cast<int>(rng.bounded(3));
+    std::string desc;
+    for (int i = 0; i < n_mut; ++i) {
+      const Mutation m = mutate(bad, rng);
+      if (!desc.empty()) desc += ", ";
+      desc += describe(m);
+    }
+    try {
+      entry.decode(bad);
+      ++accepted;
+    } catch (const Error&) {
+      ++rejected;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "FAIL: %s: non-library exception (%s) on trial %llu seed %llu [%s]\n",
+                   entry.name.c_str(), e.what(), static_cast<unsigned long long>(t),
+                   static_cast<unsigned long long>(seed), desc.c_str());
+      return 1;
+    } catch (...) {
+      std::fprintf(stderr, "FAIL: %s: unknown exception on trial %llu seed %llu [%s]\n",
+                   entry.name.c_str(), static_cast<unsigned long long>(t),
+                   static_cast<unsigned long long>(seed), desc.c_str());
+      return 1;
+    }
+    if (verbose && (t + 1) % 1000 == 0) {
+      std::fprintf(stderr, "  %llu/%llu mutants...\n", static_cast<unsigned long long>(t + 1),
+                   static_cast<unsigned long long>(mutations));
+    }
+  }
+
+  std::printf("wckpt_fuzz: %llu mutants over %zu artifacts (seed %llu): "
+              "%llu rejected, %llu decoded, 0 contract violations\n",
+              static_cast<unsigned long long>(mutations), corpus.size(),
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(accepted));
+  return 0;
+}
+
+}  // namespace
+}  // namespace wck
+
+int main(int argc, char** argv) {
+  std::uint64_t mutations = 10000;
+  std::uint64_t seed = 0xC0FFEE;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u64 = [&](const char* flag) -> std::uint64_t {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (arg == "--mutations") {
+      mutations = next_u64("--mutations");
+    } else if (arg == "--seed") {
+      seed = next_u64("--seed");
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: wckpt_fuzz [--mutations N] [--seed S] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  try {
+    return wck::run(mutations, seed, verbose);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: corpus construction threw: %s\n", e.what());
+    return 1;
+  }
+}
