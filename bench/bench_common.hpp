@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "climate/mini_climate.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace wck::bench {
 
@@ -46,6 +47,11 @@ class Args {
   [[nodiscard]] double get_double(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  [[nodiscard]] std::string get_str(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
   }
 
   [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
@@ -89,6 +95,39 @@ inline void print_header(const char* title, const char* paper_expectation) {
   std::printf("%s\n", title);
   std::printf("Paper expectation: %s\n", paper_expectation);
   std::printf("==============================================================\n");
+}
+
+/// Wraps a RunReport in the BENCH_*.json schema (see EXPERIMENTS.md):
+///
+///   { "schema": "wck-bench-record", "schema_version": 1,
+///     "bench": "<name>", "report": { <wck-run-report> } }
+///
+/// Every bench binary that calls maybe_emit_bench_json() with
+/// --bench-json[=PATH] emits one such record with the full telemetry
+/// snapshot of the run, seeding the repo's perf trajectory.
+[[nodiscard]] inline std::string bench_record_json(const std::string& bench_name,
+                                                   telemetry::RunReport report) {
+  report.capture_global();
+  telemetry::Json::Object doc;
+  doc["schema"] = "wck-bench-record";
+  doc["schema_version"] = 1;
+  doc["bench"] = bench_name;
+  doc["report"] = report.to_json();
+  return telemetry::Json(std::move(doc)).dump(1) + "\n";
+}
+
+/// Writes BENCH_<name>.json (or the --bench-json=PATH override) when
+/// the flag is present; no-op otherwise. `report` carries whatever the
+/// bench filled in (tool/params/bytes/error); global metrics and spans
+/// are snapshotted here.
+inline void maybe_emit_bench_json(const Args& args, const std::string& bench_name,
+                                  telemetry::RunReport report) {
+  if (!args.has("bench-json")) return;
+  report.tool = report.tool.empty() ? "bench/" + bench_name : report.tool;
+  std::string path = args.get_str("bench-json", "");
+  if (path.empty() || path == "1") path = "BENCH_" + bench_name + ".json";
+  telemetry::write_text_file(path, bench_record_json(bench_name, std::move(report)));
+  std::printf("\nwrote bench record %s\n", path.c_str());
 }
 
 }  // namespace wck::bench

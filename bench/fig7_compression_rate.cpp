@@ -51,5 +51,34 @@ int main(int argc, char** argv) {
                fmt("%.2f", rate(*f.array, QuantizerKind::kSpike, 128))},
               16);
   }
+
+  if (args.has("bench-json")) {
+    // Representative record: proposed quantizer at the paper's n=128 on
+    // the temperature array, with full round-trip error metrics.
+    CompressionParams p;
+    p.quantizer.kind = QuantizerKind::kSpike;
+    p.quantizer.divisions = 128;
+    p.quantizer.spike_partitions = d;
+    const auto rt = WaveletCompressor(p).round_trip(model.temperature());
+
+    telemetry::RunReport report;
+    report.tool = "bench/fig7_compression_rate";
+    report.params["nx"] = std::to_string(workload.config.nx);
+    report.params["ny"] = std::to_string(workload.config.ny);
+    report.params["nz"] = std::to_string(workload.config.nz);
+    report.params["d"] = std::to_string(d);
+    report.params["n"] = "128";
+    report.params["quantizer"] = "spike";
+    report.original_bytes = rt.compressed.original_bytes;
+    report.compressed_bytes = rt.compressed.data.size();
+    report.payload_bytes = rt.compressed.payload_bytes;
+    report.has_error_metrics = true;
+    report.error.mean_rel = rt.error.mean_rel;
+    report.error.max_rel = rt.error.max_rel;
+    report.error.max_abs = rt.error.max_abs;
+    report.error.rmse = rt.error.rmse;
+    report.error.count = rt.error.count;
+    maybe_emit_bench_json(args, "fig7_compression_rate", std::move(report));
+  }
   return 0;
 }

@@ -6,7 +6,10 @@
 // benchmarks compute a complexity fit.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/compressor.hpp"
+#include "telemetry/telemetry.hpp"
 #include "core/synthetic.hpp"
 #include "deflate/deflate.hpp"
 #include "quantize/quantizer.hpp"
@@ -103,4 +106,29 @@ BENCHMARK(BM_DeflateDecompress)->Range(1 << 14, 1 << 18);
 }  // namespace
 }  // namespace wck
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark
+// run, optionally emit a BENCH_*.json record from the telemetry the
+// pipeline itself recorded (the full-pipeline benchmarks route through
+// WaveletCompressor::compress, so the stage histograms are populated —
+// no bench-local timing needed). google-benchmark owns argv, so the
+// output path comes from the WCK_BENCH_JSON environment variable.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  if (const char* path = std::getenv("WCK_BENCH_JSON")) {
+    wck::telemetry::RunReport report;
+    report.tool = "bench/micro_stages";
+    report.capture_global();
+    wck::telemetry::Json::Object doc;
+    doc["schema"] = "wck-bench-record";
+    doc["schema_version"] = 1;
+    doc["bench"] = "micro_stages";
+    doc["report"] = report.to_json();
+    wck::telemetry::write_text_file(path, wck::telemetry::Json(std::move(doc)).dump(1) + "\n");
+    std::printf("wrote bench record %s\n", path);
+  }
+  return 0;
+}

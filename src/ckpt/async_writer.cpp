@@ -1,5 +1,7 @@
 #include "ckpt/async_writer.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace wck {
 
 AsyncCheckpointWriter::AsyncCheckpointWriter(const Codec& codec)
@@ -17,6 +19,7 @@ AsyncCheckpointWriter::~AsyncCheckpointWriter() {
 std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
     const std::filesystem::path& path, const CheckpointRegistry& registry,
     std::uint64_t step) {
+  WCK_TRACE_SPAN("ckpt.async.snapshot");
   Job job;
   job.path = path;
   job.step = step;
@@ -26,10 +29,15 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
     job.snapshot.emplace_back(e.name, *e.array);
   }
   auto future = job.promise.get_future();
+  job.enqueued = std::chrono::steady_clock::now();
+  std::size_t depth = 0;
   {
     std::lock_guard lk(mu_);
     queue_.push_back(std::move(job));
+    depth = queue_.size() + in_flight_;
   }
+  WCK_COUNTER_ADD("ckpt.async.jobs_submitted", 1);
+  WCK_GAUGE_SET("ckpt.async.queue_depth", static_cast<double>(depth));
   cv_.notify_one();
   return future;
 }
@@ -60,20 +68,31 @@ void AsyncCheckpointWriter::worker_loop() {
     }
 
     try {
+      WCK_TRACE_SPAN("ckpt.async.flush");
       // Rebuild a registry over the snapshot copies and write normally.
       CheckpointRegistry snap_registry;
       for (auto& [name, array] : job.snapshot) {
         snap_registry.add(name, &array);
       }
-      job.promise.set_value(write_checkpoint(job.path, snap_registry, codec_, job.step));
+      CheckpointInfo info = write_checkpoint(job.path, snap_registry, codec_, job.step);
+      WCK_COUNTER_ADD("ckpt.async.jobs_completed", 1);
+      WCK_HISTOGRAM_RECORD(
+          "ckpt.async.flush_latency.seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - job.enqueued)
+              .count());
+      job.promise.set_value(std::move(info));
     } catch (...) {
+      WCK_COUNTER_ADD("ckpt.async.jobs_failed", 1);
       job.promise.set_exception(std::current_exception());
     }
 
+    std::size_t depth = 0;
     {
       std::lock_guard lk(mu_);
       --in_flight_;
+      depth = queue_.size() + in_flight_;
     }
+    WCK_GAUGE_SET("ckpt.async.queue_depth", static_cast<double>(depth));
     idle_cv_.notify_all();
   }
 }

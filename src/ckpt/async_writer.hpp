@@ -9,6 +9,7 @@
 // snapshot instant.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <filesystem>
@@ -53,6 +54,8 @@ class AsyncCheckpointWriter {
     // Owned snapshot: names + deep copies taken on the caller's thread.
     std::vector<std::pair<std::string, NdArray<double>>> snapshot;
     std::promise<CheckpointInfo> promise;
+    // Enqueue instant, for the flush-latency histogram.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void worker_loop();

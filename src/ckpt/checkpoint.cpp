@@ -2,8 +2,10 @@
 
 #include <fstream>
 
+#include "telemetry/telemetry.hpp"
 #include "util/checksum.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace wck {
 namespace {
@@ -37,6 +39,7 @@ std::size_t CheckpointRegistry::total_bytes() const noexcept {
 
 Bytes serialize_checkpoint(const CheckpointRegistry& registry, const Codec& codec,
                            std::uint64_t step, CheckpointInfo* info) {
+  WCK_TRACE_SPAN("ckpt.serialize");
   CheckpointInfo local;
   local.step = step;
   local.field_count = registry.entries().size();
@@ -57,11 +60,19 @@ Bytes serialize_checkpoint(const CheckpointRegistry& registry, const Codec& code
     local.stored_bytes += payload.size();
   }
   if (info != nullptr) *info = local;
+  WCK_COUNTER_ADD("ckpt.serialize.fields", local.field_count);
+  WCK_COUNTER_ADD("ckpt.serialize.bytes_in", local.original_bytes);
+  WCK_COUNTER_ADD("ckpt.serialize.bytes_out", local.stored_bytes);
   return w.take();
 }
 
-CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
-                                  const CheckpointRegistry& registry) {
+namespace {
+
+/// Decodes and stages every field; throws (without touching the
+/// registry arrays) on any corruption. Split out so restore_checkpoint
+/// can count staged-commit aborts on the telemetry side.
+CheckpointInfo restore_checkpoint_impl(std::span<const std::byte> data,
+                                       const CheckpointRegistry& registry) {
   ByteReader r(data);
   if (r.u32() != kMagic) throw FormatError("checkpoint: bad magic");
   const std::uint8_t version = r.u8();
@@ -85,6 +96,7 @@ CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
     const auto payload = r.raw(size);
     const std::uint32_t want_crc = r.u32();
     if (crc32(payload) != want_crc) {
+      WCK_COUNTER_ADD("ckpt.crc_failures", 1);
       throw CorruptDataError("checkpoint: CRC mismatch in field " + name);
     }
 
@@ -107,9 +119,30 @@ CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
   return info;
 }
 
+}  // namespace
+
+CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
+                                  const CheckpointRegistry& registry) {
+  WCK_TRACE_SPAN("ckpt.restore");
+  try {
+    const CheckpointInfo info = restore_checkpoint_impl(data, registry);
+    WCK_COUNTER_ADD("ckpt.restore.fields", info.field_count);
+    WCK_COUNTER_ADD("ckpt.restore.bytes_in", info.stored_bytes);
+    WCK_COUNTER_ADD("ckpt.restore.bytes_out", info.original_bytes);
+    return info;
+  } catch (...) {
+    // The staged-then-commit restore rolled back: no registry array was
+    // modified. Count the abort so operators can see corrupt streams.
+    WCK_COUNTER_ADD("ckpt.restore.aborts", 1);
+    throw;
+  }
+}
+
 CheckpointInfo write_checkpoint(const std::filesystem::path& path,
                                 const CheckpointRegistry& registry, const Codec& codec,
                                 std::uint64_t step) {
+  WCK_TRACE_SPAN("ckpt.write");
+  const WallTimer write_timer;
   CheckpointInfo info;
   const Bytes data = serialize_checkpoint(registry, codec, step, &info);
 
@@ -125,11 +158,14 @@ CheckpointInfo write_checkpoint(const std::filesystem::path& path,
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) throw IoError("cannot rename " + tmp.string() + " to " + path.string());
+  WCK_COUNTER_ADD("ckpt.write.files", 1);
+  WCK_HISTOGRAM_RECORD("ckpt.write.seconds", write_timer.seconds());
   return info;
 }
 
 CheckpointInfo read_checkpoint(const std::filesystem::path& path,
                                const CheckpointRegistry& registry) {
+  WCK_TRACE_SPAN("ckpt.read");
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw IoError("cannot open " + path.string() + " for reading");
   const std::streamsize size = f.tellg();

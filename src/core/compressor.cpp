@@ -8,6 +8,7 @@
 
 #include "deflate/deflate.hpp"
 #include "deflate/huffman_only.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "wavelet/haar.hpp"
 
@@ -62,6 +63,9 @@ WaveletCompressor::WaveletCompressor(CompressionParams params) : params_(std::mo
 
 CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const {
   if (input.size() == 0) throw InvalidArgumentError("cannot compress an empty array");
+  WCK_TRACE_SPAN("compress");
+  WCK_COUNTER_ADD("compress.calls", 1);
+  WCK_COUNTER_ADD("compress.bytes_in", input.size_bytes());
 
   CompressedArray out;
   out.original_bytes = input.size_bytes();
@@ -76,50 +80,66 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
   // --- Stage 1: wavelet transformation.
   const WaveletPlan plan = WaveletPlan::create(input.shape(), params_.wavelet_levels);
   {
+    WCK_TRACE_SPAN("wavelet");
     ScopedStage stage(out.times, "wavelet");
     wavelet_forward(work.view(), params_.wavelet, params_.wavelet_levels);
   }
 
-  // --- Stages 2-4: quantization, encoding, formatting.
+  // --- Stages 2-4: quantization, encoding, formatting. The legacy
+  // "quantize_encode" StageTimes bucket (Fig. 9's granularity) is kept;
+  // telemetry additionally resolves the paper's separate quantize /
+  // encode stages.
   Bytes payload_bytes;
   {
     ScopedStage stage(out.times, "quantize_encode");
 
-    std::vector<double> high;
-    high.reserve(plan.high_count());
-    for_each_high_band(work.view(), plan.final_low_extents(),
-                       [&high](double& v) { high.push_back(v); });
-
-    const QuantizationScheme scheme = QuantizationScheme::analyze(high, params_.quantizer);
-
     LossyPayload p;
-    p.shape = input.shape();
-    p.levels = params_.wavelet_levels;
-    p.wavelet = params_.wavelet;
-    p.quantizer = params_.quantizer.kind;
-    p.averages = scheme.averages();
-    p.low_band.reserve(plan.low_count());
-    for_each_low_band(work.view(), plan.final_low_extents(),
-                      [&p](double& v) { p.low_band.push_back(v); });
-    p.quantized = Bitmap(high.size());
-    p.indices.reserve(high.size());
-    for (std::size_t i = 0; i < high.size(); ++i) {
-      const int idx = scheme.classify(high[i]);
-      if (idx >= 0) {
-        p.quantized.set(i, true);
-        p.indices.push_back(static_cast<std::uint8_t>(idx));
-      } else {
-        p.exact_values.push_back(high[i]);
+    std::vector<double> high;
+    {
+      WCK_TRACE_SPAN("quantize");
+      const WallTimer quantize_timer;
+      high.reserve(plan.high_count());
+      for_each_high_band(work.view(), plan.final_low_extents(),
+                         [&high](double& v) { high.push_back(v); });
+
+      const QuantizationScheme scheme = QuantizationScheme::analyze(high, params_.quantizer);
+
+      p.shape = input.shape();
+      p.levels = params_.wavelet_levels;
+      p.wavelet = params_.wavelet;
+      p.quantizer = params_.quantizer.kind;
+      p.averages = scheme.averages();
+      p.low_band.reserve(plan.low_count());
+      for_each_low_band(work.view(), plan.final_low_extents(),
+                        [&p](double& v) { p.low_band.push_back(v); });
+      p.quantized = Bitmap(high.size());
+      p.indices.reserve(high.size());
+      for (std::size_t i = 0; i < high.size(); ++i) {
+        const int idx = scheme.classify(high[i]);
+        if (idx >= 0) {
+          p.quantized.set(i, true);
+          p.indices.push_back(static_cast<std::uint8_t>(idx));
+        } else {
+          p.exact_values.push_back(high[i]);
+        }
       }
+      WCK_HISTOGRAM_RECORD("stage.quantize.seconds", quantize_timer.seconds());
     }
     out.high_count = high.size();
     out.quantized_count = p.indices.size();
 
-    payload_bytes = encode_payload(p);
+    {
+      WCK_TRACE_SPAN("encode");
+      const WallTimer encode_timer;
+      payload_bytes = encode_payload(p);
+      WCK_HISTOGRAM_RECORD("stage.encode.seconds", encode_timer.seconds());
+    }
   }
   out.payload_bytes = payload_bytes.size();
 
-  // --- Stage 5: entropy coding of the formatted stream.
+  // --- Stage 5: entropy coding of the formatted stream. The legacy
+  // "gzip" StageTimes slot is kept for Fig. 9; telemetry records the
+  // same interval as the paper's "deflate" stage.
   switch (params_.entropy) {
     case EntropyMode::kNone: {
       out.data.push_back(static_cast<std::byte>(kTagNone));
@@ -129,8 +149,11 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
     case EntropyMode::kDeflate: {
       Bytes body;
       {
+        WCK_TRACE_SPAN("deflate");
         ScopedStage stage(out.times, "gzip");
+        const WallTimer deflate_timer;
         body = zlib_compress(payload_bytes, DeflateOptions{params_.deflate_level});
+        WCK_HISTOGRAM_RECORD("stage.deflate.seconds", deflate_timer.seconds());
       }
       out.data.push_back(static_cast<std::byte>(kTagZlib));
       out.data.insert(out.data.end(), body.begin(), body.end());
@@ -139,8 +162,11 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
     case EntropyMode::kHuffmanOnly: {
       Bytes body;
       {
+        WCK_TRACE_SPAN("deflate");
         ScopedStage stage(out.times, "gzip");  // reported in the same slot
+        const WallTimer deflate_timer;
         body = huffman_only_compress(payload_bytes);
+        WCK_HISTOGRAM_RECORD("stage.deflate.seconds", deflate_timer.seconds());
       }
       out.data.push_back(static_cast<std::byte>(kTagHuffman));
       out.data.insert(out.data.end(), body.begin(), body.end());
@@ -153,16 +179,20 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
       const auto tmp = unique_temp_path(params_.temp_dir, ".wck");
       const auto tmp_gz = unique_temp_path(params_.temp_dir, ".wck.gz");
       {
+        WCK_TRACE_SPAN("temp_file_write");
         ScopedStage stage(out.times, "temp_file_write");
         write_file(tmp, payload_bytes);
       }
       Bytes body;
       {
+        WCK_TRACE_SPAN("deflate");
         ScopedStage stage(out.times, "gzip");
+        const WallTimer deflate_timer;
         const Bytes on_disk = read_file(tmp);
         body = gzip_compress(on_disk, DeflateOptions{params_.deflate_level});
         write_file(tmp_gz, body);
         body = read_file(tmp_gz);
+        WCK_HISTOGRAM_RECORD("stage.deflate.seconds", deflate_timer.seconds());
       }
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
@@ -172,11 +202,16 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
       break;
     }
   }
+  WCK_COUNTER_ADD("compress.bytes_out", out.data.size());
+  WCK_COUNTER_ADD("compress.payload_bytes", out.payload_bytes);
   return out;
 }
 
 NdArray<double> WaveletCompressor::decompress(std::span<const std::byte> data) {
   if (data.empty()) throw FormatError("empty compressed stream");
+  WCK_TRACE_SPAN("decompress");
+  WCK_COUNTER_ADD("decompress.calls", 1);
+  WCK_COUNTER_ADD("decompress.bytes_in", data.size());
   const auto tag = static_cast<std::uint8_t>(data[0]);
   const auto body = data.subspan(1);
 

@@ -5,6 +5,7 @@
 // pool to compress multiple arrays / chunks concurrently.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -14,6 +15,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
 
 namespace wck {
 
@@ -54,9 +57,14 @@ class ThreadPool {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     auto fut = task->get_future();
+    Job job;
+    job.fn = [task] { (*task)(); };
+    // Stamp only when telemetry is on: the sentinel (epoch) value tells
+    // the worker to skip the queue-wait histogram for this job.
+    if (telemetry::enabled()) job.enqueued = Clock::now();
     {
       std::lock_guard lk(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back(std::move(job));
     }
     cv_.notify_one();
     return fut;
@@ -106,9 +114,16 @@ class ThreadPool {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    std::function<void()> fn;
+    Clock::time_point enqueued{};  // epoch sentinel = not stamped
+  };
+
   void worker_loop() {
     for (;;) {
-      std::function<void()> job;
+      Job job;
       {
         std::unique_lock lk(mu_);
         cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
@@ -116,13 +131,18 @@ class ThreadPool {
         job = std::move(queue_.front());
         queue_.pop_front();
       }
-      job();
+      if (job.enqueued != Clock::time_point{} && telemetry::enabled()) {
+        WCK_HISTOGRAM_RECORD("pool.queue_wait.seconds",
+                             std::chrono::duration<double>(Clock::now() - job.enqueued).count());
+      }
+      job.fn();
+      WCK_COUNTER_ADD("pool.tasks_executed", 1);
     }
   }
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };

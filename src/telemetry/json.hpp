@@ -1,0 +1,85 @@
+// Minimal JSON document model used by the telemetry subsystem: the
+// RunReport / BENCH_*.json / chrome-trace emitters need a writer, and
+// the round-trip tests plus the C++ report validator need a parser.
+// Deliberately small (objects keep sorted key order via std::map, which
+// also makes emitted reports byte-stable for a given input).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wck::telemetry {
+
+/// A parsed/buildable JSON value (null, bool, number, string, array,
+/// object). Numbers are always double — the telemetry schema never
+/// needs integers beyond 2^53.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() noexcept : kind_(Kind::kNull) {}
+  Json(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Json(double v) noexcept : kind_(Kind::kNumber), num_(v) {}  // NOLINT(google-explicit-constructor)
+  Json(int v) noexcept : Json(static_cast<double>(v)) {}  // NOLINT(google-explicit-constructor)
+  Json(std::uint64_t v) noexcept : Json(static_cast<double>(v)) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  Json(const char* s) : Json(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}  // NOLINT(google-explicit-constructor)
+  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw FormatError-compatible std::runtime_error on
+  /// kind mismatch (the telemetry layer must not depend on util/error).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object lookup: returns nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Object lookup that throws when the key is missing.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Serializes compactly ("{"a":1}") or, with indent >= 0, pretty-
+  /// printed with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escapes a string into a JSON string literal (with quotes).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Formats a double the way Json::dump does (shortest round-trippable).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace wck::telemetry

@@ -1,0 +1,140 @@
+#include "telemetry/metrics.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace wck::telemetry {
+namespace {
+
+bool env_enabled() noexcept {
+  const char* v = std::getenv("WCK_TELEMETRY");
+  if (v == nullptr) return true;
+  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "false") != 0 && std::strcmp(v, "OFF") != 0;
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+/// Atomically keeps dst = min/max(dst, x) via a CAS loop.
+template <typename Cmp>
+void atomic_extreme(std::atomic<double>& dst, double x, Cmp better) noexcept {
+  double cur = dst.load(std::memory_order_relaxed);
+  while (better(x, cur) &&
+         !dst.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() noexcept { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept { enabled_flag().store(on, std::memory_order_relaxed); }
+
+std::span<const double> Histogram::default_seconds_bounds() noexcept {
+  // 1 us .. 100 s, roughly x3 per bucket: covers a single haar pass on a
+  // small array up to a full temp-file-gzip checkpoint.
+  static constexpr std::array<double, 16> kBounds = {
+      1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+      1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0, 100.0};
+  return kBounds;
+}
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void Histogram::record(double x) noexcept {
+  std::size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  atomic_extreme(min_, x, [](double a, double c) { return a < c; });
+  atomic_extreme(max_, x, [](double a, double c) { return a > c; });
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>()).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::span<const double> bounds) {
+  std::lock_guard lk(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = MetricsSnapshot::HistogramStats{
+        h->count(), h->sum(), h->min(), h->max(), h->mean()};
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lk(mu_);
+  for (const auto& [_, c] : counters_) c->reset();
+  for (const auto& [_, g] : gauges_) g->reset();
+  for (const auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked intentionally: instrumented code may record from detached
+  // threads during static destruction.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace wck::telemetry

@@ -1,0 +1,167 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms with a lock-free record path (plain atomics, safe under
+// the TSan preset). Registration/lookup takes a mutex and may allocate;
+// the returned references are stable for the registry's lifetime, so
+// hot paths resolve a metric once (function-local static) and then only
+// touch atomics.
+//
+// The whole subsystem is disabled by WCK_TELEMETRY=off in the
+// environment (or telemetry::set_enabled(false)); the WCK_* macros
+// below then skip even the lookup, so a disabled build performs no
+// allocation and no atomic traffic on instrumented paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wck::telemetry {
+
+/// True unless WCK_TELEMETRY=off/0/false in the environment or
+/// set_enabled(false) was called. Single relaxed atomic load.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Runtime override (tests, CLI --no-telemetry); wins over the env var.
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (queue depth, bytes in flight, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept { value_.fetch_add(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are upper edges; one overflow
+/// bucket catches everything above the last bound. record() is
+/// allocation-free and lock-free (bounded linear scan + atomic adds).
+class Histogram {
+ public:
+  /// Default bounds: log-spaced seconds from 1 us to ~100 s, suitable
+  /// for every duration metric in this codebase.
+  static std::span<const double> default_seconds_bounds() noexcept;
+
+  explicit Histogram(std::span<const double> upper_bounds = default_seconds_bounds());
+
+  void record(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bucket_counts()[i] counts samples <= bounds()[i]; the final entry
+  /// (index bounds().size()) is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every metric, for reports.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+};
+
+/// Thread-safe named-metric registry. Metrics live as long as the
+/// registry; references returned by counter()/gauge()/histogram() never
+/// dangle and may be cached.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = Histogram::default_seconds_bounds());
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (names stay registered).
+  void reset();
+
+  /// The process-wide registry all WCK_* macros record into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace wck::telemetry
+
+// Convenience macros: resolve the metric once per call site, skip
+// everything (including first-use registration) while telemetry is
+// disabled. `name` must be a string literal or otherwise outlive the
+// first enabled call.
+#define WCK_COUNTER_ADD(name, n)                                              \
+  do {                                                                        \
+    if (::wck::telemetry::enabled()) {                                        \
+      static ::wck::telemetry::Counter& wck_counter_ =                        \
+          ::wck::telemetry::MetricsRegistry::global().counter(name);          \
+      wck_counter_.add(n);                                                    \
+    }                                                                         \
+  } while (0)
+
+#define WCK_GAUGE_SET(name, v)                                                \
+  do {                                                                        \
+    if (::wck::telemetry::enabled()) {                                        \
+      static ::wck::telemetry::Gauge& wck_gauge_ =                            \
+          ::wck::telemetry::MetricsRegistry::global().gauge(name);            \
+      wck_gauge_.set(v);                                                      \
+    }                                                                         \
+  } while (0)
+
+#define WCK_HISTOGRAM_RECORD(name, v)                                         \
+  do {                                                                        \
+    if (::wck::telemetry::enabled()) {                                        \
+      static ::wck::telemetry::Histogram& wck_hist_ =                         \
+          ::wck::telemetry::MetricsRegistry::global().histogram(name);        \
+      wck_hist_.record(v);                                                    \
+    }                                                                         \
+  } while (0)

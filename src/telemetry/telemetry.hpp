@@ -1,0 +1,18 @@
+// Umbrella header for the telemetry subsystem (see TOOLING.md,
+// "Telemetry"):
+//
+//   WCK_COUNTER_ADD("ckpt.crc_failures", 1);
+//   WCK_GAUGE_SET("ckpt.async.queue_depth", depth);
+//   WCK_HISTOGRAM_RECORD("stage.wavelet.seconds", dt);
+//   WCK_TRACE_SPAN("wavelet");           // RAII scope span
+//
+// Everything is process-global, thread-safe, and disabled as a whole by
+// WCK_TELEMETRY=off in the environment. RunReport snapshots the metrics
+// registry + tracer into the schema-versioned JSON document that the
+// wckpt CLI and the bench harness emit.
+#pragma once
+
+#include "telemetry/json.hpp"        // IWYU pragma: export
+#include "telemetry/metrics.hpp"     // IWYU pragma: export
+#include "telemetry/run_report.hpp"  // IWYU pragma: export
+#include "telemetry/trace.hpp"       // IWYU pragma: export

@@ -1,0 +1,131 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+#include "telemetry/json.hpp"
+
+namespace wck::telemetry {
+
+struct Tracer::ThreadStream {
+  mutable std::mutex mu;
+  std::vector<SpanRecord> spans;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // touched only by the owning thread
+};
+
+double Tracer::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadStream& Tracer::stream_for_this_thread() {
+  thread_local std::shared_ptr<ThreadStream> local;
+  thread_local Tracer* local_owner = nullptr;
+  if (!local || local_owner != this) {
+    auto stream = std::make_shared<ThreadStream>();
+    std::lock_guard lk(mu_);
+    stream->tid = static_cast<std::uint32_t>(streams_.size());
+    streams_.push_back(stream);
+    local = std::move(stream);
+    local_owner = this;
+  }
+  return *local;
+}
+
+void Tracer::record(std::string name, double start_us, double dur_us, std::uint32_t depth) {
+  ThreadStream& s = stream_for_this_thread();
+  std::lock_guard lk(s.mu);
+  s.spans.push_back(SpanRecord{std::move(name), start_us, dur_us, depth, s.tid});
+}
+
+std::uint32_t Tracer::enter() noexcept { return stream_for_this_thread().depth++; }
+
+void Tracer::leave() noexcept {
+  ThreadStream& s = stream_for_this_thread();
+  if (s.depth > 0) --s.depth;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadStream>> streams;
+  {
+    std::lock_guard lk(mu_);
+    streams = streams_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& s : streams) {
+    std::lock_guard lk(s->mu);
+    out.insert(out.end(), s->spans.begin(), s->spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.start_us < b.start_us;
+  });
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  std::vector<std::shared_ptr<ThreadStream>> streams;
+  {
+    std::lock_guard lk(mu_);
+    streams = streams_;
+  }
+  std::size_t n = 0;
+  for (const auto& s : streams) {
+    std::lock_guard lk(s->mu);
+    n += s->spans.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadStream>> streams;
+  {
+    std::lock_guard lk(mu_);
+    streams = streams_;
+  }
+  for (const auto& s : streams) {
+    std::lock_guard lk(s->mu);
+    s->spans.clear();
+  }
+}
+
+std::string Tracer::chrome_trace_json() const {
+  Json::Array events;
+  for (const SpanRecord& span : snapshot()) {
+    Json::Object e;
+    e["name"] = span.name;
+    e["ph"] = "X";
+    e["ts"] = span.start_us;
+    e["dur"] = span.dur_us;
+    e["pid"] = 0;
+    e["tid"] = static_cast<double>(span.tid);
+    e["args"] = Json::Object{{"depth", static_cast<double>(span.depth)}};
+    events.emplace_back(std::move(e));
+  }
+  Json::Object doc;
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return Json(std::move(doc)).dump(1);
+}
+
+Tracer& Tracer::global() {
+  static auto* tracer = new Tracer();  // leaked: see MetricsRegistry::global
+  return *tracer;
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!enabled()) return;
+  active_ = true;
+  Tracer& t = Tracer::global();
+  depth_ = t.enter();
+  start_us_ = t.now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  Tracer& t = Tracer::global();
+  const double end_us = t.now_us();
+  t.record(name_, start_us_, end_us - start_us_, depth_);
+  t.leave();
+}
+
+}  // namespace wck::telemetry

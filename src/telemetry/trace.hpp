@@ -1,0 +1,97 @@
+// Scoped-span tracing: WCK_TRACE_SPAN("wavelet") records the enclosing
+// scope's wall time into a per-thread span stream. Streams are owned by
+// the process-wide Tracer and can be exported as Chrome trace-event
+// JSON (load the file at chrome://tracing or https://ui.perfetto.dev).
+//
+// Concurrency model: each thread appends only to its own stream under
+// that stream's mutex (uncontended in steady state); snapshot/export
+// locks each stream briefly. Nesting depth is tracked per thread, so
+// spans opened inside other spans carry their depth for flame-style
+// rendering.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"  // enabled()
+
+namespace wck::telemetry {
+
+/// One completed span.
+struct SpanRecord {
+  std::string name;
+  double start_us = 0.0;  ///< microseconds since process trace epoch
+  double dur_us = 0.0;
+  std::uint32_t depth = 0;  ///< 0 = outermost span on that thread
+  std::uint32_t tid = 0;    ///< dense per-process thread index
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since this tracer's epoch (steady clock).
+  [[nodiscard]] double now_us() const noexcept;
+
+  /// Appends a completed span to the calling thread's stream.
+  void record(std::string name, double start_us, double dur_us, std::uint32_t depth);
+
+  /// Enters/leaves a nesting level on the calling thread; returns the
+  /// depth the span runs at.
+  std::uint32_t enter() noexcept;
+  void leave() noexcept;
+
+  /// All spans from all threads, ordered by (tid, start).
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Total spans recorded so far.
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Drops all recorded spans (streams stay registered).
+  void clear();
+
+  /// Chrome trace-event JSON ("X" complete events, one row per thread).
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  static Tracer& global();
+
+ private:
+  struct ThreadStream;
+  ThreadStream& stream_for_this_thread();
+
+  mutable std::mutex mu_;  // guards streams_ vector growth
+  std::vector<std::shared_ptr<ThreadStream>> streams_;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// RAII span: measures construction-to-destruction and records it into
+/// Tracer::global(). Inactive (and allocation-free) when telemetry is
+/// disabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace wck::telemetry
+
+#define WCK_TRACE_CONCAT_IMPL(a, b) a##b
+#define WCK_TRACE_CONCAT(a, b) WCK_TRACE_CONCAT_IMPL(a, b)
+/// Records the enclosing scope as a named span on the current thread.
+#define WCK_TRACE_SPAN(name) \
+  ::wck::telemetry::TraceSpan WCK_TRACE_CONCAT(wck_trace_span_, __LINE__)(name)

@@ -1,11 +1,19 @@
 // Wall-clock timing utilities used by the benchmark harnesses and by the
 // compression pipeline's per-stage instrumentation (paper Fig. 9 reports
 // a stage-by-stage breakdown of compression time).
+//
+// StageTimes is a thin adapter over the telemetry subsystem: every
+// add() also records into the global "stage.<name>.seconds" histogram,
+// so RunReport / BENCH_*.json see the same per-stage numbers without
+// any bench-side plumbing. The local map is kept so existing call sites
+// (cost model, fig harnesses) need no signature changes.
 #pragma once
 
 #include <chrono>
 #include <map>
 #include <string>
+
+#include "telemetry/metrics.hpp"
 
 namespace wck {
 
@@ -29,7 +37,19 @@ class WallTimer {
 /// Accumulates named stage durations, e.g. {"wavelet": 1.2e-3, ...}.
 class StageTimes {
  public:
-  void add(const std::string& stage, double seconds) { seconds_[stage] += seconds; }
+  void add(const std::string& stage, double seconds) {
+    seconds_[stage] += seconds;
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry::global()
+          .histogram("stage." + stage + ".seconds")
+          .record(seconds);
+    }
+  }
+
+  /// Accumulates without recording into telemetry — for derived values
+  /// (averages, model outputs) that are not fresh measurements and must
+  /// not contaminate the stage histograms.
+  void add_local(const std::string& stage, double seconds) { seconds_[stage] += seconds; }
 
   [[nodiscard]] double get(const std::string& stage) const noexcept {
     const auto it = seconds_.find(stage);
@@ -46,7 +66,9 @@ class StageTimes {
     return seconds_;
   }
 
-  /// Merges another accumulation into this one.
+  /// Merges another accumulation into this one. Merging does not
+  /// re-record into telemetry: the source StageTimes already did when
+  /// its entries were add()ed.
   void merge(const StageTimes& other) {
     for (const auto& [k, v] : other.by_stage()) seconds_[k] += v;
   }

@@ -1,0 +1,293 @@
+// Tests for src/telemetry: metric semantics, concurrent recording
+// through the ThreadPool (exercised under the tsan preset via the
+// `sanitize` label), span nesting/ordering, RunReport JSON round-trip,
+// and the zero-allocation guarantee of disabled instrumentation macros.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-allocation guard test. Counting
+// is relaxed-atomic so the override stays safe in multithreaded tests.
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as a mismatched
+// pair even though malloc/free are consistently used here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow variants must be replaced too: libstdc++'s temporary
+// buffers (std::stable_sort) allocate through nothrow new but release
+// through plain operator delete — leaving these to the runtime would
+// mix allocators (and trip ASan's alloc-dealloc-mismatch check).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace wck::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::global().reset();
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TelemetryTest, CounterSemantics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeSemantics) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndStats) {
+  const std::array<double, 3> bounds{1.0, 10.0, 100.0};
+  Histogram h{std::span<const double>(bounds)};
+  EXPECT_EQ(h.count(), 0u);
+  // Empty histogram: all derived stats are zero, not NaN/inf.
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  for (double x : {0.5, 1.0, 5.0, 50.0, 1000.0}) h.record(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1056.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1056.5 / 5.0);
+
+  // Bounds are upper edges (inclusive); final bucket is overflow.
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), bounds.size() + 1);
+  EXPECT_EQ(buckets[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(buckets[1], 1u);  // 5.0
+  EXPECT_EQ(buckets[2], 1u);  // 50.0
+  EXPECT_EQ(buckets[3], 1u);  // 1000.0 overflows
+}
+
+TEST_F(TelemetryTest, RegistryReturnsStableReferences) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test.counter");
+  Counter& b = reg.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+
+  reg.gauge("test.gauge").set(2.25);
+  reg.histogram("test.hist").record(0.5);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.counter"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.gauge"), 2.25);
+  EXPECT_EQ(snap.histograms.at("test.hist").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("test.hist").sum, 0.5);
+}
+
+TEST_F(TelemetryTest, ConcurrentIncrementsThroughThreadPool) {
+  auto& reg = MetricsRegistry::global();
+  Counter& counter = reg.counter("test.concurrent");
+  Histogram& hist = reg.histogram("test.concurrent.hist");
+
+  constexpr std::size_t kItems = 20000;
+  ThreadPool pool(4);
+  pool.parallel_for(0, kItems, [&](std::size_t i) {
+    counter.add(1);
+    hist.record(static_cast<double>(i % 7) * 1e-6);
+    // Also drive the macro path (enabled; registration raced on first use).
+    WCK_COUNTER_ADD("test.concurrent.macro", 1);
+  });
+
+  EXPECT_EQ(counter.value(), kItems);
+  EXPECT_EQ(hist.count(), kItems);
+  EXPECT_EQ(reg.counter("test.concurrent.macro").value(), kItems);
+  // ThreadPool's own instrumentation saw the submitted chunks.
+  EXPECT_GT(reg.counter("pool.tasks_executed").value(), 0u);
+}
+
+TEST_F(TelemetryTest, SpanNestingAndOrdering) {
+  {
+    WCK_TRACE_SPAN("outer");
+    {
+      WCK_TRACE_SPAN("inner");
+    }
+    {
+      WCK_TRACE_SPAN("inner2");
+    }
+  }
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Snapshot is ordered by (tid, start): outer started first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "inner2");
+  EXPECT_EQ(spans[2].depth, 1u);
+  // Children are contained in the parent interval.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].start_us + spans[1].dur_us,
+            spans[0].start_us + spans[0].dur_us + 1.0);
+  // Chrome export is syntactically sane and mentions every span.
+  const std::string chrome = Tracer::global().chrome_trace_json();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"outer\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"inner2\""), std::string::npos);
+  const Json parsed = Json::parse(chrome);  // must not throw
+  EXPECT_EQ(parsed.at("traceEvents").as_array().size(), 3u);
+}
+
+TEST_F(TelemetryTest, SpansFromMultipleThreadsKeepDistinctTids) {
+  ThreadPool pool(3);
+  pool.parallel_for(0, 64, [&](std::size_t) { WCK_TRACE_SPAN("worker"); });
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_GE(spans.size(), 64u);  // pool instrumentation may add more
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    // (tid, start) ordering holds across stream boundaries.
+    if (spans[i - 1].tid == spans[i].tid) {
+      EXPECT_LE(spans[i - 1].start_us, spans[i].start_us);
+    } else {
+      EXPECT_LT(spans[i - 1].tid, spans[i].tid);
+    }
+  }
+}
+
+TEST_F(TelemetryTest, RunReportJsonRoundTrip) {
+  RunReport report;
+  report.tool = "telemetry_test";
+  report.params["shape"] = "64x32x8";
+  report.params["quantizer"] = "spike";
+  report.stages_seconds["wavelet"] = 1.5e-3;
+  report.stages_seconds["deflate"] = 4.25e-3;
+  report.original_bytes = 131072;
+  report.compressed_bytes = 44629;
+  report.payload_bytes = 49730;
+  report.has_error_metrics = true;
+  report.error.mean_rel = 1e-4;
+  report.error.max_rel = 5e-4;
+  report.error.max_abs = 0.03;
+  report.error.rmse = 0.0088;
+  report.error.count = 16384;
+  report.span_count = 6;
+
+  const std::string text = report.to_json_text();
+  const RunReport back = RunReport::from_json(Json::parse(text));
+  EXPECT_EQ(back.tool, report.tool);
+  EXPECT_EQ(back.params, report.params);
+  EXPECT_EQ(back.stages_seconds, report.stages_seconds);
+  EXPECT_EQ(back.original_bytes, report.original_bytes);
+  EXPECT_EQ(back.compressed_bytes, report.compressed_bytes);
+  EXPECT_EQ(back.payload_bytes, report.payload_bytes);
+  EXPECT_TRUE(back.has_error_metrics);
+  EXPECT_DOUBLE_EQ(back.error.mean_rel, report.error.mean_rel);
+  EXPECT_DOUBLE_EQ(back.error.max_rel, report.error.max_rel);
+  EXPECT_DOUBLE_EQ(back.error.max_abs, report.error.max_abs);
+  EXPECT_DOUBLE_EQ(back.error.rmse, report.error.rmse);
+  EXPECT_EQ(back.error.count, report.error.count);
+  EXPECT_EQ(back.span_count, report.span_count);
+  EXPECT_DOUBLE_EQ(back.compression_rate_percent(),
+                   report.compression_rate_percent());
+}
+
+TEST_F(TelemetryTest, RunReportRejectsWrongSchema) {
+  RunReport report;
+  Json doc = Json::parse(report.to_json_text());
+  doc.as_object()["schema"] = Json("not-a-run-report");
+  EXPECT_THROW(RunReport::from_json(doc), std::runtime_error);
+  Json doc2 = Json::parse(report.to_json_text());
+  doc2.as_object()["schema_version"] = Json(99.0);
+  EXPECT_THROW(RunReport::from_json(doc2), std::runtime_error);
+}
+
+TEST_F(TelemetryTest, CaptureGlobalExtractsStageHistograms) {
+  auto& reg = MetricsRegistry::global();
+  reg.histogram("stage.wavelet.seconds").record(2e-3);
+  reg.histogram("stage.wavelet.seconds").record(4e-3);
+  reg.counter("compress.calls").add(2);
+  {
+    WCK_TRACE_SPAN("compress");
+  }
+  RunReport report;
+  report.capture_global();
+  EXPECT_DOUBLE_EQ(report.stages_seconds.at("wavelet"), 6e-3);
+  EXPECT_EQ(report.metrics.counters.at("compress.calls"), 2u);
+  EXPECT_GE(report.span_count, 1u);
+}
+
+TEST_F(TelemetryTest, JsonParserHandlesEscapesAndNesting) {
+  const Json v = Json::parse(
+      R"({"s":"a\"b\\c\ndA","arr":[1,2.5,-3e2,true,false,null],"o":{"k":{}}})");
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\ndA");
+  const auto& arr = v.at("arr").as_array();
+  ASSERT_EQ(arr.size(), 6u);
+  EXPECT_DOUBLE_EQ(arr[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(arr[2].as_number(), -300.0);
+  EXPECT_TRUE(arr[3].as_bool());
+  EXPECT_TRUE(arr[5].is_null());
+  // dump -> parse round-trips.
+  const Json again = Json::parse(v.dump());
+  EXPECT_EQ(again.at("s").as_string(), "a\"b\\c\ndA");
+  EXPECT_THROW(Json::parse("{broken"), std::runtime_error);
+}
+
+TEST_F(TelemetryTest, DisabledMacrosAllocateNothing) {
+  set_enabled(false);
+  // Warm nothing: the whole point is that the disabled path never reaches
+  // registration. Measure a tight loop over all three macro kinds plus
+  // the RAII span.
+  const std::uint64_t before = g_new_calls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    WCK_COUNTER_ADD("test.disabled.counter", 1);
+    WCK_GAUGE_SET("test.disabled.gauge", 1.0);
+    WCK_HISTOGRAM_RECORD("test.disabled.hist", 1.0);
+    WCK_TRACE_SPAN("test.disabled.span");
+  }
+  const std::uint64_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  set_enabled(true);
+  // And nothing was registered.
+  const auto snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.count("test.disabled.counter"), 0u);
+  EXPECT_EQ(snap.histograms.count("test.disabled.hist"), 0u);
+}
+
+}  // namespace
+}  // namespace wck::telemetry

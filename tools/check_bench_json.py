@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Schema validator for the telemetry JSON artifacts.
+
+Validates files against the v1 schemas emitted by the repo:
+
+  wck-run-report   -- one run of the pipeline (wckpt --telemetry, RunReport)
+  wck-bench-record -- a bench harness record wrapping a run report
+                      (bench/* --bench-json, perf/BENCH_*.json)
+
+Usage: tools/check_bench_json.py FILE [FILE...]
+Exits 0 when every file validates; prints one line per problem otherwise.
+Used by the `bench-smoke` CI job; no third-party dependencies.
+"""
+
+import json
+import sys
+
+RUN_REPORT_SCHEMA = "wck-run-report"
+BENCH_RECORD_SCHEMA = "wck-bench-record"
+SCHEMA_VERSION = 1
+
+
+class Problems:
+    def __init__(self, path):
+        self.path = path
+        self.items = []
+
+    def add(self, msg):
+        self.items.append(f"{self.path}: {msg}")
+
+
+def _expect(problems, cond, msg):
+    if not cond:
+        problems.add(msg)
+    return cond
+
+
+def _is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _check_str_map(problems, obj, where, value_check, value_desc):
+    if not _expect(problems, isinstance(obj, dict), f"{where} must be an object"):
+        return
+    for k, v in obj.items():
+        _expect(problems, isinstance(k, str) and k,
+                f"{where} key {k!r} must be a non-empty string")
+        _expect(problems, value_check(v),
+                f"{where}[{k!r}] must be {value_desc} (got {v!r})")
+
+
+def check_run_report(problems, doc, *, where="report"):
+    if not _expect(problems, isinstance(doc, dict), f"{where} must be an object"):
+        return
+    _expect(problems, doc.get("schema") == RUN_REPORT_SCHEMA,
+            f"{where}.schema must be {RUN_REPORT_SCHEMA!r} (got {doc.get('schema')!r})")
+    _expect(problems, doc.get("schema_version") == SCHEMA_VERSION,
+            f"{where}.schema_version must be {SCHEMA_VERSION}")
+    _expect(problems, isinstance(doc.get("tool"), str) and doc["tool"],
+            f"{where}.tool must be a non-empty string")
+
+    _check_str_map(problems, doc.get("params", {}), f"{where}.params",
+                   lambda v: isinstance(v, str), "a string")
+    _check_str_map(problems, doc.get("stages_seconds", {}), f"{where}.stages_seconds",
+                   lambda v: _is_num(v) and v >= 0, "a non-negative number")
+
+    bytes_obj = doc.get("bytes")
+    if _expect(problems, isinstance(bytes_obj, dict), f"{where}.bytes must be an object"):
+        for key in ("original", "compressed", "payload"):
+            v = bytes_obj.get(key)
+            _expect(problems, isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+                    f"{where}.bytes.{key} must be a non-negative integer (got {v!r})")
+
+    if "compression_rate_percent" in doc:
+        _expect(problems, _is_num(doc["compression_rate_percent"]),
+                f"{where}.compression_rate_percent must be a number")
+
+    error = doc.get("error")
+    if error is not None:
+        if _expect(problems, isinstance(error, dict), f"{where}.error must be an object"):
+            for key in ("mean_rel", "max_rel", "max_abs", "rmse"):
+                _expect(problems, _is_num(error.get(key)),
+                        f"{where}.error.{key} must be a number")
+            count = error.get("count")
+            _expect(problems, isinstance(count, int) and count >= 0,
+                    f"{where}.error.count must be a non-negative integer")
+
+    metrics = doc.get("metrics")
+    if _expect(problems, isinstance(metrics, dict), f"{where}.metrics must be an object"):
+        _check_str_map(problems, metrics.get("counters", {}), f"{where}.metrics.counters",
+                       lambda v: isinstance(v, int) and v >= 0, "a non-negative integer")
+        _check_str_map(problems, metrics.get("gauges", {}), f"{where}.metrics.gauges",
+                       _is_num, "a number")
+        hists = metrics.get("histograms", {})
+        if _expect(problems, isinstance(hists, dict),
+                   f"{where}.metrics.histograms must be an object"):
+            for name, h in hists.items():
+                if not _expect(problems, isinstance(h, dict),
+                               f"{where}.metrics.histograms[{name!r}] must be an object"):
+                    continue
+                for key in ("count", "sum", "min", "max", "mean"):
+                    _expect(problems, _is_num(h.get(key)),
+                            f"{where}.metrics.histograms[{name!r}].{key} must be a number")
+
+    span_count = doc.get("span_count")
+    _expect(problems, isinstance(span_count, int) and span_count >= 0,
+            f"{where}.span_count must be a non-negative integer")
+
+
+def check_bench_record(problems, doc):
+    _expect(problems, doc.get("schema_version") == SCHEMA_VERSION,
+            f"schema_version must be {SCHEMA_VERSION}")
+    _expect(problems, isinstance(doc.get("bench"), str) and doc["bench"],
+            "bench must be a non-empty string")
+    check_run_report(problems, doc.get("report"), where="report")
+
+
+def check_file(path):
+    problems = Problems(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.add(f"unreadable or invalid JSON: {e}")
+        return problems
+
+    if not isinstance(doc, dict):
+        problems.add("top level must be a JSON object")
+        return problems
+
+    schema = doc.get("schema")
+    if schema == BENCH_RECORD_SCHEMA:
+        check_bench_record(problems, doc)
+    elif schema == RUN_REPORT_SCHEMA:
+        check_run_report(problems, doc, where="$")
+    else:
+        problems.add(f"unknown schema {schema!r} "
+                     f"(expected {BENCH_RECORD_SCHEMA!r} or {RUN_REPORT_SCHEMA!r})")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        problems = check_file(path)
+        if problems.items:
+            failures += 1
+            for item in problems.items:
+                print(item, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

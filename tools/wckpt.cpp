@@ -10,8 +10,20 @@
 //              Restores raw doubles from a compressed stream.
 //   info       --in=FILE
 //              Prints shape/parameters/sizes of a compressed stream.
-//   verify     --in=FILE --original=FILE
+//   verify     --in=FILE --original=FILE [--max-mean-rel=PCT]
 //              Decompresses and reports Eq. 5/6 metrics vs the original.
+//              Exits 1 when --max-mean-rel is given and exceeded.
+//   roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]
+//              Compress + restore + error metrics in one process — the
+//              full paper pipeline in a single telemetry report.
+//
+// Telemetry flags (every subcommand):
+//   --json             emit the RunReport as JSON on stdout instead of text
+//   --telemetry=FILE   also write the RunReport JSON to FILE
+//   --trace=FILE       write a chrome://tracing span dump to FILE
+//
+// Both the text and --json paths render the same RunReport aggregate,
+// so they can never disagree about the numbers.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +34,7 @@
 #include "core/compressor.hpp"
 #include "core/synthetic.hpp"
 #include "stats/error_metrics.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wck::tool {
@@ -30,13 +43,15 @@ namespace {
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: wckpt <gen|compress|decompress|info|verify> [--key=value ...]\n"
+               "usage: wckpt <gen|compress|decompress|info|verify|roundtrip> [--key=value ...]\n"
                "  gen        --shape=AxBxC --out=FILE [--seed=N] [--kind=temperature]\n"
                "  compress   --in=FILE --shape=AxBxC --out=FILE [--quantizer=spike|simple]\n"
                "             [--n=128] [--d=64] [--levels=1] [--entropy=deflate|gzip-file|none]\n"
                "  decompress --in=FILE --out=FILE\n"
                "  info       --in=FILE\n"
-               "  verify     --in=FILE --original=FILE\n");
+               "  verify     --in=FILE --original=FILE [--max-mean-rel=PCT]\n"
+               "  roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]\n"
+               "common:      [--json] [--telemetry=FILE] [--trace=FILE]\n");
   std::exit(2);
 }
 
@@ -47,8 +62,11 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) usage(("unexpected argument: " + arg).c_str());
     arg = arg.substr(2);
     const auto eq = arg.find('=');
-    if (eq == std::string::npos) usage(("flag needs a value: --" + arg).c_str());
-    flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    if (eq == std::string::npos) {
+      flags[arg] = "1";  // bare boolean flag, e.g. --json
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
   }
   return flags;
 }
@@ -142,6 +160,45 @@ CompressionParams params_from_flags(const std::map<std::string, std::string>& fl
   return p;
 }
 
+void report_params_from_flags(const std::map<std::string, std::string>& flags,
+                              telemetry::RunReport& report) {
+  for (const char* key : {"shape", "quantizer", "n", "d", "levels", "entropy", "in", "out",
+                          "original", "kind", "seed"}) {
+    const auto it = flags.find(key);
+    if (it != flags.end()) report.params[key] = it->second;
+  }
+}
+
+void fill_error_summary(const ErrorStats& err, telemetry::RunReport& report) {
+  report.has_error_metrics = true;
+  report.error.mean_rel = err.mean_rel;
+  report.error.max_rel = err.max_rel;
+  report.error.max_abs = err.max_abs;
+  report.error.rmse = err.rmse;
+  report.error.count = err.count;
+}
+
+/// Single exit path for every subcommand: snapshots global telemetry
+/// into the report, renders it (text or --json), and writes the
+/// optional --telemetry / --trace files.
+void finish_run(const std::map<std::string, std::string>& flags, telemetry::RunReport& report) {
+  report.capture_global();
+  if (flags.count("json") != 0) {
+    std::printf("%s\n", report.to_json_text().c_str());
+  } else {
+    std::fputs(report.to_text().c_str(), stdout);
+  }
+  const auto telemetry_path = flags.find("telemetry");
+  if (telemetry_path != flags.end()) {
+    telemetry::write_text_file(telemetry_path->second, report.to_json_text() + "\n");
+  }
+  const auto trace_path = flags.find("trace");
+  if (trace_path != flags.end()) {
+    telemetry::write_text_file(trace_path->second,
+                               telemetry::Tracer::global().chrome_trace_json() + "\n");
+  }
+}
+
 int cmd_gen(const std::map<std::string, std::string>& flags) {
   const Shape shape = parse_shape(require(flags, "shape"));
   const auto seed =
@@ -158,8 +215,13 @@ int cmd_gen(const std::map<std::string, std::string>& flags) {
     usage(("unknown field kind: " + kind).c_str());
   }
   write_file(require(flags, "out"), std::as_bytes(field.values()));
-  std::printf("wrote %s %s (%zu bytes)\n", kind.c_str(), shape.to_string().c_str(),
-              field.size_bytes());
+
+  telemetry::RunReport report;
+  report.tool = "wckpt gen";
+  report_params_from_flags(flags, report);
+  report.original_bytes = field.size_bytes();
+  report.compressed_bytes = field.size_bytes();
+  finish_run(flags, report);
   return 0;
 }
 
@@ -169,11 +231,14 @@ int cmd_compress(const std::map<std::string, std::string>& flags) {
   const WaveletCompressor compressor(params_from_flags(flags));
   const CompressedArray comp = compressor.compress(field);
   write_file(require(flags, "out"), comp.data);
-  std::printf("%zu -> %zu bytes (compression rate %.2f %%)\n", comp.original_bytes,
-              comp.data.size(), comp.compression_rate_percent());
-  for (const auto& [stage, seconds] : comp.times.by_stage()) {
-    std::printf("  %-16s %8.3f ms\n", stage.c_str(), seconds * 1e3);
-  }
+
+  telemetry::RunReport report;
+  report.tool = "wckpt compress";
+  report_params_from_flags(flags, report);
+  report.original_bytes = comp.original_bytes;
+  report.compressed_bytes = comp.data.size();
+  report.payload_bytes = comp.payload_bytes;
+  finish_run(flags, report);
   return 0;
 }
 
@@ -181,8 +246,14 @@ int cmd_decompress(const std::map<std::string, std::string>& flags) {
   const Bytes data = read_file(require(flags, "in"));
   const NdArray<double> field = WaveletCompressor::decompress(data);
   write_file(require(flags, "out"), std::as_bytes(field.values()));
-  std::printf("restored %s (%zu bytes)\n", field.shape().to_string().c_str(),
-              field.size_bytes());
+
+  telemetry::RunReport report;
+  report.tool = "wckpt decompress";
+  report_params_from_flags(flags, report);
+  report.params["shape"] = field.shape().to_string();
+  report.original_bytes = field.size_bytes();
+  report.compressed_bytes = data.size();
+  finish_run(flags, report);
   return 0;
 }
 
@@ -190,13 +261,14 @@ int cmd_info(const std::map<std::string, std::string>& flags) {
   const std::string path = require(flags, "in");
   const Bytes data = read_file(path);
   const NdArray<double> field = WaveletCompressor::decompress(data);
-  std::printf("%s:\n", path.c_str());
-  std::printf("  stream size        %zu bytes\n", data.size());
-  std::printf("  array shape        %s\n", field.shape().to_string().c_str());
-  std::printf("  decompressed size  %zu bytes\n", field.size_bytes());
-  std::printf("  compression rate   %.2f %%\n",
-              100.0 * static_cast<double>(data.size()) /
-                  static_cast<double>(field.size_bytes()));
+
+  telemetry::RunReport report;
+  report.tool = "wckpt info";
+  report_params_from_flags(flags, report);
+  report.params["shape"] = field.shape().to_string();
+  report.original_bytes = field.size_bytes();
+  report.compressed_bytes = data.size();
+  finish_run(flags, report);
   return 0;
 }
 
@@ -206,13 +278,50 @@ int cmd_verify(const std::map<std::string, std::string>& flags) {
   const NdArray<double> original =
       read_raw_array(require(flags, "original"), restored.shape());
   const ErrorStats err = relative_error(original.values(), restored.values());
-  std::printf("compression rate  %.2f %%\n",
-              100.0 * static_cast<double>(data.size()) /
-                  static_cast<double>(original.size_bytes()));
-  std::printf("avg rel error     %.6f %%\n", err.mean_rel_percent());
-  std::printf("max rel error     %.6f %%\n", err.max_rel_percent());
-  std::printf("max abs error     %.6g\n", err.max_abs);
-  std::printf("rmse              %.6g\n", err.rmse);
+
+  telemetry::RunReport report;
+  report.tool = "wckpt verify";
+  report_params_from_flags(flags, report);
+  report.params["shape"] = restored.shape().to_string();
+  report.original_bytes = original.size_bytes();
+  report.compressed_bytes = data.size();
+  fill_error_summary(err, report);
+  finish_run(flags, report);
+
+  // Exit code matches the report: with a bound given, exceeding it is a
+  // failure (previously the text always reported success via exit 0).
+  const auto bound = flags.find("max-mean-rel");
+  if (bound != flags.end()) {
+    const double limit_pct = std::strtod(bound->second.c_str(), nullptr);
+    if (err.mean_rel_percent() > limit_pct) {
+      std::fprintf(stderr, "wckpt: mean relative error %.6f %% exceeds bound %.6f %%\n",
+                   err.mean_rel_percent(), limit_pct);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_roundtrip(const std::map<std::string, std::string>& flags) {
+  const Shape shape = parse_shape(require(flags, "shape"));
+  const NdArray<double> field = read_raw_array(require(flags, "in"), shape);
+  const WaveletCompressor compressor(params_from_flags(flags));
+
+  const CompressedArray comp = compressor.compress(field);
+  const NdArray<double> restored = WaveletCompressor::decompress(comp.data);
+  const ErrorStats err = relative_error(field.values(), restored.values());
+
+  const auto out = flags.find("out");
+  if (out != flags.end()) write_file(out->second, comp.data);
+
+  telemetry::RunReport report;
+  report.tool = "wckpt roundtrip";
+  report_params_from_flags(flags, report);
+  report.original_bytes = comp.original_bytes;
+  report.compressed_bytes = comp.data.size();
+  report.payload_bytes = comp.payload_bytes;
+  fill_error_summary(err, report);
+  finish_run(flags, report);
   return 0;
 }
 
@@ -225,6 +334,7 @@ int run(int argc, char** argv) {
   if (cmd == "decompress") return cmd_decompress(flags);
   if (cmd == "info") return cmd_info(flags);
   if (cmd == "verify") return cmd_verify(flags);
+  if (cmd == "roundtrip") return cmd_roundtrip(flags);
   usage(("unknown command: " + cmd).c_str());
 }
 
