@@ -1,11 +1,14 @@
 #include "ckpt/async_writer.hpp"
 
+#include "io/io_backend.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
 
 namespace wck {
 
-AsyncCheckpointWriter::AsyncCheckpointWriter(const Codec& codec)
-    : codec_(codec), worker_([this] { worker_loop(); }) {}
+AsyncCheckpointWriter::AsyncCheckpointWriter(const Codec& codec, AsyncWriterOptions options,
+                                             IoBackend* io)
+    : codec_(codec), options_(options), io_(io), worker_([this] { worker_loop(); }) {}
 
 AsyncCheckpointWriter::~AsyncCheckpointWriter() {
   {
@@ -32,7 +35,41 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
   job.enqueued = std::chrono::steady_clock::now();
   std::size_t depth = 0;
   {
-    std::lock_guard lk(mu_);
+    std::unique_lock lk(mu_);
+    if (unhealthy_) {
+      // Fail fast: queueing against a persistently failing storage path
+      // only buries the error deeper in the queue.
+      WCK_COUNTER_ADD("ckpt.async.rejected_unhealthy", 1);
+      job.promise.set_exception(std::make_exception_ptr(IoError(
+          "async writer unhealthy after " + std::to_string(consecutive_failures_) +
+          " consecutive write failures (path " + path.string() + " not attempted)")));
+      return future;
+    }
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      using Backpressure = AsyncWriterOptions::Backpressure;
+      switch (options_.backpressure) {
+        case Backpressure::kBlock:
+          space_cv_.wait(lk, [this] {
+            return stopping_ || queue_.size() < options_.max_queue;
+          });
+          break;
+        case Backpressure::kDropOldest: {
+          Job victim = std::move(queue_.front());
+          queue_.pop_front();
+          WCK_COUNTER_ADD("ckpt.async.dropped_backpressure", 1);
+          victim.promise.set_exception(std::make_exception_ptr(
+              IoError("checkpoint dropped by backpressure (drop-oldest): " +
+                      victim.path.string())));
+          break;
+        }
+        case Backpressure::kRejectNewest:
+          WCK_COUNTER_ADD("ckpt.async.rejected_backpressure", 1);
+          job.promise.set_exception(std::make_exception_ptr(
+              IoError("checkpoint rejected by backpressure (queue full): " +
+                      path.string())));
+          return future;
+      }
+    }
     queue_.push_back(std::move(job));
     depth = queue_.size() + in_flight_;
   }
@@ -52,6 +89,16 @@ std::size_t AsyncCheckpointWriter::pending() const {
   return queue_.size() + in_flight_;
 }
 
+bool AsyncCheckpointWriter::healthy() const {
+  std::lock_guard lk(mu_);
+  return !unhealthy_;
+}
+
+std::size_t AsyncCheckpointWriter::consecutive_failures() const {
+  std::lock_guard lk(mu_);
+  return consecutive_failures_;
+}
+
 void AsyncCheckpointWriter::worker_loop() {
   for (;;) {
     Job job;
@@ -66,7 +113,9 @@ void AsyncCheckpointWriter::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    space_cv_.notify_one();
 
+    bool succeeded = false;
     try {
       WCK_TRACE_SPAN("ckpt.async.flush");
       // Rebuild a registry over the snapshot copies and write normally.
@@ -74,14 +123,20 @@ void AsyncCheckpointWriter::worker_loop() {
       for (auto& [name, array] : job.snapshot) {
         snap_registry.add(name, &array);
       }
-      CheckpointInfo info = write_checkpoint(job.path, snap_registry, codec_, job.step);
+      CheckpointInfo info =
+          io_ != nullptr
+              ? write_checkpoint(job.path, snap_registry, codec_, job.step, *io_)
+              : write_checkpoint(job.path, snap_registry, codec_, job.step);
       WCK_COUNTER_ADD("ckpt.async.jobs_completed", 1);
       WCK_HISTOGRAM_RECORD(
           "ckpt.async.flush_latency.seconds",
           std::chrono::duration<double>(std::chrono::steady_clock::now() - job.enqueued)
               .count());
+      succeeded = true;
       job.promise.set_value(std::move(info));
     } catch (...) {
+      // The worker must outlive any single failed write: the error goes
+      // to this job's future and the loop continues with the next job.
       WCK_COUNTER_ADD("ckpt.async.jobs_failed", 1);
       job.promise.set_exception(std::current_exception());
     }
@@ -91,6 +146,18 @@ void AsyncCheckpointWriter::worker_loop() {
       std::lock_guard lk(mu_);
       --in_flight_;
       depth = queue_.size() + in_flight_;
+      if (succeeded) {
+        consecutive_failures_ = 0;
+        unhealthy_ = false;
+      } else {
+        ++consecutive_failures_;
+        if (options_.unhealthy_after > 0 &&
+            consecutive_failures_ >= options_.unhealthy_after && !unhealthy_) {
+          unhealthy_ = true;
+          WCK_COUNTER_ADD("ckpt.async.unhealthy_transitions", 1);
+        }
+      }
+      WCK_GAUGE_SET("ckpt.async.healthy", unhealthy_ ? 0.0 : 1.0);
     }
     WCK_GAUGE_SET("ckpt.async.queue_depth", static_cast<double>(depth));
     idle_cv_.notify_all();

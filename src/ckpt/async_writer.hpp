@@ -7,6 +7,14 @@
 // encoding + file writing to a background worker. The application
 // continues mutating its state immediately; the checkpoint reflects the
 // snapshot instant.
+//
+// Degradation is explicit, never silent: the queue can be bounded with
+// a backpressure policy (block / drop-oldest / reject-newest — every
+// displaced job's future carries an IoError), the worker survives any
+// throwing write (the exception lands in that job's future and later
+// jobs proceed), and a configurable run of consecutive failures flips
+// the writer into an unhealthy state where new submissions fail fast
+// instead of queueing work against a dead storage path.
 #pragma once
 
 #include <chrono>
@@ -23,10 +31,31 @@
 
 namespace wck {
 
+class IoBackend;
+
+struct AsyncWriterOptions {
+  /// Maximum queued (not yet started) snapshots; 0 = unbounded.
+  std::size_t max_queue = 0;
+
+  enum class Backpressure {
+    kBlock,         ///< write_async blocks until the queue has room
+    kDropOldest,    ///< evict the oldest queued job (its future gets IoError)
+    kRejectNewest,  ///< fail the new job's future immediately
+  };
+  Backpressure backpressure = Backpressure::kBlock;
+
+  /// After this many consecutive write failures the writer reports
+  /// !healthy() and fails new submissions fast; 0 disables. A later
+  /// successful write (of already-queued work) restores health.
+  std::size_t unhealthy_after = 0;
+};
+
 class AsyncCheckpointWriter {
  public:
-  /// The codec must outlive the writer.
-  explicit AsyncCheckpointWriter(const Codec& codec);
+  /// The codec (and backend, when given) must outlive the writer; a
+  /// null backend means the process default.
+  explicit AsyncCheckpointWriter(const Codec& codec, AsyncWriterOptions options = {},
+                                 IoBackend* io = nullptr);
 
   /// Drains pending writes, then stops the worker.
   ~AsyncCheckpointWriter();
@@ -36,16 +65,25 @@ class AsyncCheckpointWriter {
 
   /// Snapshots `registry`'s arrays now; encodes and writes to `path` in
   /// the background. The returned future yields the write's
-  /// CheckpointInfo (or rethrows its error).
+  /// CheckpointInfo (or rethrows its error — including backpressure
+  /// eviction and unhealthy-writer rejection, both reported as IoError).
   std::future<CheckpointInfo> write_async(const std::filesystem::path& path,
                                           const CheckpointRegistry& registry,
                                           std::uint64_t step);
 
-  /// Blocks until every queued write has completed.
+  /// Blocks until every queued write has completed (successfully or
+  /// not). Errors are never swallowed: each failed job's exception
+  /// stays stored in its future.
   void drain();
 
   /// Number of snapshots queued or in flight.
   [[nodiscard]] std::size_t pending() const;
+
+  /// False once `unhealthy_after` consecutive writes have failed.
+  [[nodiscard]] bool healthy() const;
+
+  /// Current run of consecutive failed writes.
+  [[nodiscard]] std::size_t consecutive_failures() const;
 
  private:
   struct Job {
@@ -61,11 +99,16 @@ class AsyncCheckpointWriter {
   void worker_loop();
 
   const Codec& codec_;
+  const AsyncWriterOptions options_;
+  IoBackend* io_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable space_cv_;
   std::deque<Job> queue_;
   std::size_t in_flight_ = 0;
+  std::size_t consecutive_failures_ = 0;
+  bool unhealthy_ = false;
   bool stopping_ = false;
   std::thread worker_;
 };

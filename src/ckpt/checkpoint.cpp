@@ -1,7 +1,6 @@
 #include "ckpt/checkpoint.hpp"
 
-#include <fstream>
-
+#include "io/io_backend.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/checksum.hpp"
 #include "util/error.hpp"
@@ -140,40 +139,37 @@ CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
 
 CheckpointInfo write_checkpoint(const std::filesystem::path& path,
                                 const CheckpointRegistry& registry, const Codec& codec,
-                                std::uint64_t step) {
+                                std::uint64_t step, IoBackend& io) {
   WCK_TRACE_SPAN("ckpt.write");
   const WallTimer write_timer;
   CheckpointInfo info;
   const Bytes data = serialize_checkpoint(registry, codec, step, &info);
 
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw IoError("cannot open " + tmp.string() + " for writing");
-    f.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-    f.flush();
-    if (!f) throw IoError("write failed for " + tmp.string());
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) throw IoError("cannot rename " + tmp.string() + " to " + path.string());
+  // Durable commit: unique temp + fsync(file) + rename + fsync(dir).
+  // Without the fsyncs a crash shortly after the rename can still
+  // surface an empty or torn file under the committed name.
+  atomic_write_durable(io, path, data);
   WCK_COUNTER_ADD("ckpt.write.files", 1);
   WCK_HISTOGRAM_RECORD("ckpt.write.seconds", write_timer.seconds());
   return info;
 }
 
+CheckpointInfo write_checkpoint(const std::filesystem::path& path,
+                                const CheckpointRegistry& registry, const Codec& codec,
+                                std::uint64_t step) {
+  return write_checkpoint(path, registry, codec, step, default_io_backend());
+}
+
+CheckpointInfo read_checkpoint(const std::filesystem::path& path,
+                               const CheckpointRegistry& registry, IoBackend& io) {
+  WCK_TRACE_SPAN("ckpt.read");
+  const Bytes data = io.read_file(path);
+  return restore_checkpoint(data, registry);
+}
+
 CheckpointInfo read_checkpoint(const std::filesystem::path& path,
                                const CheckpointRegistry& registry) {
-  WCK_TRACE_SPAN("ckpt.read");
-  std::ifstream f(path, std::ios::binary | std::ios::ate);
-  if (!f) throw IoError("cannot open " + path.string() + " for reading");
-  const std::streamsize size = f.tellg();
-  f.seekg(0);
-  Bytes data(static_cast<std::size_t>(size));
-  f.read(reinterpret_cast<char*>(data.data()), size);
-  if (!f) throw IoError("read failed for " + path.string());
-  return restore_checkpoint(data, registry);
+  return read_checkpoint(path, registry, default_io_backend());
 }
 
 }  // namespace wck

@@ -69,11 +69,23 @@ struct CheckpointInfo {
 CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
                                   const CheckpointRegistry& registry);
 
-/// File variants of the above. write_checkpoint is atomic-ish: it writes
-/// to `<path>.tmp` then renames.
+class IoBackend;
+
+/// File variants of the above, routed through an IoBackend (explicit, or
+/// the process default — see src/io/io_backend.hpp). write_checkpoint
+/// commits durably and atomically: a process-unique `<path>.tmp.*` file
+/// is written, fsynced, renamed over `path`, and the parent directory is
+/// fsynced; concurrent writers to the same target cannot collide, and a
+/// crash leaves `path` either absent, the old contents, or fully the new
+/// contents.
+CheckpointInfo write_checkpoint(const std::filesystem::path& path,
+                                const CheckpointRegistry& registry, const Codec& codec,
+                                std::uint64_t step, IoBackend& io);
 CheckpointInfo write_checkpoint(const std::filesystem::path& path,
                                 const CheckpointRegistry& registry, const Codec& codec,
                                 std::uint64_t step);
+CheckpointInfo read_checkpoint(const std::filesystem::path& path,
+                               const CheckpointRegistry& registry, IoBackend& io);
 CheckpointInfo read_checkpoint(const std::filesystem::path& path,
                                const CheckpointRegistry& registry);
 

@@ -1,0 +1,328 @@
+#include "ckpt/manager.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+#include "telemetry/telemetry.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestHeader = "wck-manifest v1";
+constexpr std::uint32_t kCheckpointMagic = 0x504B4357;  // mirrors checkpoint.cpp
+
+std::string generation_file_name(std::uint64_t step) {
+  return "ckpt." + std::to_string(step) + ".wck";
+}
+
+/// Parses "ckpt.<step>.wck"; nullopt for anything else.
+std::optional<std::uint64_t> step_from_file_name(const std::string& name) {
+  constexpr std::string_view prefix = "ckpt.";
+  constexpr std::string_view suffix = ".wck";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string_view digits(name.data() + prefix.size(),
+                                name.size() - prefix.size() - suffix.size());
+  std::uint64_t step = 0;
+  const auto [ptr, ec] = std::from_chars(digits.begin(), digits.end(), step);
+  if (ec != std::errc{} || ptr != digits.end()) return std::nullopt;
+  return step;
+}
+
+}  // namespace
+
+const char* restore_source_name(RestoreSource source) noexcept {
+  switch (source) {
+    case RestoreSource::kPrimary: return "primary";
+    case RestoreSource::kOlderGeneration: return "older-generation";
+    case RestoreSource::kParity: return "parity";
+  }
+  return "unknown";
+}
+
+CheckpointManager::CheckpointManager(std::filesystem::path dir, const Codec& codec,
+                                     Options options, IoBackend* io)
+    : dir_(std::move(dir)), codec_(codec), options_(options), io_(io) {
+  if (options_.keep_generations == 0) {
+    throw InvalidArgumentError("CheckpointManager: keep_generations must be >= 1");
+  }
+  if (options_.retry.max_attempts < 1) {
+    throw InvalidArgumentError("CheckpointManager: retry.max_attempts must be >= 1");
+  }
+  std::filesystem::create_directories(dir_);
+  load_manifest();
+}
+
+IoBackend& CheckpointManager::io() const noexcept {
+  return io_ != nullptr ? *io_ : default_io_backend();
+}
+
+void CheckpointManager::load_manifest() {
+  generations_.clear();
+  const std::filesystem::path manifest = dir_ / kManifestName;
+  bool manifest_ok = false;
+  if (io().exists(manifest)) {
+    try {
+      const Bytes raw = io().read_file(manifest);
+      const std::string text(reinterpret_cast<const char*>(raw.data()), raw.size());
+      std::size_t pos = 0;
+      std::size_t line_no = 0;
+      manifest_ok = true;
+      while (pos < text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string line =
+            text.substr(pos, nl == std::string::npos ? nl : nl - pos);
+        pos = nl == std::string::npos ? text.size() : nl + 1;
+        if (line.empty()) continue;
+        if (line_no++ == 0) {
+          if (line != kManifestHeader) {
+            manifest_ok = false;
+            break;
+          }
+          continue;
+        }
+        unsigned long long step = 0;
+        unsigned long long size = 0;
+        char crc_hex[16] = {0};
+        char file[256] = {0};
+        if (std::sscanf(line.c_str(), "%llu %15s %llu %255s", &step, crc_hex, &size,
+                        file) != 4) {
+          manifest_ok = false;
+          break;
+        }
+        Generation gen;
+        gen.step = step;
+        gen.size = size;
+        gen.crc = static_cast<std::uint32_t>(std::strtoul(crc_hex, nullptr, 16));
+        gen.file = file;
+        generations_.push_back(std::move(gen));
+      }
+      if (!manifest_ok) generations_.clear();
+    } catch (const IoError&) {
+      manifest_ok = false;
+    }
+  }
+
+  if (!manifest_ok) {
+    // No (readable) manifest: recover what we can by scanning for
+    // generation files. size==0 marks "no manifest metadata" — restore
+    // then relies solely on the per-field CRCs inside the file.
+    WCK_COUNTER_ADD("ckpt.manifest.rebuilds", 1);
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+      const auto step = step_from_file_name(entry.path().filename().string());
+      if (!step.has_value()) continue;
+      Generation gen;
+      gen.step = *step;
+      gen.file = entry.path().filename().string();
+      generations_.push_back(std::move(gen));
+    }
+    std::sort(generations_.begin(), generations_.end(),
+              [](const Generation& a, const Generation& b) { return a.step > b.step; });
+  }
+  WCK_GAUGE_SET("ckpt.generations", static_cast<double>(generations_.size()));
+}
+
+void CheckpointManager::commit_manifest() {
+  std::string text = std::string(kManifestHeader) + "\n";
+  char line[384];
+  for (const Generation& gen : generations_) {
+    std::snprintf(line, sizeof(line), "%llu %08x %llu %s\n",
+                  static_cast<unsigned long long>(gen.step), gen.crc,
+                  static_cast<unsigned long long>(gen.size), gen.file.c_str());
+    text += line;
+  }
+  commit_with_retry(dir_ / kManifestName,
+                    Bytes(reinterpret_cast<const std::byte*>(text.data()),
+                          reinterpret_cast<const std::byte*>(text.data()) + text.size()));
+}
+
+void CheckpointManager::commit_with_retry(const std::filesystem::path& path,
+                                          const Bytes& data) {
+  const RetryPolicy& retry = options_.retry;
+  double backoff = retry.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      atomic_write_durable(io(), path, data);
+      return;
+    } catch (const IoError&) {
+      if (attempt >= retry.max_attempts) {
+        WCK_COUNTER_ADD("ckpt.write.giveups", 1);
+        throw;
+      }
+      WCK_COUNTER_ADD("ckpt.write.retries", 1);
+      if (retry.sleep_between_attempts) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff = std::min(backoff * retry.backoff_multiplier, retry.max_backoff_seconds);
+    }
+  }
+}
+
+CheckpointInfo CheckpointManager::write(const CheckpointRegistry& registry,
+                                        std::uint64_t step) {
+  WCK_TRACE_SPAN("ckpt.manager.write");
+  CheckpointInfo info;
+  const Bytes data = serialize_checkpoint(registry, codec_, step, &info);
+
+  Generation gen;
+  gen.step = step;
+  gen.crc = crc32(std::span<const std::byte>(data));
+  gen.size = data.size();
+  gen.file = generation_file_name(step);
+  commit_with_retry(dir_ / gen.file, data);
+
+  // Same-step rewrite replaces the old entry instead of duplicating it.
+  std::erase_if(generations_, [&](const Generation& g) { return g.step == step; });
+  generations_.insert(generations_.begin(), std::move(gen));
+  std::sort(generations_.begin(), generations_.end(),
+            [](const Generation& a, const Generation& b) { return a.step > b.step; });
+  rotate();
+  commit_manifest();
+  WCK_GAUGE_SET("ckpt.generations", static_cast<double>(generations_.size()));
+
+  if (parity_store_ != nullptr) parity_store_->store(parity_rank_, data);
+  return info;
+}
+
+void CheckpointManager::rotate() {
+  while (generations_.size() > options_.keep_generations) {
+    const Generation old = generations_.back();
+    generations_.pop_back();
+    try {
+      io().remove_file(dir_ / old.file);
+      WCK_COUNTER_ADD("ckpt.rotate.removed", 1);
+    } catch (const IoError&) {
+      // A failed delete must not fail the checkpoint that just
+      // committed; the orphan is picked up by a later rotation/scrub.
+      WCK_COUNTER_ADD("ckpt.rotate.remove_failures", 1);
+    }
+  }
+}
+
+std::optional<CheckpointInfo> CheckpointManager::try_restore_generation(
+    const Generation& gen, const CheckpointRegistry& registry) {
+  Bytes data;
+  try {
+    data = io().read_file(dir_ / gen.file);
+  } catch (const IoError&) {
+    WCK_COUNTER_ADD("ckpt.restore.read_failures", 1);
+    return std::nullopt;
+  }
+  // Whole-file manifest check first: cheaper than decoding, and catches
+  // truncation/corruption even in fields the registry doesn't cover.
+  if (gen.size != 0 &&
+      (data.size() != gen.size || crc32(std::span<const std::byte>(data)) != gen.crc)) {
+    WCK_COUNTER_ADD("ckpt.restore.manifest_mismatches", 1);
+    return std::nullopt;
+  }
+  try {
+    return restore_checkpoint(data, registry);
+  } catch (const Error&) {
+    // Transactional: the registry was not touched (aborts counted by
+    // restore_checkpoint itself).
+    return std::nullopt;
+  }
+}
+
+RestoreOutcome CheckpointManager::restore(const CheckpointRegistry& registry) {
+  WCK_TRACE_SPAN("ckpt.manager.restore");
+  RestoreOutcome outcome;
+  for (std::size_t i = 0; i < generations_.size(); ++i) {
+    ++outcome.generations_tried;
+    auto info = try_restore_generation(generations_[i], registry);
+    if (!info.has_value()) continue;
+    outcome.info = std::move(*info);
+    outcome.step = generations_[i].step;
+    outcome.path = dir_ / generations_[i].file;
+    outcome.source = i == 0 ? RestoreSource::kPrimary : RestoreSource::kOlderGeneration;
+    if (i > 0) WCK_COUNTER_ADD("ckpt.restore.fallbacks", 1);
+    return outcome;
+  }
+
+  if (parity_store_ != nullptr) {
+    const std::optional<Bytes> payload = parity_store_->retrieve(parity_rank_);
+    if (payload.has_value()) {
+      try {
+        outcome.info = restore_checkpoint(*payload, registry);
+        outcome.step = outcome.info.step;
+        outcome.source = RestoreSource::kParity;
+        WCK_COUNTER_ADD("ckpt.restore.parity_reconstructions", 1);
+        return outcome;
+      } catch (const Error&) {
+        // Fall through to the terminal error below.
+      }
+    }
+  }
+  throw CorruptDataError("CheckpointManager: no restorable generation in " + dir_.string() +
+                         " (" + std::to_string(outcome.generations_tried) + " tried)");
+}
+
+ScrubReport CheckpointManager::scrub() {
+  WCK_TRACE_SPAN("ckpt.manager.scrub");
+  ScrubReport report;
+  std::vector<Generation> kept;
+  kept.reserve(generations_.size());
+  for (const Generation& gen : generations_) {
+    ++report.checked;
+    bool ok = false;
+    try {
+      const Bytes data = io().read_file(dir_ / gen.file);
+      const bool manifest_ok =
+          gen.size == 0 ||
+          (data.size() == gen.size && crc32(std::span<const std::byte>(data)) == gen.crc);
+      // Even without manifest metadata a generation must at least open
+      // with the checkpoint magic.
+      const bool magic_ok =
+          data.size() >= 4 && (static_cast<std::uint32_t>(data[0]) |
+                               (static_cast<std::uint32_t>(data[1]) << 8) |
+                               (static_cast<std::uint32_t>(data[2]) << 16) |
+                               (static_cast<std::uint32_t>(data[3]) << 24)) == kCheckpointMagic;
+      ok = manifest_ok && magic_ok;
+    } catch (const IoError&) {
+      ok = false;
+    }
+    if (ok) {
+      kept.push_back(gen);
+      continue;
+    }
+    ++report.corrupt;
+    WCK_COUNTER_ADD("ckpt.scrub.corrupt", 1);
+    const std::filesystem::path from = dir_ / gen.file;
+    const std::filesystem::path to =
+        dir_ / (gen.file + ".quarantined." + std::to_string(quarantine_seq_++));
+    try {
+      io().rename_file(from, to);
+      report.quarantined.push_back(to);
+    } catch (const IoError&) {
+      // Quarantine is best effort: dropping the entry from the manifest
+      // already removes it from the restore chain.
+      WCK_COUNTER_ADD("ckpt.scrub.quarantine_failures", 1);
+    }
+  }
+  WCK_COUNTER_ADD("ckpt.scrub.checked", report.checked);
+  if (report.corrupt > 0) {
+    generations_ = std::move(kept);
+    commit_manifest();
+    WCK_GAUGE_SET("ckpt.generations", static_cast<double>(generations_.size()));
+  }
+  return report;
+}
+
+void CheckpointManager::attach_parity_store(InMemoryCheckpointStore* store,
+                                            std::size_t rank) {
+  parity_store_ = store;
+  parity_rank_ = rank;
+}
+
+}  // namespace wck

@@ -1,0 +1,150 @@
+// CheckpointManager — the resilience policy layer over write/restore.
+//
+// A checkpoint exists to survive failures, so the write path must
+// tolerate transient I/O errors (retry with capped exponential
+// backoff), the store must survive a corrupt file (keep-K generation
+// rotation behind a CRC manifest), and restore must degrade loudly and
+// gracefully instead of failing or — worse — silently restoring wrong
+// state: newest generation first, CRC-verified, falling back through
+// older generations and finally to XOR-parity reconstruction
+// (src/redundancy) when a peer-memory store is attached. scrub()
+// proactively verifies every generation and quarantines corrupt ones.
+//
+// Layout in the managed directory:
+//   ckpt.<step>.wck      one generation per committed step
+//   MANIFEST             "wck-manifest v1" + one "<step> <crc32-hex>
+//                        <size> <file>" line per generation, newest
+//                        first; committed atomically+durably after
+//                        every mutation
+//   *.quarantined.<n>    corrupt generations set aside by scrub()
+//
+// Telemetry: ckpt.write.retries / ckpt.write.giveups,
+// ckpt.restore.fallbacks / ckpt.restore.parity_reconstructions,
+// ckpt.scrub.checked / ckpt.scrub.corrupt, gauge ckpt.generations.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/codec.hpp"
+#include "io/io_backend.hpp"
+#include "redundancy/xor_parity.hpp"
+
+namespace wck {
+
+/// Capped exponential backoff for retriable (IoError) write failures.
+struct RetryPolicy {
+  int max_attempts = 4;                ///< total tries (1 = no retry)
+  double initial_backoff_seconds = 0.002;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.1;
+  bool sleep_between_attempts = true;  ///< false keeps tests instant
+};
+
+/// Where a successful restore actually came from.
+enum class RestoreSource : std::uint8_t {
+  kPrimary,          ///< newest generation, first try
+  kOlderGeneration,  ///< a fallback generation
+  kParity,           ///< XOR-parity reconstruction from the attached store
+};
+
+[[nodiscard]] const char* restore_source_name(RestoreSource source) noexcept;
+
+/// Result of CheckpointManager::restore — says which state the
+/// application is actually running from.
+struct RestoreOutcome {
+  CheckpointInfo info;
+  std::uint64_t step = 0;
+  RestoreSource source = RestoreSource::kPrimary;
+  std::size_t generations_tried = 0;  ///< candidates attempted (>=1)
+  std::filesystem::path path;         ///< restored file (empty for parity)
+};
+
+struct ScrubReport {
+  std::size_t checked = 0;
+  std::size_t corrupt = 0;
+  std::vector<std::filesystem::path> quarantined;
+};
+
+struct CheckpointManagerOptions {
+  std::size_t keep_generations = 3;  ///< >= 1
+  RetryPolicy retry;
+};
+
+class CheckpointManager {
+ public:
+  using Options = CheckpointManagerOptions;
+
+  /// Creates `dir` if needed and loads an existing MANIFEST (restart
+  /// support). The codec and backend must outlive the manager; a null
+  /// backend means the process default (default_io_backend()).
+  CheckpointManager(std::filesystem::path dir, const Codec& codec, Options options = {},
+                    IoBackend* io = nullptr);
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  /// Serializes the registry and durably commits generation
+  /// `ckpt.<step>.wck`, retrying per the RetryPolicy; rotates out
+  /// generations beyond keep_generations and commits the manifest.
+  /// Throws IoError after the final attempt fails (counted as a
+  /// giveup). Also mirrors the payload into the attached parity store,
+  /// when there is one.
+  CheckpointInfo write(const CheckpointRegistry& registry, std::uint64_t step);
+
+  /// Restores the newest restorable generation: read + manifest CRC
+  /// check + transactional decode, falling back through older
+  /// generations, then parity reconstruction. Throws CorruptDataError
+  /// when nothing is restorable. The registry arrays are only modified
+  /// by the generation that actually restores.
+  RestoreOutcome restore(const CheckpointRegistry& registry);
+
+  /// Verifies every generation against the manifest (size + CRC + file
+  /// magic); corrupt ones are renamed to `<file>.quarantined.<n>` and
+  /// dropped from the manifest.
+  ScrubReport scrub();
+
+  /// Attaches a peer-memory parity store: write() mirrors every payload
+  /// to `rank`, restore() falls back to store.retrieve(rank) when no
+  /// on-disk generation is restorable. The store must outlive the
+  /// manager; nullptr detaches.
+  void attach_parity_store(InMemoryCheckpointStore* store, std::size_t rank);
+
+  /// One committed generation (manifest order: newest first).
+  struct Generation {
+    std::uint64_t step = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t size = 0;
+    std::string file;  ///< name relative to dir()
+  };
+  [[nodiscard]] const std::vector<Generation>& generations() const noexcept {
+    return generations_;
+  }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  [[nodiscard]] IoBackend& io() const noexcept;
+  void load_manifest();
+  void commit_manifest();
+  void commit_with_retry(const std::filesystem::path& path, const Bytes& data);
+  void rotate();
+  /// Reads + verifies + restores one generation; returns the info on
+  /// success, nullopt (after counting the reason) on any failure.
+  std::optional<CheckpointInfo> try_restore_generation(const Generation& gen,
+                                                       const CheckpointRegistry& registry);
+
+  std::filesystem::path dir_;
+  const Codec& codec_;
+  Options options_;
+  IoBackend* io_;
+  std::vector<Generation> generations_;  ///< newest first
+  InMemoryCheckpointStore* parity_store_ = nullptr;
+  std::size_t parity_rank_ = 0;
+  std::uint64_t quarantine_seq_ = 0;
+};
+
+}  // namespace wck

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "ckpt/checkpoint.hpp"
+#include "io/io_backend.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -312,7 +313,8 @@ void DistributedClimate::restore_local(const NdArray<double>& zeta_slab,
 }
 
 CheckpointInfo DistributedClimate::write_local_checkpoint(const std::filesystem::path& dir,
-                                                          const Codec& codec) const {
+                                                          const Codec& codec,
+                                                          IoBackend* io) const {
   WCK_TRACE_SPAN("dist.ckpt.write");
   const WallTimer ckpt_timer;
   NdArray<double> zeta = local_vorticity();
@@ -322,7 +324,8 @@ CheckpointInfo DistributedClimate::write_local_checkpoint(const std::filesystem:
   reg.add("temperature", &temp);
   const auto path = dir / ("rank_" + std::to_string(comm_.rank()) + "_step_" +
                            std::to_string(step_) + ".wck");
-  CheckpointInfo info = write_checkpoint(path, reg, codec, step_);
+  CheckpointInfo info = io != nullptr ? write_checkpoint(path, reg, codec, step_, *io)
+                                      : write_checkpoint(path, reg, codec, step_);
   // Per-rank checkpoint time: the aggregate histogram feeds Fig. 9-style
   // breakdowns, the per-rank gauge exposes stragglers.
   if (telemetry::enabled()) {
@@ -336,7 +339,7 @@ CheckpointInfo DistributedClimate::write_local_checkpoint(const std::filesystem:
 }
 
 void DistributedClimate::read_local_checkpoint(const std::filesystem::path& dir,
-                                               std::uint64_t step) {
+                                               std::uint64_t step, IoBackend* io) {
   WCK_TRACE_SPAN("dist.ckpt.read");
   NdArray<double> zeta;
   NdArray<double> temp;
@@ -345,8 +348,40 @@ void DistributedClimate::read_local_checkpoint(const std::filesystem::path& dir,
   reg.add("temperature", &temp);
   const auto path = dir / ("rank_" + std::to_string(comm_.rank()) + "_step_" +
                            std::to_string(step) + ".wck");
-  const CheckpointInfo info = read_checkpoint(path, reg);
+  const CheckpointInfo info =
+      io != nullptr ? read_checkpoint(path, reg, *io) : read_checkpoint(path, reg);
   restore_local(zeta, temp, info.step);
+}
+
+void DistributedClimate::store_checkpoint_in_memory(InMemoryCheckpointStore& store,
+                                                    const Codec& codec) const {
+  WCK_TRACE_SPAN("dist.ckpt.memory_store");
+  NdArray<double> zeta = local_vorticity();
+  NdArray<double> temp = local_temperature();
+  CheckpointRegistry reg;
+  reg.add("vorticity", &zeta);
+  reg.add("temperature", &temp);
+  store.store(comm_.rank(), serialize_checkpoint(reg, codec, step_));
+}
+
+bool DistributedClimate::restore_checkpoint_from_memory(InMemoryCheckpointStore& store) {
+  WCK_TRACE_SPAN("dist.ckpt.memory_restore");
+  const bool reconstructed = !store.rank_alive(comm_.rank());
+  const std::optional<Bytes> payload = store.retrieve(comm_.rank());
+  if (!payload.has_value()) {
+    throw CorruptDataError("rank " + std::to_string(comm_.rank()) +
+                           ": in-memory checkpoint unrecoverable (parity group cannot "
+                           "reconstruct)");
+  }
+  NdArray<double> zeta;
+  NdArray<double> temp;
+  CheckpointRegistry reg;
+  reg.add("vorticity", &zeta);
+  reg.add("temperature", &temp);
+  const CheckpointInfo info = restore_checkpoint(*payload, reg);
+  restore_local(zeta, temp, info.step);
+  if (reconstructed) WCK_COUNTER_ADD("dist.ckpt.parity_recoveries", 1);
+  return reconstructed;
 }
 
 }  // namespace wck

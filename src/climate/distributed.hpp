@@ -20,6 +20,7 @@
 #include "ckpt/codec.hpp"
 #include "climate/mini_climate.hpp"
 #include "comm/communicator.hpp"
+#include "redundancy/xor_parity.hpp"
 
 namespace wck {
 
@@ -54,12 +55,28 @@ class DistributedClimate {
                      std::uint64_t step);
 
   /// Writes this rank's slab through `codec` into
-  /// dir/rank_<r>_step_<s>.wck. Returns the write info.
+  /// dir/rank_<r>_step_<s>.wck. Returns the write info. A non-null `io`
+  /// routes the file I/O through that backend — handing each rank its
+  /// own FaultInjectingBackend gives per-rank fault injection.
   CheckpointInfo write_local_checkpoint(const std::filesystem::path& dir,
-                                        const Codec& codec) const;
+                                        const Codec& codec, IoBackend* io = nullptr) const;
 
   /// Restores the slab written by write_local_checkpoint at `step`.
-  void read_local_checkpoint(const std::filesystem::path& dir, std::uint64_t step);
+  void read_local_checkpoint(const std::filesystem::path& dir, std::uint64_t step,
+                             IoBackend* io = nullptr);
+
+  /// Serializes this rank's slab through `codec` into the peer-memory
+  /// parity store at this rank's slot (refreshing the group parity) —
+  /// the RAID-5-style in-memory tier of the paper's Sec. V refs
+  /// [27]-[29].
+  void store_checkpoint_in_memory(InMemoryCheckpointStore& store, const Codec& codec) const;
+
+  /// Restores this rank's slab from the store; when the rank's copy was
+  /// lost (fail_rank), the payload is reconstructed from its parity
+  /// group. Returns true iff parity reconstruction was needed. Throws
+  /// CorruptDataError when the group cannot reconstruct (double
+  /// failure, or nothing stored).
+  bool restore_checkpoint_from_memory(InMemoryCheckpointStore& store);
 
  private:
   /// dzeta/dtemp for the given slab state (with valid halos).

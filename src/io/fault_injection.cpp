@@ -1,0 +1,247 @@
+#include "io/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+IoOp parse_op(const std::string& s) {
+  if (s == "write") return IoOp::kWrite;
+  if (s == "read") return IoOp::kRead;
+  if (s == "fsync") return IoOp::kFsync;
+  if (s == "fsyncdir") return IoOp::kFsyncDir;
+  if (s == "rename") return IoOp::kRename;
+  if (s == "remove") return IoOp::kRemove;
+  throw InvalidArgumentError("fault plan: unknown op '" + s + "'");
+}
+
+FaultKind parse_kind(const std::string& s) {
+  if (s == "fail") return FaultKind::kFail;
+  if (s == "torn") return FaultKind::kTorn;
+  if (s == "flip") return FaultKind::kFlip;
+  throw InvalidArgumentError("fault plan: unknown kind '" + s + "'");
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& what) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    throw InvalidArgumentError("fault plan: bad " + what + " '" + s + "'");
+  }
+  return std::stoull(s);
+}
+
+FaultRule parse_rule(const std::string& text) {
+  // op ':' kind '@' N (':' key '=' value)*
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t colon = text.find(':', pos);
+    parts.push_back(text.substr(pos, colon == std::string::npos ? colon : colon - pos));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (parts.size() < 2) {
+    throw InvalidArgumentError("fault plan: rule '" + text + "' needs op:kind@N");
+  }
+
+  FaultRule rule;
+  rule.op = parse_op(parts[0]);
+  const std::size_t at = parts[1].find('@');
+  if (at == std::string::npos) {
+    throw InvalidArgumentError("fault plan: rule '" + text + "' is missing '@N'");
+  }
+  rule.kind = parse_kind(parts[1].substr(0, at));
+  rule.nth = parse_u64(parts[1].substr(at + 1), "'@N'");
+  if (rule.nth == 0) throw InvalidArgumentError("fault plan: '@N' is 1-based");
+
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      throw InvalidArgumentError("fault plan: expected key=value, got '" + parts[i] + "'");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    const std::string value = parts[i].substr(eq + 1);
+    if (key == "every") {
+      rule.every = parse_u64(value, "every");
+    } else if (key == "count") {
+      rule.count = parse_u64(value, "count");
+    } else if (key == "byte") {
+      rule.byte_offset = parse_u64(value, "byte");
+      rule.has_byte = true;
+    } else if (key == "bit") {
+      rule.bit = static_cast<int>(parse_u64(value, "bit"));
+      if (rule.bit > 7) throw InvalidArgumentError("fault plan: bit must be 0..7");
+      rule.has_bit = true;
+    } else if (key == "seed") {
+      rule.seed = parse_u64(value, "seed");
+    } else if (key == "path") {
+      rule.path_substr = value;
+    } else {
+      throw InvalidArgumentError("fault plan: unknown key '" + key + "'");
+    }
+  }
+
+  if (rule.kind == FaultKind::kTorn && rule.op != IoOp::kWrite) {
+    throw InvalidArgumentError("fault plan: 'torn' applies only to write");
+  }
+  if (rule.kind == FaultKind::kFlip && rule.op != IoOp::kRead) {
+    throw InvalidArgumentError("fault plan: 'flip' applies only to read");
+  }
+  return rule;
+}
+
+}  // namespace
+
+const char* io_op_name(IoOp op) noexcept {
+  switch (op) {
+    case IoOp::kWrite: return "write";
+    case IoOp::kRead: return "read";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kFsyncDir: return "fsyncdir";
+    case IoOp::kRename: return "rename";
+    case IoOp::kRemove: return "remove";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string rule_text =
+        spec.substr(pos, semi == std::string::npos ? semi : semi - pos);
+    if (!rule_text.empty()) plan.rules.push_back(parse_rule(rule_text));
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("WCK_FAULT_PLAN");
+  return spec == nullptr ? FaultPlan{} : parse(spec);
+}
+
+FaultInjectingBackend::FaultInjectingBackend(FaultPlan plan, IoBackend& inner)
+    : plan_(std::move(plan)), inner_(inner), states_(plan_.rules.size()) {}
+
+const FaultRule* FaultInjectingBackend::check(IoOp op, const std::filesystem::path& path,
+                                              std::uint64_t* fire_index) {
+  std::lock_guard lk(mu_);
+  const std::string path_str = path.string();
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.op != op) continue;
+    if (!rule.path_substr.empty() && path_str.find(rule.path_substr) == std::string::npos) {
+      continue;
+    }
+    RuleState& st = states_[i];
+    ++st.matches;
+    const bool due = st.matches == rule.nth ||
+                     (rule.every > 0 && st.matches > rule.nth &&
+                      (st.matches - rule.nth) % rule.every == 0);
+    if (!due) continue;
+    if (rule.count > 0 && st.fires >= rule.count) continue;
+    if (fire_index != nullptr) *fire_index = st.fires;
+    ++st.fires;
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry::global()
+          .counter(std::string("io.fault.") + io_op_name(op))
+          .add(1);
+    }
+    return &rule;
+  }
+  return nullptr;
+}
+
+Bytes FaultInjectingBackend::read_file(const std::filesystem::path& path) {
+  std::uint64_t fire = 0;
+  const FaultRule* rule = check(IoOp::kRead, path, &fire);
+  if (rule != nullptr && rule->kind == FaultKind::kFail) {
+    throw IoError("injected read fault: " + path.string());
+  }
+  Bytes data = inner_.read_file(path);
+  if (rule != nullptr && rule->kind == FaultKind::kFlip && !data.empty()) {
+    // Deterministic position: explicit byte/bit win; otherwise derive
+    // from the rule seed and this fire's ordinal.
+    Xoshiro256 rng(rule->seed + fire);
+    const std::size_t byte = rule->has_byte
+                                 ? static_cast<std::size_t>(rule->byte_offset) % data.size()
+                                 : static_cast<std::size_t>(rng.bounded(data.size()));
+    const int bit = rule->has_bit ? rule->bit : static_cast<int>(rng.bounded(8));
+    data[byte] ^= static_cast<std::byte>(1u << bit);
+  }
+  return data;
+}
+
+void FaultInjectingBackend::write_file(const std::filesystem::path& path,
+                                       std::span<const std::byte> data) {
+  const FaultRule* rule = check(IoOp::kWrite, path, nullptr);
+  if (rule == nullptr) {
+    inner_.write_file(path, data);
+    return;
+  }
+  if (rule->kind == FaultKind::kTorn) {
+    const std::size_t keep = rule->has_byte
+                                 ? std::min<std::size_t>(rule->byte_offset, data.size())
+                                 : data.size() / 2;
+    inner_.write_file(path, data.subspan(0, keep));
+    throw IoError("injected torn write (" + std::to_string(keep) + " of " +
+                  std::to_string(data.size()) + " bytes): " + path.string());
+  }
+  // kFail: the file is created/truncated (a real EIO typically happens
+  // after open succeeded) but no byte lands.
+  inner_.write_file(path, data.subspan(0, 0));
+  throw IoError("injected write fault: " + path.string());
+}
+
+void FaultInjectingBackend::fsync_file(const std::filesystem::path& path) {
+  if (check(IoOp::kFsync, path, nullptr) != nullptr) {
+    throw IoError("injected fsync fault: " + path.string());
+  }
+  inner_.fsync_file(path);
+}
+
+void FaultInjectingBackend::fsync_dir(const std::filesystem::path& dir) {
+  if (check(IoOp::kFsyncDir, dir, nullptr) != nullptr) {
+    throw IoError("injected directory fsync fault: " + dir.string());
+  }
+  inner_.fsync_dir(dir);
+}
+
+void FaultInjectingBackend::rename_file(const std::filesystem::path& from,
+                                        const std::filesystem::path& to) {
+  if (check(IoOp::kRename, to, nullptr) != nullptr) {
+    throw IoError("injected rename fault: " + from.string() + " -> " + to.string());
+  }
+  inner_.rename_file(from, to);
+}
+
+bool FaultInjectingBackend::remove_file(const std::filesystem::path& path) {
+  if (check(IoOp::kRemove, path, nullptr) != nullptr) {
+    throw IoError("injected remove fault: " + path.string());
+  }
+  return inner_.remove_file(path);
+}
+
+bool FaultInjectingBackend::exists(const std::filesystem::path& path) {
+  return inner_.exists(path);
+}
+
+std::uint64_t FaultInjectingBackend::fault_count() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const RuleState& st : states_) n += st.fires;
+  return n;
+}
+
+std::uint64_t FaultInjectingBackend::rule_fault_count(std::size_t i) const {
+  std::lock_guard lk(mu_);
+  return i < states_.size() ? states_[i].fires : 0;
+}
+
+}  // namespace wck

@@ -1,0 +1,119 @@
+// Deterministic, seeded fault injection for the checkpoint I/O path.
+//
+// A FaultPlan is an ordered list of rules, each bound to one backend
+// operation (write, read, fsync, fsyncdir, rename, remove) and one
+// fault kind:
+//
+//   fail — the operation throws IoError (for write: after the file has
+//          been created/truncated but before any byte lands, modeling a
+//          crash-torn empty file plus a reported error);
+//   torn — write only: the first `byte` bytes land, then IoError;
+//   flip — read only: the read succeeds but bit `bit` of byte `byte`
+//          is inverted (positions derived deterministically from `seed`
+//          and the fire index when not given).
+//
+// Rules fire by per-rule match count: the rule's Nth matching operation
+// (1-based, after the optional `path=` substring filter), then again
+// every `every` matches, at most `count` times. All counting is
+// deterministic, so a failing soak replays exactly from its plan
+// string.
+//
+// Plan grammar (also accepted from the WCK_FAULT_PLAN environment
+// variable — see TOOLING.md "Fault injection & soak testing"):
+//
+//   plan  := rule (';' rule)*
+//   rule  := op ':' kind '@' N (':' key '=' value)*
+//   op    := write | read | fsync | fsyncdir | rename | remove
+//   kind  := fail | torn | flip
+//   key   := every | count | byte | bit | path | seed
+//
+// Example: "write:torn@5:every=9:byte=100;fsync:fail@4" tears every
+// 9th write starting at the 5th at byte 100, and fails the 4th fsync.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/io_backend.hpp"
+
+namespace wck {
+
+enum class IoOp : std::uint8_t { kWrite, kRead, kFsync, kFsyncDir, kRename, kRemove };
+
+/// Stable lowercase name used by the plan grammar and telemetry.
+[[nodiscard]] const char* io_op_name(IoOp op) noexcept;
+
+enum class FaultKind : std::uint8_t { kFail, kTorn, kFlip };
+
+struct FaultRule {
+  IoOp op = IoOp::kWrite;
+  FaultKind kind = FaultKind::kFail;
+  std::uint64_t nth = 1;          ///< first fire: Nth matching op (1-based)
+  std::uint64_t every = 0;        ///< refire period in matches (0 = once)
+  std::uint64_t count = 0;        ///< max fires (0 = unlimited)
+  std::uint64_t byte_offset = 0;  ///< torn: keep prefix length; flip: byte index
+  bool has_byte = false;          ///< byte= given (else derived/default)
+  int bit = 0;                    ///< flip: bit index 0..7
+  bool has_bit = false;
+  std::uint64_t seed = 0x5EEDFA17;  ///< flip position derivation
+  std::string path_substr;          ///< only ops whose path contains this
+};
+
+/// A parsed, immutable fault plan.
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+
+  /// Parses the grammar above; throws InvalidArgumentError with the
+  /// offending token on malformed input. An empty spec is an empty plan.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// parse(WCK_FAULT_PLAN), or an empty plan when unset.
+  [[nodiscard]] static FaultPlan from_env();
+
+  [[nodiscard]] bool empty() const noexcept { return rules.empty(); }
+};
+
+/// IoBackend decorator that replays a FaultPlan on top of an inner
+/// backend. Thread-safe: match/fire counting is under a mutex, so
+/// concurrent writers (e.g. the async checkpoint worker) observe one
+/// global deterministic op order per operation type.
+class FaultInjectingBackend final : public IoBackend {
+ public:
+  explicit FaultInjectingBackend(FaultPlan plan, IoBackend& inner = posix_backend());
+
+  [[nodiscard]] Bytes read_file(const std::filesystem::path& path) override;
+  void write_file(const std::filesystem::path& path,
+                  std::span<const std::byte> data) override;
+  void fsync_file(const std::filesystem::path& path) override;
+  void fsync_dir(const std::filesystem::path& dir) override;
+  void rename_file(const std::filesystem::path& from,
+                   const std::filesystem::path& to) override;
+  bool remove_file(const std::filesystem::path& path) override;
+  [[nodiscard]] bool exists(const std::filesystem::path& path) override;
+
+  /// Total faults injected so far (all rules).
+  [[nodiscard]] std::uint64_t fault_count() const;
+
+  /// Faults injected by rule `i` (plan order).
+  [[nodiscard]] std::uint64_t rule_fault_count(std::size_t i) const;
+
+ private:
+  struct RuleState {
+    std::uint64_t matches = 0;
+    std::uint64_t fires = 0;
+  };
+
+  /// Returns the rule that fires for this (op, path), or nullptr; bumps
+  /// counters. `fire_index` receives the rule's fire ordinal (0-based).
+  const FaultRule* check(IoOp op, const std::filesystem::path& path,
+                         std::uint64_t* fire_index);
+
+  FaultPlan plan_;
+  IoBackend& inner_;
+  mutable std::mutex mu_;
+  std::vector<RuleState> states_;
+};
+
+}  // namespace wck

@@ -1,0 +1,89 @@
+// Pluggable file-I/O backend for the checkpoint/restart path.
+//
+// Every file operation the C/R stack performs (whole-file read/write,
+// fsync of a file or its parent directory, rename, remove) goes through
+// an IoBackend so the resilience machinery can be exercised against
+// injected faults (src/io/fault_injection.hpp) exactly as it runs
+// against a healthy filesystem. PosixBackend is the production
+// implementation: fd-based POSIX I/O with real fsync, because a
+// checkpoint that was never flushed is not a restart point.
+//
+// The process-global default backend (default_io_backend()) is what the
+// convenience overloads in src/ckpt use. It is the PosixBackend unless
+// WCK_FAULT_PLAN is set in the environment — then it is a
+// FaultInjectingBackend replaying that plan, which lets CLI/CI soaks
+// inject faults into an unmodified binary.
+#pragma once
+
+#include <filesystem>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace wck {
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  /// Reads the whole file. Throws IoError on open/read failure.
+  [[nodiscard]] virtual Bytes read_file(const std::filesystem::path& path) = 0;
+
+  /// Creates/truncates `path` and writes `data` (open + write + close).
+  /// No durability guarantee — call fsync_file afterwards for that.
+  virtual void write_file(const std::filesystem::path& path,
+                          std::span<const std::byte> data) = 0;
+
+  /// Flushes a file's contents to stable storage.
+  virtual void fsync_file(const std::filesystem::path& path) = 0;
+
+  /// Flushes a directory's entries to stable storage (required after a
+  /// rename for the new name itself to be crash-durable).
+  virtual void fsync_dir(const std::filesystem::path& dir) = 0;
+
+  virtual void rename_file(const std::filesystem::path& from,
+                           const std::filesystem::path& to) = 0;
+
+  /// Removes `path`; a missing file is not an error (returns false).
+  virtual bool remove_file(const std::filesystem::path& path) = 0;
+
+  [[nodiscard]] virtual bool exists(const std::filesystem::path& path) = 0;
+};
+
+/// The fd-based POSIX implementation (stateless; thread-safe).
+class PosixBackend final : public IoBackend {
+ public:
+  [[nodiscard]] Bytes read_file(const std::filesystem::path& path) override;
+  void write_file(const std::filesystem::path& path,
+                  std::span<const std::byte> data) override;
+  void fsync_file(const std::filesystem::path& path) override;
+  void fsync_dir(const std::filesystem::path& dir) override;
+  void rename_file(const std::filesystem::path& from,
+                   const std::filesystem::path& to) override;
+  bool remove_file(const std::filesystem::path& path) override;
+  [[nodiscard]] bool exists(const std::filesystem::path& path) override;
+};
+
+/// Process-wide PosixBackend singleton.
+[[nodiscard]] PosixBackend& posix_backend();
+
+/// The backend used by convenience overloads that take no explicit
+/// backend. Defaults to posix_backend(), or to a process-lifetime
+/// FaultInjectingBackend when WCK_FAULT_PLAN is set at first use.
+[[nodiscard]] IoBackend& default_io_backend();
+
+/// Overrides the default backend (tests). nullptr restores the
+/// WCK_FAULT_PLAN / posix default. Not thread-safe against concurrent
+/// default_io_backend() users; call during single-threaded setup.
+void set_default_io_backend(IoBackend* backend);
+
+/// Durably commits `data` at `path`: writes `path`.tmp.<pid>.<seq> (the
+/// suffix is process-unique, so concurrent writers to the same target
+/// cannot collide), fsyncs the temp file, renames it over `path`, and
+/// fsyncs the parent directory so the commit survives a crash. On any
+/// failure the temp file is removed (best effort) and the error
+/// propagates; `path` is either fully the new contents or untouched.
+void atomic_write_durable(IoBackend& io, const std::filesystem::path& path,
+                          std::span<const std::byte> data);
+
+}  // namespace wck

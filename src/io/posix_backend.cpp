@@ -1,0 +1,162 @@
+#include "io/io_backend.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "io/fault_injection.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::filesystem::path& path) {
+  throw IoError(what + " " + path.string() + ": " + std::strerror(errno));
+}
+
+/// RAII fd so every error path closes.
+class Fd {
+ public:
+  Fd(const std::filesystem::path& path, int flags, mode_t mode = 0644)
+      : fd_(::open(path.c_str(), flags, mode)) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Bytes PosixBackend::read_file(const std::filesystem::path& path) {
+  const Fd fd(path, O_RDONLY | O_CLOEXEC);
+  if (!fd.ok()) throw_errno("cannot open", path);
+  Bytes data;
+  std::byte buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read failed for", path);
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  return data;
+}
+
+void PosixBackend::write_file(const std::filesystem::path& path,
+                              std::span<const std::byte> data) {
+  const Fd fd(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC);
+  if (!fd.ok()) throw_errno("cannot open for writing", path);
+  const std::byte* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd.get(), p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed for", path);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void PosixBackend::fsync_file(const std::filesystem::path& path) {
+  const Fd fd(path, O_RDONLY | O_CLOEXEC);
+  if (!fd.ok()) throw_errno("cannot open for fsync", path);
+  if (::fsync(fd.get()) != 0) throw_errno("fsync failed for", path);
+}
+
+void PosixBackend::fsync_dir(const std::filesystem::path& dir) {
+  const Fd fd(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (!fd.ok()) throw_errno("cannot open directory for fsync", dir);
+  if (::fsync(fd.get()) != 0) throw_errno("fsync failed for directory", dir);
+}
+
+void PosixBackend::rename_file(const std::filesystem::path& from,
+                               const std::filesystem::path& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    throw IoError("cannot rename " + from.string() + " to " + to.string() + ": " +
+                  std::strerror(errno));
+  }
+}
+
+bool PosixBackend::remove_file(const std::filesystem::path& path) {
+  if (::unlink(path.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;
+  throw_errno("cannot remove", path);
+}
+
+bool PosixBackend::exists(const std::filesystem::path& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+PosixBackend& posix_backend() {
+  static PosixBackend backend;
+  return backend;
+}
+
+namespace {
+
+IoBackend* make_env_default() {
+  const char* spec = std::getenv("WCK_FAULT_PLAN");
+  if (spec == nullptr || spec[0] == '\0') return &posix_backend();
+  // Process-lifetime fault backend: soaks set WCK_FAULT_PLAN and every
+  // checkpoint in the process runs against the injected faults.
+  static FaultInjectingBackend fault(FaultPlan::parse(spec), posix_backend());
+  return &fault;
+}
+
+std::atomic<IoBackend*> g_default{nullptr};
+
+}  // namespace
+
+IoBackend& default_io_backend() {
+  IoBackend* b = g_default.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    b = make_env_default();
+    g_default.store(b, std::memory_order_release);
+  }
+  return *b;
+}
+
+void set_default_io_backend(IoBackend* backend) {
+  g_default.store(backend == nullptr ? make_env_default() : backend,
+                  std::memory_order_release);
+}
+
+void atomic_write_durable(IoBackend& io, const std::filesystem::path& path,
+                          std::span<const std::byte> data) {
+  // Unique per process + call: two writers (sync + async, or two
+  // managers) committing to the same target never share a temp file.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  try {
+    io.write_file(tmp, data);
+    io.fsync_file(tmp);
+    io.rename_file(tmp, path);
+  } catch (...) {
+    try {
+      io.remove_file(tmp);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Cleanup is best effort; the original error is what matters.
+    }
+    throw;
+  }
+  const std::filesystem::path parent = path.parent_path();
+  io.fsync_dir(parent.empty() ? "." : parent);
+}
+
+}  // namespace wck

@@ -51,8 +51,15 @@ InMemoryCheckpointStore::InMemoryCheckpointStore(std::size_t ranks, std::size_t 
   if (group_size < 2) throw InvalidArgumentError("store: parity groups need >= 2 ranks");
 }
 
-std::size_t InMemoryCheckpointStore::group_of(std::size_t rank) const {
+// Rank-count and group layout are fixed at construction, so the range
+// check itself needs no lock; everything touching payloads_/stored_/
+// parities_ runs under mu_ (rank threads share one store).
+void InMemoryCheckpointStore::check_rank(std::size_t rank) const {
   if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+}
+
+std::size_t InMemoryCheckpointStore::group_of(std::size_t rank) const {
+  check_rank(rank);
   return rank / group_size_;
 }
 
@@ -64,7 +71,8 @@ std::pair<std::size_t, std::size_t> InMemoryCheckpointStore::group_range(
 }
 
 void InMemoryCheckpointStore::store(std::size_t rank, Bytes payload) {
-  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  check_rank(rank);
+  const std::lock_guard lock(mu_);
   payloads_[rank] = std::move(payload);
   stored_[rank] = true;
   refresh_group_parity(group_of(rank));
@@ -81,12 +89,20 @@ void InMemoryCheckpointStore::refresh_group_parity(std::size_t group) {
 }
 
 void InMemoryCheckpointStore::fail_rank(std::size_t rank) {
-  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  check_rank(rank);
+  const std::lock_guard lock(mu_);
   payloads_[rank].reset();
 }
 
+bool InMemoryCheckpointStore::rank_alive(std::size_t rank) const {
+  check_rank(rank);
+  const std::lock_guard lock(mu_);
+  return payloads_[rank].has_value();
+}
+
 std::optional<Bytes> InMemoryCheckpointStore::retrieve(std::size_t rank) const {
-  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  check_rank(rank);
+  const std::lock_guard lock(mu_);
   if (payloads_[rank].has_value()) return payloads_[rank];
   if (!stored_[rank]) return std::nullopt;  // never had a checkpoint
 
@@ -105,7 +121,8 @@ std::optional<Bytes> InMemoryCheckpointStore::retrieve(std::size_t rank) const {
   return xor_recover(parities_[group], members, rank - begin);
 }
 
-std::size_t InMemoryCheckpointStore::stored_bytes() const noexcept {
+std::size_t InMemoryCheckpointStore::stored_bytes() const {
+  const std::lock_guard lock(mu_);
   std::size_t n = 0;
   for (const auto& p : payloads_) {
     if (p.has_value()) n += p->size();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,8 @@ struct ParityBlock {
 /// A simulated in-memory checkpoint store over R ranks with parity
 /// groups of `group_size`: each rank holds its own checkpoint; each
 /// group holds one parity block. One lost rank per group is recoverable.
+/// Thread-safe — rank threads store/retrieve concurrently (the
+/// distributed driver shares one store across all ranks).
 class InMemoryCheckpointStore {
  public:
   InMemoryCheckpointStore(std::size_t ranks, std::size_t group_size);
@@ -48,18 +51,24 @@ class InMemoryCheckpointStore {
   /// Simulates the loss of a rank's memory.
   void fail_rank(std::size_t rank);
 
+  /// True while the rank's own copy is held (false after fail_rank —
+  /// retrieve() would have to reconstruct).
+  [[nodiscard]] bool rank_alive(std::size_t rank) const;
+
   /// The payload of `rank`: directly if alive, otherwise reconstructed
   /// via parity. Returns nullopt when reconstruction is impossible
   /// (two failures in one group, or nothing stored).
   [[nodiscard]] std::optional<Bytes> retrieve(std::size_t rank) const;
 
   /// Total bytes held (payloads + parity) — the memory overhead metric.
-  [[nodiscard]] std::size_t stored_bytes() const noexcept;
+  [[nodiscard]] std::size_t stored_bytes() const;
 
  private:
   void refresh_group_parity(std::size_t group);
   [[nodiscard]] std::pair<std::size_t, std::size_t> group_range(std::size_t group) const;
+  void check_rank(std::size_t rank) const;
 
+  mutable std::mutex mu_;
   std::size_t group_size_;
   std::vector<std::optional<Bytes>> payloads_;  ///< nullopt = failed/absent
   std::vector<ParityBlock> parities_;

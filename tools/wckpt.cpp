@@ -16,6 +16,14 @@
 //   roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]
 //              Compress + restore + error metrics in one process — the
 //              full paper pipeline in a single telemetry report.
+//   soak       --dir=DIR [--cycles=1000] [--shape=32x32] [--keep=3]
+//              [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]
+//              [--seed=N] [--verify-every=1] [--scrub-every=0]
+//              Runs N checkpoint/restart cycles through the resilient
+//              CheckpointManager under a fault plan (--fault-plan or
+//              WCK_FAULT_PLAN), verifying every restore bit-identical
+//              against the committed state for the generation that
+//              actually restored. Exits 1 on any silent wrong restore.
 //
 // Telemetry flags (every subcommand):
 //   --json             emit the RunReport as JSON on stdout instead of text
@@ -26,16 +34,21 @@
 // so they can never disagree about the numbers.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ckpt/manager.hpp"
 #include "core/compressor.hpp"
 #include "core/synthetic.hpp"
+#include "io/fault_injection.hpp"
 #include "stats/error_metrics.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace wck::tool {
 namespace {
@@ -51,6 +64,9 @@ namespace {
                "  info       --in=FILE\n"
                "  verify     --in=FILE --original=FILE [--max-mean-rel=PCT]\n"
                "  roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]\n"
+               "  soak       --dir=DIR [--cycles=1000] [--shape=32x32] [--keep=3]\n"
+               "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
+               "             [--seed=N] [--verify-every=1] [--scrub-every=0]\n"
                "common:      [--json] [--telemetry=FILE] [--trace=FILE]\n");
   std::exit(2);
 }
@@ -163,7 +179,8 @@ CompressionParams params_from_flags(const std::map<std::string, std::string>& fl
 void report_params_from_flags(const std::map<std::string, std::string>& flags,
                               telemetry::RunReport& report) {
   for (const char* key : {"shape", "quantizer", "n", "d", "levels", "entropy", "in", "out",
-                          "original", "kind", "seed"}) {
+                          "original", "kind", "seed", "dir", "keep", "verify-every",
+                          "scrub-every"}) {
     const auto it = flags.find(key);
     if (it != flags.end()) report.params[key] = it->second;
   }
@@ -325,6 +342,184 @@ int cmd_roundtrip(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// The soak harness: N deterministic checkpoint/restart cycles through
+/// the resilient CheckpointManager under an injected fault plan. The
+/// invariant it enforces is the resilience contract itself — a restore
+/// either reproduces, bit for bit, the committed state of the
+/// generation it reports restoring (possibly an older generation or the
+/// parity tier: documented degradation), or it fails loudly. A restore
+/// that "succeeds" with different bytes is silent data loss and fails
+/// the run.
+int cmd_soak(const std::map<std::string, std::string>& flags) {
+  const std::filesystem::path dir = require(flags, "dir");
+  const auto cycles =
+      static_cast<std::uint64_t>(std::strtoll(get_or(flags, "cycles", "1000").c_str(), nullptr, 10));
+  const Shape shape = parse_shape(get_or(flags, "shape", "32x32"));
+  const auto keep = static_cast<std::size_t>(
+      std::strtoll(get_or(flags, "keep", "3").c_str(), nullptr, 10));
+  const auto seed =
+      static_cast<std::uint64_t>(std::strtoll(get_or(flags, "seed", "2015").c_str(), nullptr, 10));
+  const auto verify_every = static_cast<std::uint64_t>(
+      std::strtoll(get_or(flags, "verify-every", "1").c_str(), nullptr, 10));
+  const auto scrub_every = static_cast<std::uint64_t>(
+      std::strtoll(get_or(flags, "scrub-every", "0").c_str(), nullptr, 10));
+
+  const std::string codec_name = get_or(flags, "codec", "null");
+  std::unique_ptr<Codec> codec;
+  if (codec_name == "null") {
+    codec = std::make_unique<NullCodec>();
+  } else if (codec_name == "gzip") {
+    codec = std::make_unique<GzipCodec>();
+  } else if (codec_name == "wavelet") {
+    CompressionParams p;
+    p.quantizer.divisions = 128;
+    codec = std::make_unique<WaveletLossyCodec>(p);
+  } else if (codec_name == "fpc") {
+    codec = std::make_unique<FpcCodec>();
+  } else {
+    usage(("unknown codec: " + codec_name).c_str());
+  }
+
+  const std::string plan_spec = get_or(flags, "fault-plan", "");
+  const FaultPlan plan =
+      plan_spec.empty() ? FaultPlan::from_env() : FaultPlan::parse(plan_spec);
+  FaultInjectingBackend fault_io(plan, posix_backend());
+  IoBackend& io = plan.empty() ? static_cast<IoBackend&>(posix_backend()) : fault_io;
+
+  std::filesystem::create_directories(dir);
+
+  CheckpointManager::Options options;
+  options.keep_generations = keep;
+  options.retry.sleep_between_attempts = false;  // keep 1000-cycle soaks fast
+  CheckpointManager manager(dir, *codec, options, &io);
+
+  // Peer-memory parity tier: the manager mirrors every committed payload
+  // into rank 0 of a two-rank group, so when every on-disk generation is
+  // corrupted the restore chain ends at the in-memory copy instead of
+  // data loss.
+  InMemoryCheckpointStore parity_store(2, 2);
+  manager.attach_parity_store(&parity_store, 0);
+
+  NdArray<double> state = make_smooth_field(shape, seed);
+  CheckpointRegistry registry;
+  registry.add("state", &state);
+
+  // Bit-exact committed images, keyed by step, for every generation the
+  // restore chain could legitimately land on.
+  std::map<std::uint64_t, std::vector<double>> committed;
+
+  std::uint64_t commits = 0;
+  std::uint64_t write_failures = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t fallback_restores = 0;
+  std::uint64_t parity_restores = 0;
+  std::uint64_t restore_failures = 0;
+  std::uint64_t silent_mismatches = 0;
+  std::uint64_t unverifiable = 0;
+
+  for (std::uint64_t cycle = 1; cycle <= cycles; ++cycle) {
+    // Deterministic state evolution: the soak is replayable from seed.
+    Xoshiro256 evolve(seed ^ (cycle * 0x9E3779B97F4A7C15ull));
+    for (double& v : state.values()) v += evolve.uniform(-0.01, 0.01);
+
+    try {
+      (void)manager.write(registry, cycle);
+      ++commits;
+      // What a restore of this generation must reproduce: the codec's
+      // round-trip of the state (identity for lossless codecs).
+      NdArray<double> expected = codec->decode(codec->encode(state));
+      committed[cycle] = std::vector<double>(expected.values().begin(),
+                                             expected.values().end());
+      // Keep images for every generation still on disk (plus slack for
+      // quarantined-then-refilled windows).
+      while (committed.size() > keep + 2) committed.erase(committed.begin());
+    } catch (const IoError&) {
+      ++write_failures;  // loud: retries exhausted, counted as a giveup
+    }
+
+    if (verify_every > 0 && cycle % verify_every == 0 && commits > 0) {
+      NdArray<double> scratch;
+      CheckpointRegistry verify_reg;
+      verify_reg.add("state", &scratch);
+      try {
+        const RestoreOutcome outcome = manager.restore(verify_reg);
+        ++restores;
+        if (outcome.source == RestoreSource::kOlderGeneration) ++fallback_restores;
+        if (outcome.source == RestoreSource::kParity) ++parity_restores;
+        const auto it = committed.find(outcome.step);
+        if (it == committed.end()) {
+          ++unverifiable;  // restored a generation older than our window
+        } else if (scratch.size() != it->second.size() ||
+                   std::memcmp(scratch.values().data(), it->second.data(),
+                               it->second.size() * sizeof(double)) != 0) {
+          ++silent_mismatches;
+          std::fprintf(stderr,
+                       "soak: cycle %llu SILENT MISMATCH — restore reported step %llu "
+                       "(%s) but bytes differ from committed state\n",
+                       static_cast<unsigned long long>(cycle),
+                       static_cast<unsigned long long>(outcome.step),
+                       restore_source_name(outcome.source));
+        }
+      } catch (const Error&) {
+        ++restore_failures;  // loud: the chain reported unrestorable
+      }
+    }
+
+    if (scrub_every > 0 && cycle % scrub_every == 0) {
+      try {
+        (void)manager.scrub();
+      } catch (const Error&) {
+        // Scrub I/O trouble is non-fatal; the next restore still guards.
+      }
+    }
+  }
+
+  WCK_COUNTER_ADD("soak.cycles", cycles);
+  WCK_COUNTER_ADD("soak.commits", commits);
+  WCK_COUNTER_ADD("soak.write_failures", write_failures);
+  WCK_COUNTER_ADD("soak.restores", restores);
+  WCK_COUNTER_ADD("soak.fallback_restores", fallback_restores);
+  WCK_COUNTER_ADD("soak.parity_restores", parity_restores);
+  WCK_COUNTER_ADD("soak.restore_failures", restore_failures);
+  WCK_COUNTER_ADD("soak.unverifiable_restores", unverifiable);
+  WCK_COUNTER_ADD("soak.silent_mismatches", silent_mismatches);
+  WCK_COUNTER_ADD("soak.faults_injected", fault_io.fault_count());
+
+  telemetry::RunReport report;
+  report.tool = "wckpt soak";
+  report_params_from_flags(flags, report);
+  report.params["codec"] = codec_name;
+  report.params["fault_plan"] = plan_spec.empty()
+                                    ? std::string(std::getenv("WCK_FAULT_PLAN") != nullptr
+                                                      ? std::getenv("WCK_FAULT_PLAN")
+                                                      : "")
+                                    : plan_spec;
+  report.params["cycles"] = std::to_string(cycles);
+  finish_run(flags, report);
+
+  std::fprintf(stderr,
+               "soak: %llu cycles, %llu commits (%llu write giveups), %llu restores "
+               "(%llu fallback, %llu parity, %llu failed, %llu unverifiable), "
+               "%llu faults injected, %llu silent mismatches\n",
+               static_cast<unsigned long long>(cycles),
+               static_cast<unsigned long long>(commits),
+               static_cast<unsigned long long>(write_failures),
+               static_cast<unsigned long long>(restores),
+               static_cast<unsigned long long>(fallback_restores),
+               static_cast<unsigned long long>(parity_restores),
+               static_cast<unsigned long long>(restore_failures),
+               static_cast<unsigned long long>(unverifiable),
+               static_cast<unsigned long long>(fault_io.fault_count()),
+               static_cast<unsigned long long>(silent_mismatches));
+
+  if (silent_mismatches > 0) return 1;
+  if (commits == 0) {
+    std::fprintf(stderr, "soak: no cycle ever committed — nothing was demonstrated\n");
+    return 1;
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
@@ -335,6 +530,7 @@ int run(int argc, char** argv) {
   if (cmd == "info") return cmd_info(flags);
   if (cmd == "verify") return cmd_verify(flags);
   if (cmd == "roundtrip") return cmd_roundtrip(flags);
+  if (cmd == "soak") return cmd_soak(flags);
   usage(("unknown command: " + cmd).c_str());
 }
 
