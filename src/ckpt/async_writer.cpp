@@ -49,6 +49,8 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
       using Backpressure = AsyncWriterOptions::Backpressure;
       switch (options_.backpressure) {
         case Backpressure::kBlock:
+          WCK_EVENT(kQueueBlock, step,
+                    "queue full (" + std::to_string(queue_.size()) + ")");
           space_cv_.wait(lk, [this] {
             return stopping_ || queue_.size() < options_.max_queue;
           });
@@ -57,6 +59,7 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
           Job victim = std::move(queue_.front());
           queue_.pop_front();
           WCK_COUNTER_ADD("ckpt.async.dropped_backpressure", 1);
+          WCK_EVENT(kQueueDropOldest, victim.step, victim.path.filename().string());
           victim.promise.set_exception(std::make_exception_ptr(
               IoError("checkpoint dropped by backpressure (drop-oldest): " +
                       victim.path.string())));
@@ -64,6 +67,7 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
         }
         case Backpressure::kRejectNewest:
           WCK_COUNTER_ADD("ckpt.async.rejected_backpressure", 1);
+          WCK_EVENT(kQueueRejectNewest, step, path.filename().string());
           job.promise.set_exception(std::make_exception_ptr(
               IoError("checkpoint rejected by backpressure (queue full): " +
                       path.string())));
@@ -155,6 +159,8 @@ void AsyncCheckpointWriter::worker_loop() {
             consecutive_failures_ >= options_.unhealthy_after && !unhealthy_) {
           unhealthy_ = true;
           WCK_COUNTER_ADD("ckpt.async.unhealthy_transitions", 1);
+          WCK_EVENT(kWriterUnhealthy, job.step,
+                    std::to_string(consecutive_failures_) + " consecutive failures");
         }
       }
       WCK_GAUGE_SET("ckpt.async.healthy", unhealthy_ ? 0.0 : 1.0);

@@ -158,9 +158,15 @@ void CheckpointManager::commit_with_retry(const std::filesystem::path& path,
     } catch (const IoError&) {
       if (attempt >= retry.max_attempts) {
         WCK_COUNTER_ADD("ckpt.write.giveups", 1);
+        WCK_EVENT(kCkptGiveup, 0,
+                  path.filename().string() + " after " + std::to_string(attempt) +
+                      " attempts");
         throw;
       }
       WCK_COUNTER_ADD("ckpt.write.retries", 1);
+      WCK_EVENT(kCkptRetry, 0,
+                path.filename().string() + " attempt " + std::to_string(attempt) + "/" +
+                    std::to_string(retry.max_attempts));
       if (retry.sleep_between_attempts) {
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       }
@@ -172,6 +178,7 @@ void CheckpointManager::commit_with_retry(const std::filesystem::path& path,
 CheckpointInfo CheckpointManager::write(const CheckpointRegistry& registry,
                                         std::uint64_t step) {
   WCK_TRACE_SPAN("ckpt.manager.write");
+  WCK_EVENT(kCkptBegin, step, "");
   CheckpointInfo info;
   const Bytes data = serialize_checkpoint(registry, codec_, step, &info);
 
@@ -190,6 +197,9 @@ CheckpointInfo CheckpointManager::write(const CheckpointRegistry& registry,
   rotate();
   commit_manifest();
   WCK_GAUGE_SET("ckpt.generations", static_cast<double>(generations_.size()));
+  WCK_EVENT(kCkptCommit, step,
+            generation_file_name(step) + " " + std::to_string(info.stored_bytes) +
+                " bytes");
 
   if (parity_store_ != nullptr) parity_store_->store(parity_rank_, data);
   return info;
@@ -202,6 +212,7 @@ void CheckpointManager::rotate() {
     try {
       io().remove_file(dir_ / old.file);
       WCK_COUNTER_ADD("ckpt.rotate.removed", 1);
+      WCK_EVENT(kCkptRotate, old.step, old.file);
     } catch (const IoError&) {
       // A failed delete must not fail the checkpoint that just
       // committed; the orphan is picked up by a later rotation/scrub.
@@ -237,16 +248,21 @@ std::optional<CheckpointInfo> CheckpointManager::try_restore_generation(
 
 RestoreOutcome CheckpointManager::restore(const CheckpointRegistry& registry) {
   WCK_TRACE_SPAN("ckpt.manager.restore");
+  WCK_EVENT(kRestoreBegin, 0, std::to_string(generations_.size()) + " generations");
   RestoreOutcome outcome;
   for (std::size_t i = 0; i < generations_.size(); ++i) {
     ++outcome.generations_tried;
     auto info = try_restore_generation(generations_[i], registry);
-    if (!info.has_value()) continue;
+    if (!info.has_value()) {
+      WCK_EVENT(kRestoreFallback, generations_[i].step, generations_[i].file);
+      continue;
+    }
     outcome.info = std::move(*info);
     outcome.step = generations_[i].step;
     outcome.path = dir_ / generations_[i].file;
     outcome.source = i == 0 ? RestoreSource::kPrimary : RestoreSource::kOlderGeneration;
     if (i > 0) WCK_COUNTER_ADD("ckpt.restore.fallbacks", 1);
+    WCK_EVENT(kRestoreDone, outcome.step, restore_source_name(outcome.source));
     return outcome;
   }
 
@@ -258,12 +274,16 @@ RestoreOutcome CheckpointManager::restore(const CheckpointRegistry& registry) {
         outcome.step = outcome.info.step;
         outcome.source = RestoreSource::kParity;
         WCK_COUNTER_ADD("ckpt.restore.parity_reconstructions", 1);
+        WCK_EVENT(kRestoreParity, outcome.step, "xor parity rank " +
+                                                    std::to_string(parity_rank_));
         return outcome;
       } catch (const Error&) {
         // Fall through to the terminal error below.
       }
     }
   }
+  WCK_EVENT(kRestoreFailed, 0,
+            std::to_string(outcome.generations_tried) + " generations tried");
   throw CorruptDataError("CheckpointManager: no restorable generation in " + dir_.string() +
                          " (" + std::to_string(outcome.generations_tried) + " tried)");
 }
@@ -298,6 +318,7 @@ ScrubReport CheckpointManager::scrub() {
     }
     ++report.corrupt;
     WCK_COUNTER_ADD("ckpt.scrub.corrupt", 1);
+    WCK_EVENT(kScrubCorrupt, gen.step, gen.file);
     const std::filesystem::path from = dir_ / gen.file;
     const std::filesystem::path to =
         dir_ / (gen.file + ".quarantined." + std::to_string(quarantine_seq_++));

@@ -326,6 +326,8 @@ CheckpointInfo DistributedClimate::write_local_checkpoint(const std::filesystem:
                            std::to_string(step_) + ".wck");
   CheckpointInfo info = io != nullptr ? write_checkpoint(path, reg, codec, step_, *io)
                                       : write_checkpoint(path, reg, codec, step_);
+  WCK_EVENT(kCkptCommit, step_,
+            "rank " + std::to_string(comm_.rank()) + " " + path.filename().string());
   // Per-rank checkpoint time: the aggregate histogram feeds Fig. 9-style
   // breakdowns, the per-rank gauge exposes stragglers.
   if (telemetry::enabled()) {
@@ -380,7 +382,10 @@ bool DistributedClimate::restore_checkpoint_from_memory(InMemoryCheckpointStore&
   reg.add("temperature", &temp);
   const CheckpointInfo info = restore_checkpoint(*payload, reg);
   restore_local(zeta, temp, info.step);
-  if (reconstructed) WCK_COUNTER_ADD("dist.ckpt.parity_recoveries", 1);
+  if (reconstructed) {
+    WCK_COUNTER_ADD("dist.ckpt.parity_recoveries", 1);
+    WCK_EVENT(kRestoreParity, info.step, "rank " + std::to_string(comm_.rank()));
+  }
   return reconstructed;
 }
 

@@ -90,11 +90,14 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
   // telemetry additionally resolves the paper's separate quantize /
   // encode stages.
   Bytes payload_bytes;
+  // Hoisted past the stage scope so an attached observer can inspect
+  // them without perturbing the timed stages.
+  std::vector<double> high;
+  QuantizationScheme scheme;
   {
     ScopedStage stage(out.times, "quantize_encode");
 
     LossyPayload p;
-    std::vector<double> high;
     {
       WCK_TRACE_SPAN("quantize");
       const WallTimer quantize_timer;
@@ -102,7 +105,7 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
       for_each_high_band(work.view(), plan.final_low_extents(),
                          [&high](double& v) { high.push_back(v); });
 
-      const QuantizationScheme scheme = QuantizationScheme::analyze(high, params_.quantizer);
+      scheme = QuantizationScheme::analyze(high, params_.quantizer);
 
       p.shape = input.shape();
       p.levels = params_.wavelet_levels;
@@ -136,6 +139,10 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
     }
   }
   out.payload_bytes = payload_bytes.size();
+
+  // Observer sees the coefficients exactly as the payload encodes them,
+  // outside every timed stage.
+  if (observer_ != nullptr) observer_->on_compress(input, plan, high, scheme);
 
   // --- Stage 5: entropy coding of the formatted stream. The legacy
   // "gzip" StageTimes slot is kept for Fig. 9; telemetry records the
@@ -263,6 +270,48 @@ NdArray<double> WaveletCompressor::decompress(std::span<const std::byte> data) {
   }
   wavelet_inverse(work.view(), p.wavelet, p.levels);
   return work;
+}
+
+StreamInfo WaveletCompressor::inspect(std::span<const std::byte> data) {
+  if (data.empty()) throw FormatError("empty compressed stream");
+  const auto tag = static_cast<std::uint8_t>(data[0]);
+  const auto body = data.subspan(1);
+
+  Bytes payload_storage;
+  std::span<const std::byte> payload;
+  switch (tag) {
+    case kTagNone:
+      payload = body;
+      break;
+    case kTagZlib:
+      payload_storage = zlib_decompress(body);
+      payload = payload_storage;
+      break;
+    case kTagGzip:
+      payload_storage = gzip_decompress(body);
+      payload = payload_storage;
+      break;
+    case kTagHuffman:
+      payload_storage = huffman_only_decompress(body);
+      payload = payload_storage;
+      break;
+    default:
+      throw FormatError("unknown entropy tag " + std::to_string(tag));
+  }
+
+  const LossyPayload p = decode_payload(payload);
+  StreamInfo info;
+  info.shape = p.shape;
+  info.levels = p.levels;
+  info.wavelet = p.wavelet;
+  info.quantizer = p.quantizer;
+  info.entropy_tag = tag;
+  info.averages_count = p.averages.size();
+  info.high_count = p.quantized.size();
+  info.quantized_count = p.indices.size();
+  info.exact_count = p.exact_values.size();
+  info.payload_bytes = payload.size();
+  return info;
 }
 
 WaveletCompressor::RoundTrip WaveletCompressor::round_trip(const NdArray<double>& input) const {

@@ -69,13 +69,50 @@ struct CompressedArray {
   }
 };
 
+/// Observation hook into one compress() invocation: fired after the
+/// wavelet transform and quantization analysis, before entropy coding.
+/// Spans/references are only valid for the duration of the call. The
+/// quality analyzer (src/quality) implements this; core deliberately
+/// only knows the abstract interface so the dependency points outward.
+class CompressionObserver {
+ public:
+  virtual ~CompressionObserver() = default;
+
+  /// `high` holds the high-band coefficients in the canonical
+  /// for_each_high_band order; `scheme` is the quantization scheme the
+  /// payload was built with.
+  virtual void on_compress(const NdArray<double>& original, const WaveletPlan& plan,
+                           std::span<const double> high,
+                           const QuantizationScheme& scheme) = 0;
+};
+
+/// Parameters recovered from a self-describing compressed stream
+/// without reconstructing the array (header + payload metadata only).
+struct StreamInfo {
+  Shape shape;
+  int levels = 0;
+  WaveletKind wavelet = WaveletKind::kHaar;
+  QuantizerKind quantizer = QuantizerKind::kSpike;
+  std::uint8_t entropy_tag = 0;      ///< kNone/kDeflate/kTempFileGzip/kHuffmanOnly order
+  std::size_t averages_count = 0;    ///< quantization table size (== effective n)
+  std::size_t high_count = 0;        ///< high-band elements (bitmap size)
+  std::size_t quantized_count = 0;   ///< of which stored as 1-byte indexes
+  std::size_t exact_count = 0;       ///< stored as raw doubles (outside spike)
+  std::size_t payload_bytes = 0;     ///< formatted size after entropy decode
+};
+
 /// The lossy checkpoint compressor (thread-safe: compress/decompress are
-/// const and reentrant).
+/// const and reentrant; attach_observer is not — configure before
+/// sharing across threads, and the observer itself must be thread-safe
+/// if compress runs concurrently).
 class WaveletCompressor {
  public:
   explicit WaveletCompressor(CompressionParams params = {});
 
   [[nodiscard]] const CompressionParams& params() const noexcept { return params_; }
+
+  /// Attaches (or detaches, with nullptr) a per-compress observer.
+  void attach_observer(CompressionObserver* observer) noexcept { observer_ = observer; }
 
   /// Compresses `input` (any rank 1..4). Throws InvalidArgumentError on
   /// empty input.
@@ -84,6 +121,11 @@ class WaveletCompressor {
   /// Decompresses a stream produced by compress() (any parameter set —
   /// the stream is self-describing).
   [[nodiscard]] static NdArray<double> decompress(std::span<const std::byte> data);
+
+  /// Reads the stream's parameters and payload composition without
+  /// rebuilding the array (the `wckpt analyze`/`info` path). Throws
+  /// FormatError on a malformed stream.
+  [[nodiscard]] static StreamInfo inspect(std::span<const std::byte> data);
 
   /// Convenience: compress, decompress, and report Eq. 6 error stats.
   struct RoundTrip {
@@ -95,6 +137,7 @@ class WaveletCompressor {
 
  private:
   CompressionParams params_;
+  CompressionObserver* observer_ = nullptr;
 };
 
 /// Extension the paper lists as future work (Sec. IV-C): instead of the

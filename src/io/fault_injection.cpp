@@ -152,6 +152,13 @@ const FaultRule* FaultInjectingBackend::check(IoOp op, const std::filesystem::pa
       telemetry::MetricsRegistry::global()
           .counter(std::string("io.fault.") + io_op_name(op))
           .add(1);
+      const char* kind = rule.kind == FaultKind::kFail   ? "fail"
+                         : rule.kind == FaultKind::kTorn ? "torn"
+                                                         : "flip";
+      WCK_EVENT(kFaultInjected, 0,
+                std::string(io_op_name(op)) + ":" + kind + " rule#" + std::to_string(i) +
+                    " fire " + std::to_string(st.fires) + " " +
+                    path.filename().string());
     }
     return &rule;
   }

@@ -1,0 +1,165 @@
+// Compression-quality analyzer: turns one compression (or one
+// compressed-stream/original pair) into a structured, per-band quality
+// breakdown — where the lossy pipeline concentrates its error, how much
+// of each high-frequency band was quantized, and how the spike
+// detection partitioned the coefficient domain.
+//
+// The paper reports only whole-array error aggregates (Sec. IV-A
+// Eq. 5/6); per-band statistics expose the mechanism behind them: with
+// a single Haar level on smooth data the HH band carries nearly all of
+// the quantization error while LH/HL stay near-exact, and a collapsing
+// spike occupancy is the early signal that `d` is mis-sized for the
+// data. Cross-cycle drift tracking extends the same lens over a whole
+// checkpoint/restart soak.
+//
+// Results render as a schema-versioned "wck-quality-report" JSON
+// document, carried opaquely in RunReport's `quality` section or
+// emitted standalone by `wckpt analyze`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "ndarray/ndarray.hpp"
+#include "stats/error_metrics.hpp"
+#include "telemetry/json.hpp"
+
+namespace wck::quality {
+
+/// Quality of one high-frequency band of one compression.
+struct BandQuality {
+  std::string name;        ///< band_name(), e.g. "l1.HL"
+  int level = 0;           ///< 1-based transform level
+  unsigned axis_mask = 0;  ///< bit ax set = high half of axis ax
+  std::size_t count = 0;       ///< coefficients in the band
+  std::size_t quantized = 0;   ///< of which mapped to averages-table indexes
+  ErrorStats error;            ///< coefficient-domain error (orig vs stored)
+
+  [[nodiscard]] double quantized_fraction() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(quantized) / static_cast<double>(count);
+  }
+};
+
+/// Spike-partition view of the quantization scheme (paper Eq. 4).
+struct SpikeQuality {
+  int partitions = 0;   ///< d-grid size (0 = simple quantizer, no grid)
+  int occupied = 0;     ///< partitions detected as spike
+  double quant_min = 0.0;   ///< span simple quantization was applied over
+  double quant_max = 0.0;
+  double domain_min = 0.0;  ///< full coefficient domain
+  double domain_max = 0.0;
+  std::size_t averages = 0;  ///< representative-value table size
+
+  [[nodiscard]] double occupancy() const noexcept {
+    return partitions == 0 ? 0.0
+                           : static_cast<double>(occupied) / static_cast<double>(partitions);
+  }
+};
+
+/// Rate/distortion record for one compressed variable.
+struct VariableQuality {
+  std::string name;
+  std::string shape;              ///< e.g. "[1156x82x2]"
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;  ///< 0 when unknown (probe path)
+  double bits_per_value = 0.0;       ///< 0 when compressed_bytes unknown
+  bool has_value_error = false;
+  ErrorStats value_error;         ///< value-domain error (pair path only)
+  ErrorStats coefficient_error;   ///< all high bands combined
+  std::vector<BandQuality> bands; ///< canonical order (level, then mask)
+  SpikeQuality spike;
+  bool has_spike = false;
+
+  [[nodiscard]] telemetry::Json to_json() const;
+};
+
+/// Cross-cycle error-drift tracker: records one error summary per
+/// checkpoint cycle and keeps a bounded reservoir of sample points plus
+/// exact first/last/worst aggregates, so a 10^5-cycle soak still
+/// renders as a small document.
+class DriftTracker {
+ public:
+  static constexpr std::size_t kMaxPoints = 256;
+
+  struct Point {
+    std::uint64_t cycle = 0;
+    double mean_rel = 0.0;
+    double rmse = 0.0;
+    double psnr = 0.0;
+  };
+
+  void record(std::uint64_t cycle, const ErrorStats& error);
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+
+  /// {"cycles":N,"first":{...},"last":{...},"worst":{...},"points":[...]}
+  /// or null when nothing was recorded.
+  [[nodiscard]] telemetry::Json to_json() const;
+
+ private:
+  std::uint64_t cycles_ = 0;
+  Point first_;
+  Point last_;
+  Point worst_;  ///< highest mean_rel
+  std::vector<Point> points_;
+  std::size_t stride_ = 1;  ///< keep every stride-th cycle; doubles when full
+};
+
+/// The full quality document ("wck-quality-report" v1).
+struct QualityReport {
+  static constexpr int kSchemaVersion = 1;
+  static constexpr const char* kSchemaName = "wck-quality-report";
+
+  std::vector<VariableQuality> variables;
+  telemetry::Json drift;  ///< DriftTracker::to_json(), null when absent
+
+  [[nodiscard]] telemetry::Json to_json() const;
+  [[nodiscard]] std::string to_json_text(int indent = 1) const;
+
+  /// Human-readable band table (the CLI text path).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Analyzes an (original, reconstructed) pair through the transform
+/// configured in `params`: both arrays are forward-transformed, the
+/// high-frequency coefficients compared per band, and the quantization
+/// scheme deterministically re-derived from the original's coefficients
+/// for quantized-fraction and spike occupancy. `compressed_bytes` (when
+/// nonzero) fills the rate side of the record. Shapes must match.
+[[nodiscard]] VariableQuality analyze_pair(const NdArray<double>& original,
+                                           const NdArray<double>& reconstructed,
+                                           const CompressionParams& params,
+                                           std::string name = "array",
+                                           std::size_t compressed_bytes = 0);
+
+/// CompressionObserver that captures a VariableQuality per compress()
+/// call, without a decompression pass: the stored value of each
+/// coefficient is known at compress time (its quantization average, or
+/// itself when exact), so the coefficient-domain comparison is exact.
+/// Not thread-safe; attach one probe per compressing thread.
+class QualityProbe final : public CompressionObserver {
+ public:
+  explicit QualityProbe(std::string variable_name = "array");
+
+  void on_compress(const NdArray<double>& original, const WaveletPlan& plan,
+                   std::span<const double> high,
+                   const QuantizationScheme& scheme) override;
+
+  /// One entry per observed compress() call, in call order.
+  [[nodiscard]] const std::vector<VariableQuality>& variables() const noexcept {
+    return variables_;
+  }
+
+  /// Moves the captured records into a QualityReport and clears the probe.
+  [[nodiscard]] QualityReport take_report();
+
+ private:
+  std::string variable_name_;
+  std::vector<VariableQuality> variables_;
+};
+
+}  // namespace wck::quality

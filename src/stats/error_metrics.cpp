@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -36,7 +37,14 @@ ErrorStats relative_error(std::span<const double> original,
   }
   s.mean_rel = sum_rel / static_cast<double>(original.size());
   s.rmse = std::sqrt(sum_sq / static_cast<double>(original.size()));
+  s.psnr = psnr_db(s.value_range, s.rmse);
   return s;
+}
+
+double psnr_db(double value_range, double rmse) noexcept {
+  if (value_range <= 0.0) return 0.0;
+  if (rmse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(value_range / rmse);
 }
 
 double compression_rate_percent(std::size_t original_bytes,

@@ -16,11 +16,19 @@ struct ErrorStats {
   double value_range = 0.0;  ///< max_j x_j - min_j x_j of the original
   double max_abs = 0.0;    ///< maximum absolute error
   double rmse = 0.0;       ///< root-mean-square absolute error
+  /// Peak signal-to-noise ratio 20*log10(value_range / rmse) in dB.
+  /// Guarded like mean_rel: an exact reconstruction (rmse 0) reports
+  /// +infinity; a degenerate original (value_range 0) or empty input
+  /// reports 0 (max_abs disambiguates). JSON serializes +inf as null.
+  double psnr = 0.0;
   std::size_t count = 0;
 
   [[nodiscard]] double mean_rel_percent() const noexcept { return mean_rel * 100.0; }
   [[nodiscard]] double max_rel_percent() const noexcept { return max_rel * 100.0; }
 };
+
+/// The ErrorStats::psnr convention applied to a free (range, rmse) pair.
+[[nodiscard]] double psnr_db(double value_range, double rmse) noexcept;
 
 /// Computes Eq. 6 statistics. Arrays must have equal size. A constant
 /// original array (range 0) reports relative errors of 0 when exact and

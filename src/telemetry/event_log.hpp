@@ -1,0 +1,119 @@
+// Checkpoint flight recorder: a bounded, thread-safe ring of structured
+// lifecycle events (checkpoint begin/commit/retry/fallback, scrub
+// quarantines, restore outcomes, fault injections, backpressure
+// actions). Unlike metrics — which aggregate — the event log preserves
+// the *sequence* of what happened, so a failed soak run can be
+// reconstructed after the fact: which fault fired, which retries it
+// caused, and which fallback finally satisfied the restore.
+//
+// Events are cheap but not free; emission goes through WCK_EVENT, which
+// is compiled to nothing more than a relaxed atomic load when telemetry
+// is disabled (WCK_TELEMETRY=off), matching the metrics macros.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"  // enabled()
+
+namespace wck::telemetry {
+
+/// Lifecycle event categories. Names (see event_kind_name) are part of
+/// the JSONL schema; append new kinds at the end, never reorder.
+enum class EventKind : std::uint8_t {
+  kCkptBegin,          ///< manager started serializing a checkpoint
+  kCkptCommit,         ///< generation durably committed
+  kCkptRetry,          ///< transient write failure, retrying
+  kCkptGiveup,         ///< retry budget exhausted, commit failed
+  kCkptRotate,         ///< old generation rotated out
+  kRestoreBegin,       ///< restore chain started
+  kRestoreFallback,    ///< newest generation unusable, trying older
+  kRestoreDone,        ///< restore satisfied (detail = source)
+  kRestoreParity,      ///< restore reconstructed from XOR parity
+  kRestoreFailed,      ///< no restorable generation anywhere
+  kScrubCorrupt,       ///< scrub quarantined a corrupt generation
+  kFaultInjected,      ///< fault-injection backend fired a planned fault
+  kQueueBlock,         ///< async writer blocked the producer (backpressure)
+  kQueueDropOldest,    ///< async writer dropped the oldest queued request
+  kQueueRejectNewest,  ///< async writer rejected the incoming request
+  kWriterUnhealthy,    ///< async writer entered fail-fast state
+  kSoakCycle,          ///< soak loop finished one mutate/commit cycle
+  kSoakVerifyFailed,   ///< soak loop detected state divergence
+};
+
+/// Stable dotted name for a kind ("ckpt.commit", "fault.injected", ...).
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+
+/// One recorded lifecycle event.
+struct Event {
+  std::uint64_t seq = 0;   ///< monotonic per-log sequence number
+  double t_us = 0.0;       ///< microseconds since the log's epoch (steady clock)
+  EventKind kind = EventKind::kCkptBegin;
+  std::uint64_t step = 0;  ///< checkpoint step / cycle number; 0 if n/a
+  std::string detail;      ///< free-form context ("attempt 2/5", path, ...)
+};
+
+/// Bounded ring of events. When full, the oldest event is overwritten
+/// and `dropped()` grows — a flight recorder keeps the most *recent*
+/// history, which is what post-mortems need.
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends an event; assigns its seq and timestamp.
+  void record(EventKind kind, std::uint64_t step = 0, std::string detail = {});
+
+  /// Events currently held, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Total events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total() const;
+  /// Events lost to ring overwrite: total() - min(total, capacity).
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drops all held events; seq numbering and the epoch continue.
+  void clear();
+
+  /// One JSON object per line, oldest first:
+  ///   {"seq":3,"t_us":12.5,"kind":"ckpt.retry","step":7,"detail":"attempt 2/5"}
+  /// Only the newest `max_events` lines when nonzero.
+  [[nodiscard]] std::string to_jsonl(std::size_t max_events = 0) const;
+
+  /// Writes to_jsonl() to `path`; throws std::runtime_error on failure.
+  void dump_to_file(const std::string& path, std::size_t max_events = 0) const;
+
+  /// Process-wide recorder used by WCK_EVENT (leaked intentionally,
+  /// like MetricsRegistry::global()).
+  static EventLog& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;      // ring_[total_ % capacity_] is the next slot
+  std::uint64_t total_ = 0;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// Renders one event as a compact JSON object (no trailing newline).
+[[nodiscard]] std::string event_to_json(const Event& e);
+
+}  // namespace wck::telemetry
+
+/// Records a lifecycle event into the global flight recorder. Arguments
+/// are not evaluated when telemetry is disabled.
+#define WCK_EVENT(kind, step, detail)                                    \
+  do {                                                                   \
+    if (::wck::telemetry::enabled()) {                                   \
+      ::wck::telemetry::EventLog::global().record(                       \
+          ::wck::telemetry::EventKind::kind,                             \
+          static_cast<std::uint64_t>(step), (detail));                   \
+    }                                                                    \
+  } while (false)

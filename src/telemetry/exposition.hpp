@@ -1,0 +1,87 @@
+// Metrics exposition: renders a MetricsSnapshot in the Prometheus text
+// format (https://prometheus.io/docs/instrumenting/exposition_formats/)
+// and runs an optional background writer that periodically dumps the
+// current metrics + flight-recorder tail to a directory. There is no
+// embedded HTTP server — a node-exporter-style textfile collector (or
+// plain `cat`) picks the files up, which keeps the dependency surface
+// at zero while still making long soak runs observable from outside the
+// process.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace wck::telemetry {
+
+/// Sanitizes a dotted metric name into a Prometheus metric name:
+/// "ckpt.write.retries" -> "wck_ckpt_write_retries". Any character
+/// outside [a-zA-Z0-9_] becomes '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view metric);
+
+/// Renders the snapshot as Prometheus text exposition format v0.0.4:
+/// counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`, and the
+/// bucket-interpolated quantiles as separate `_p50`/`_p95`/`_p99`
+/// gauges (native histogram quantile lines belong to summaries, which
+/// these are not).
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Background exposition: every `interval` the writer snapshots the
+/// global registry and flight recorder and (over)writes
+///   <dir>/metrics.prom   — prometheus_text of the current snapshot
+///   <dir>/events.jsonl   — newest flight-recorder events
+/// Overwriting keeps the file count bounded no matter how long the run
+/// is. Writes are best-effort: an unwritable directory must never take
+/// down the instrumented process.
+class PeriodicSnapshotWriter {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+    /// Newest events to include in events.jsonl (0 = all held).
+    std::size_t event_tail = 0;
+  };
+
+  PeriodicSnapshotWriter(std::filesystem::path dir, Options options);
+  ~PeriodicSnapshotWriter();
+
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  /// Performs one snapshot+write synchronously (also called by the
+  /// background loop). Returns false if either file failed to write.
+  bool write_once();
+
+  /// Starts the background thread (idempotent).
+  void start();
+
+  /// Stops the background thread promptly and performs a final
+  /// write_once() so the directory reflects the end state.
+  void stop();
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  std::filesystem::path dir_;
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::atomic<std::uint64_t> writes_{0};
+};
+
+}  // namespace wck::telemetry

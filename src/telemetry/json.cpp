@@ -288,7 +288,20 @@ class Parser {
     }
   }
 
+  /// RAII nesting guard: containers deeper than kMaxParseDepth fail
+  /// instead of recursing toward stack exhaustion.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > Json::kMaxParseDepth) parser.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser;
+  };
+
   Json array() {
+    const DepthGuard guard(*this);
     expect('[');
     Json::Array out;
     skip_ws();
@@ -307,6 +320,7 @@ class Parser {
   }
 
   Json object() {
+    const DepthGuard guard(*this);
     expect('{');
     Json::Object out;
     skip_ws();
@@ -330,6 +344,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

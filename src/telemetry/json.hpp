@@ -61,8 +61,17 @@ class Json {
   /// printed with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = -1) const;
 
+  /// Maximum container nesting depth parse() accepts. The parser is
+  /// recursive; the cap keeps hostile inputs (telemetry files are
+  /// attacker-adjacent once they cross a filesystem) from overflowing
+  /// the stack.
+  static constexpr int kMaxParseDepth = 96;
+
   /// Parses a complete JSON document; throws std::runtime_error with a
-  /// byte offset on malformed input or trailing garbage.
+  /// byte offset on malformed input, trailing garbage, or nesting
+  /// deeper than kMaxParseDepth. Duplicate object keys are accepted
+  /// with last-one-wins semantics (documented, tested). Non-finite
+  /// numbers cannot be parsed back — dump() serializes them as null.
   [[nodiscard]] static Json parse(std::string_view text);
 
  private:

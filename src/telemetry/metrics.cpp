@@ -1,5 +1,6 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <cstring>
@@ -73,6 +74,38 @@ double Histogram::mean() const noexcept {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> buckets, double min, double max,
+                          double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample (1-based), then the bucket holding it.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t below = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate inside bucket i: [lower, upper] spanned linearly by
+    // its samples. Edge buckets use the observed extremes so estimates
+    // never leave [min, max].
+    const double lower = i == 0 ? min : std::max(bounds[i - 1], min);
+    const double upper = i < bounds.size() ? std::min(bounds[i], max) : max;
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(buckets[i]);
+    const double v = lower + (upper - lower) * fraction;
+    return std::min(std::max(v, min), max);
+  }
+  return max;
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, bucket_counts(), min(), max(), q);
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(buckets_.size());
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -117,8 +150,18 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
-    snap.histograms[name] = MetricsSnapshot::HistogramStats{
-        h->count(), h->sum(), h->min(), h->max(), h->mean()};
+    MetricsSnapshot::HistogramStats stats{};
+    stats.count = h->count();
+    stats.sum = h->sum();
+    stats.min = h->min();
+    stats.max = h->max();
+    stats.mean = h->mean();
+    stats.bounds = h->bounds();
+    stats.buckets = h->bucket_counts();
+    stats.p50 = histogram_quantile(stats.bounds, stats.buckets, stats.min, stats.max, 0.50);
+    stats.p95 = histogram_quantile(stats.bounds, stats.buckets, stats.min, stats.max, 0.95);
+    stats.p99 = histogram_quantile(stats.bounds, stats.buckets, stats.min, stats.max, 0.99);
+    snap.histograms[name] = std::move(stats);
   }
   return snap;
 }

@@ -79,6 +79,10 @@ class Histogram {
   /// bucket_counts()[i] counts samples <= bounds()[i]; the final entry
   /// (index bounds().size()) is the overflow bucket.
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  /// Bucket-interpolated quantile estimate (q in [0, 1]): linear
+  /// interpolation inside the bucket holding the q-th sample, clamped to
+  /// the observed [min, max]. Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
   void reset() noexcept;
 
  private:
@@ -98,11 +102,25 @@ struct MetricsSnapshot {
     double min = 0.0;
     double max = 0.0;
     double mean = 0.0;
+    /// Bucket upper edges + counts (buckets.size() == bounds.size() + 1,
+    /// the final entry being the overflow bucket), so exposition can
+    /// render cumulative Prometheus buckets from a snapshot alone.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    /// Bucket-interpolated quantile estimates (Histogram::quantile).
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramStats> histograms;
 };
+
+/// The interpolation behind Histogram::quantile, usable on snapshot data.
+[[nodiscard]] double histogram_quantile(std::span<const double> bounds,
+                                        std::span<const std::uint64_t> buckets,
+                                        double min, double max, double q);
 
 /// Thread-safe named-metric registry. Metrics live as long as the
 /// registry; references returned by counter()/gauge()/histogram() never

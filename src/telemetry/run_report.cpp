@@ -1,7 +1,9 @@
 #include "telemetry/run_report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "telemetry/trace.hpp"
@@ -29,6 +31,9 @@ Json histogram_json(const MetricsSnapshot::HistogramStats& h) {
   o["min"] = h.min;
   o["max"] = h.max;
   o["mean"] = h.mean;
+  o["p50"] = h.p50;
+  o["p95"] = h.p95;
+  o["p99"] = h.p99;
   return Json(std::move(o));
 }
 
@@ -39,7 +44,18 @@ MetricsSnapshot::HistogramStats histogram_from_json(const Json& j) {
   h.min = j.at("min").as_number();
   h.max = j.at("max").as_number();
   h.mean = j.at("mean").as_number();
+  // Quantiles are additive (v1 reports written before them lack the
+  // keys); tolerate their absence for round-tripping old artifacts.
+  if (const Json* p = j.find("p50")) h.p50 = p->as_number();
+  if (const Json* p = j.find("p95")) h.p95 = p->as_number();
+  if (const Json* p = j.find("p99")) h.p99 = p->as_number();
   return h;
+}
+
+/// Non-finite doubles (ErrorSummary::psnr on exact reconstruction) have
+/// no JSON number form; the schema represents them as null.
+Json finite_or_null(double v) {
+  return std::isfinite(v) ? Json(v) : Json();
 }
 
 }  // namespace
@@ -80,6 +96,7 @@ Json RunReport::to_json() const {
     err_o["max_rel"] = error.max_rel;
     err_o["max_abs"] = error.max_abs;
     err_o["rmse"] = error.rmse;
+    err_o["psnr"] = finite_or_null(error.psnr);
     err_o["count"] = static_cast<double>(error.count);
     doc["error"] = std::move(err_o);
   }
@@ -97,6 +114,7 @@ Json RunReport::to_json() const {
   doc["metrics"] = std::move(metrics_o);
 
   doc["span_count"] = static_cast<double>(span_count);
+  if (!quality.is_null()) doc["quality"] = quality;
   return Json(std::move(doc));
 }
 
@@ -129,6 +147,10 @@ RunReport RunReport::from_json(const Json& doc) {
     r.error.max_rel = err->at("max_rel").as_number();
     r.error.max_abs = err->at("max_abs").as_number();
     r.error.rmse = err->at("rmse").as_number();
+    if (const Json* psnr = err->find("psnr")) {
+      r.error.psnr = psnr->is_null() ? std::numeric_limits<double>::infinity()
+                                     : psnr->as_number();
+    }
     r.error.count = static_cast<std::uint64_t>(err->at("count").as_number());
   }
 
@@ -143,6 +165,7 @@ RunReport RunReport::from_json(const Json& doc) {
     r.metrics.histograms[k] = histogram_from_json(v);
   }
   r.span_count = static_cast<std::uint64_t>(doc.at("span_count").as_number());
+  if (const Json* quality = doc.find("quality")) r.quality = *quality;
   return r;
 }
 

@@ -22,6 +22,7 @@ struct ErrorSummary {
   double max_rel = 0.0;
   double max_abs = 0.0;
   double rmse = 0.0;
+  double psnr = 0.0;  ///< dB; +inf (exact) serializes as JSON null
   std::uint64_t count = 0;
 };
 
@@ -40,6 +41,11 @@ struct RunReport {
   bool has_error_metrics = false;
   MetricsSnapshot metrics;
   std::uint64_t span_count = 0;
+  /// Optional quality-observability section (schema-versioned
+  /// "wck-quality-report" document built by src/quality — the telemetry
+  /// layer carries it opaquely so it stays dependency-free). Null when
+  /// absent.
+  Json quality;
 
   /// Eq. 5 (percent of original size; lower is better).
   [[nodiscard]] double compression_rate_percent() const noexcept {

@@ -5,6 +5,7 @@
 //   WCK_GAUGE_SET("ckpt.async.queue_depth", depth);
 //   WCK_HISTOGRAM_RECORD("stage.wavelet.seconds", dt);
 //   WCK_TRACE_SPAN("wavelet");           // RAII scope span
+//   WCK_EVENT(kCkptCommit, step, "gen ckpt.7.wck");  // flight recorder
 //
 // Everything is process-global, thread-safe, and disabled as a whole by
 // WCK_TELEMETRY=off in the environment. RunReport snapshots the metrics
@@ -12,6 +13,8 @@
 // wckpt CLI and the bench harness emit.
 #pragma once
 
+#include "telemetry/event_log.hpp"   // IWYU pragma: export
+#include "telemetry/exposition.hpp"  // IWYU pragma: export
 #include "telemetry/json.hpp"        // IWYU pragma: export
 #include "telemetry/metrics.hpp"     // IWYU pragma: export
 #include "telemetry/run_report.hpp"  // IWYU pragma: export

@@ -82,6 +82,14 @@ void haar_forward(NdSpan<double> a, int levels) {
   }
 }
 
+std::string band_name(int level, unsigned axis_mask, std::size_t rank) {
+  std::string name = "l" + std::to_string(level) + ".";
+  for (std::size_t ax = 0; ax < rank; ++ax) {
+    name.push_back((axis_mask & (1u << ax)) != 0 ? 'H' : 'L');
+  }
+  return name;
+}
+
 void haar_inverse(NdSpan<double> a, int levels) {
   if (levels < 1) throw InvalidArgumentError("wavelet levels must be >= 1");
   // Reconstruct the chain of low blocks, then unwind from the deepest.

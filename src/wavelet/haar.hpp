@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "ndarray/ndarray.hpp"
@@ -84,6 +85,62 @@ void for_each_high_band(NdSpan<T> a, const Shape& low_corner, Fn&& fn) {
     bool done = true;
     for (std::size_t ax = r; ax-- > 0;) {
       if (++idx[ax] < a.extent(ax)) {
+        done = false;
+        break;
+      }
+      idx[ax] = 0;
+    }
+    if (done) return;
+  }
+}
+
+/// Canonical display name of a high band: "l<level>.<axis letters>",
+/// e.g. "l1.HL" (level 1, high along axis 0, low along axis 1). Bit ax
+/// of `axis_mask` set means the element lies in the high half of axis
+/// ax at that level.
+[[nodiscard]] std::string band_name(int level, unsigned axis_mask, std::size_t rank);
+
+/// Enumerates the band identity of every high-band element in the SAME
+/// row-major order as for_each_high_band, so the two walks can be
+/// zipped: fn(ordinal, level, axis_mask) with ordinal counting high
+/// elements from 0, level 1-based (level 1 = first transform), and
+/// axis_mask as in band_name(). Pure geometry — no array needed, only
+/// the plan. A rank-r transform has up to 2^r - 1 high bands per level
+/// (bands vanish on axes already reduced to extent 1).
+template <typename Fn>
+void for_each_high_band_id(const WaveletPlan& plan, Fn&& fn) {
+  const Shape& shape = plan.shape();
+  const std::size_t r = shape.rank();
+  if (shape.size() == 0) return;
+  std::array<std::size_t, kMaxRank> idx{};
+  std::size_t ordinal = 0;
+  for (;;) {
+    // Count how many nested low corners contain idx; the first one that
+    // does not determines the element's level and its axis mask.
+    int inside = 0;
+    while (inside < plan.levels()) {
+      const Shape& low = plan.low_extents(inside);
+      bool in = true;
+      for (std::size_t ax = 0; ax < r; ++ax) {
+        if (idx[ax] >= low[ax]) {
+          in = false;
+          break;
+        }
+      }
+      if (!in) break;
+      ++inside;
+    }
+    if (inside < plan.levels()) {
+      const Shape& low = plan.low_extents(inside);
+      unsigned mask = 0;
+      for (std::size_t ax = 0; ax < r; ++ax) {
+        if (idx[ax] >= low[ax]) mask |= 1u << ax;
+      }
+      fn(ordinal++, inside + 1, mask);
+    }
+    bool done = true;
+    for (std::size_t ax = r; ax-- > 0;) {
+      if (++idx[ax] < shape[ax]) {
         done = false;
         break;
       }

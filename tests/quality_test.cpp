@@ -1,0 +1,322 @@
+// Tests for the compression-quality analyzer (src/quality): band-identity
+// walker vs the serialization-order walker, per-band error attribution,
+// the pair analyzer vs the compress-time probe, drift tracking bounds,
+// and the wck-quality-report JSON schema.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "core/synthetic.hpp"
+#include "quality/quality.hpp"
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+#include "wavelet/haar.hpp"
+
+namespace wck::quality {
+namespace {
+
+using telemetry::Json;
+
+CompressionParams spike_params(int n = 128, int levels = 1) {
+  CompressionParams p;
+  p.wavelet_levels = levels;
+  p.quantizer.kind = QuantizerKind::kSpike;
+  p.quantizer.divisions = n;
+  p.quantizer.spike_partitions = 64;
+  return p;
+}
+
+// ---------------------------------------------------------------- walker
+
+TEST(BandWalker, VisitsExactlyTheHighElementsInOrder) {
+  const auto plan = WaveletPlan::create(Shape{8, 6}, 2);
+  std::size_t visits = 0;
+  std::size_t last_ordinal = 0;
+  for_each_high_band_id(plan, [&](std::size_t ordinal, int level, unsigned mask) {
+    EXPECT_EQ(ordinal, visits) << "ordinals must be dense and increasing";
+    EXPECT_GE(level, 1);
+    EXPECT_LE(level, plan.levels());
+    EXPECT_NE(mask, 0u) << "a high element is high along at least one axis";
+    EXPECT_LT(mask, 4u) << "rank-2 masks use two bits";
+    last_ordinal = ordinal;
+    ++visits;
+  });
+  EXPECT_EQ(visits, plan.high_count());
+  EXPECT_EQ(last_ordinal + 1, plan.high_count());
+}
+
+TEST(BandWalker, ZipsWithForEachHighBand) {
+  // Tag every element of an array with its row-major linear offset, then
+  // walk both ways: the value sequence seen by for_each_high_band must
+  // be position-identical to the ordinal sequence of the id walker.
+  const Shape shape{6, 4, 2};
+  const auto plan = WaveletPlan::create(shape, 2);
+  NdArray<double> a(shape);
+  for (std::size_t i = 0; i < a.size(); ++i) a.values()[i] = static_cast<double>(i);
+
+  std::vector<double> by_value;
+  for_each_high_band(a.cview(), plan.final_low_extents(),
+                     [&](double v) { by_value.push_back(v); });
+
+  std::vector<std::pair<int, unsigned>> by_id(by_value.size());
+  std::size_t seen = 0;
+  for_each_high_band_id(plan, [&](std::size_t ordinal, int level, unsigned mask) {
+    ASSERT_LT(ordinal, by_id.size());
+    by_id[ordinal] = {level, mask};
+    ++seen;
+  });
+  ASSERT_EQ(seen, by_value.size());
+
+  // Re-derive each visited element's identity from its linear offset and
+  // check the walker agrees — the walker is pure geometry, this is the
+  // ground truth from the array side.
+  for (std::size_t ordinal = 0; ordinal < by_value.size(); ++ordinal) {
+    std::size_t off = static_cast<std::size_t>(by_value[ordinal]);
+    Shape idx{0, 0, 0};
+    for (std::size_t ax = shape.rank(); ax-- > 0;) {
+      idx[ax] = off % shape[ax];
+      off /= shape[ax];
+    }
+    int level = 0;
+    while (level < plan.levels()) {
+      const Shape& low = plan.low_extents(level);
+      bool in = true;
+      for (std::size_t ax = 0; ax < shape.rank(); ++ax) in = in && idx[ax] < low[ax];
+      if (!in) break;
+      ++level;
+    }
+    ASSERT_LT(level, plan.levels()) << "final-low element visited as high";
+    unsigned mask = 0;
+    for (std::size_t ax = 0; ax < shape.rank(); ++ax) {
+      if (idx[ax] >= plan.low_extents(level)[ax]) mask |= 1u << ax;
+    }
+    EXPECT_EQ(by_id[ordinal].first, level + 1) << "ordinal " << ordinal;
+    EXPECT_EQ(by_id[ordinal].second, mask) << "ordinal " << ordinal;
+  }
+}
+
+TEST(BandWalker, OneDimensionalDegenerateAxes) {
+  // Extent-1 axes can never be high: a {16,1} plan behaves like 1D.
+  const auto plan = WaveletPlan::create(Shape{16, 1}, 2);
+  for_each_high_band_id(plan, [&](std::size_t, int, unsigned mask) {
+    EXPECT_EQ(mask, 1u) << "only axis 0 can be high";
+  });
+}
+
+TEST(BandName, FormatsLevelAndAxisLetters) {
+  EXPECT_EQ(band_name(1, 0b01, 2), "l1.HL");
+  EXPECT_EQ(band_name(1, 0b10, 2), "l1.LH");
+  EXPECT_EQ(band_name(2, 0b11, 2), "l2.HH");
+  EXPECT_EQ(band_name(3, 0b101, 3), "l3.HLH");
+  EXPECT_EQ(band_name(1, 0b1, 1), "l1.H");
+}
+
+// ----------------------------------------------------------- analyze_pair
+
+TEST(AnalyzePair, MatchesRoundTripErrorAndBandGeometry) {
+  const auto field = make_smooth_field(Shape{32, 16}, 7);
+  const CompressionParams params = spike_params(128, 2);
+  const WaveletCompressor c(params);
+  const auto rt = c.round_trip(field);
+
+  const VariableQuality v =
+      analyze_pair(field, rt.reconstructed, params, "t", rt.compressed.data.size());
+
+  EXPECT_EQ(v.name, "t");
+  EXPECT_EQ(v.original_bytes, field.size_bytes());
+  EXPECT_EQ(v.compressed_bytes, rt.compressed.data.size());
+  EXPECT_GT(v.bits_per_value, 0.0);
+  EXPECT_LT(v.bits_per_value, 64.0) << "compression must beat raw doubles here";
+
+  // Value-domain error agrees with the compressor's own round-trip stats.
+  ASSERT_TRUE(v.has_value_error);
+  EXPECT_DOUBLE_EQ(v.value_error.mean_rel, rt.error.mean_rel);
+  EXPECT_DOUBLE_EQ(v.value_error.rmse, rt.error.rmse);
+
+  // Band bookkeeping: per-band counts partition the high elements, and
+  // the combined coefficient error covers all of them.
+  const auto plan = WaveletPlan::create(field.shape(), params.wavelet_levels);
+  std::size_t band_total = 0;
+  std::size_t quantized_total = 0;
+  int prev_level = 0;
+  unsigned prev_mask = 0;
+  for (const BandQuality& b : v.bands) {
+    EXPECT_GT(b.count, 0u) << b.name;
+    EXPECT_LE(b.quantized, b.count) << b.name;
+    EXPECT_EQ(b.name, band_name(b.level, b.axis_mask, field.shape().rank()));
+    // Canonical order: level ascending, mask ascending within a level.
+    EXPECT_TRUE(b.level > prev_level || (b.level == prev_level && b.axis_mask > prev_mask))
+        << b.name;
+    prev_level = b.level;
+    prev_mask = b.axis_mask;
+    band_total += b.count;
+    quantized_total += b.quantized;
+  }
+  EXPECT_EQ(band_total, plan.high_count());
+  EXPECT_EQ(v.coefficient_error.count, plan.high_count());
+
+  // Spike view present for the spike quantizer, with a sane occupancy.
+  ASSERT_TRUE(v.has_spike);
+  EXPECT_EQ(v.spike.partitions, params.quantizer.spike_partitions);
+  EXPECT_GT(v.spike.occupied, 0);
+  EXPECT_LE(v.spike.occupied, v.spike.partitions);
+  EXPECT_GT(quantized_total, 0u) << "smooth data must quantize something";
+}
+
+TEST(AnalyzePair, RejectsMismatchedShapesAndEmpty) {
+  const auto a = make_smooth_field(Shape{8, 8}, 1);
+  const auto b = make_smooth_field(Shape{8, 4}, 1);
+  EXPECT_THROW((void)analyze_pair(a, b, spike_params()), InvalidArgumentError);
+  const NdArray<double> empty;
+  EXPECT_THROW((void)analyze_pair(empty, empty, spike_params()), InvalidArgumentError);
+}
+
+TEST(QualityProbe, AgreesWithAnalyzePairOnQuantization) {
+  // The probe sees the exact scheme the payload was built with; the pair
+  // analyzer re-derives it deterministically from the original alone.
+  // Both must attribute the same quantized counts to the same bands.
+  const auto field = make_temperature_field(Shape{24, 16, 2}, 3);
+  const CompressionParams params = spike_params(64, 1);
+  WaveletCompressor c(params);
+  QualityProbe probe("t2m");
+  c.attach_observer(&probe);
+  const auto compressed = c.compress(field);
+  const auto reconstructed = WaveletCompressor::decompress(compressed.data);
+
+  ASSERT_EQ(probe.variables().size(), 1u);
+  const VariableQuality& observed = probe.variables()[0];
+  const VariableQuality derived = analyze_pair(field, reconstructed, params, "t2m");
+
+  EXPECT_EQ(observed.name, "t2m");
+  ASSERT_EQ(observed.bands.size(), derived.bands.size());
+  for (std::size_t i = 0; i < observed.bands.size(); ++i) {
+    EXPECT_EQ(observed.bands[i].name, derived.bands[i].name);
+    EXPECT_EQ(observed.bands[i].count, derived.bands[i].count);
+    EXPECT_EQ(observed.bands[i].quantized, derived.bands[i].quantized) << derived.bands[i].name;
+  }
+  EXPECT_EQ(observed.spike.occupied, derived.spike.occupied);
+
+  // Quantized counts also agree with the compressor's own header stat.
+  std::size_t observed_quantized = 0;
+  for (const BandQuality& b : observed.bands) observed_quantized += b.quantized;
+  EXPECT_EQ(observed_quantized, compressed.quantized_count);
+
+  // take_report moves and clears.
+  const QualityReport report = probe.take_report();
+  EXPECT_EQ(report.variables.size(), 1u);
+  EXPECT_TRUE(probe.variables().empty());
+}
+
+TEST(QualityProbe, NamesRepeatCallsDistinctly) {
+  const auto field = make_smooth_field(Shape{16, 8}, 2);
+  WaveletCompressor c(spike_params());
+  QualityProbe probe("v");
+  c.attach_observer(&probe);
+  (void)c.compress(field);
+  (void)c.compress(field);
+  ASSERT_EQ(probe.variables().size(), 2u);
+  EXPECT_EQ(probe.variables()[0].name, "v");
+  EXPECT_NE(probe.variables()[1].name, "v");
+}
+
+// ----------------------------------------------------------------- drift
+
+TEST(DriftTracker, BoundedReservoirKeepsAggregatesExact) {
+  DriftTracker drift;
+  ErrorStats e;
+  constexpr std::uint64_t kCycles = 10000;
+  for (std::uint64_t cycle = 1; cycle <= kCycles; ++cycle) {
+    e.mean_rel = (cycle == 4242) ? 0.5 : 1e-6 * static_cast<double>(cycle);
+    e.rmse = e.mean_rel;
+    e.psnr = 60.0;
+    drift.record(cycle, e);
+  }
+  EXPECT_EQ(drift.cycles(), kCycles);
+  EXPECT_LE(drift.points().size(), DriftTracker::kMaxPoints);
+  EXPECT_GE(drift.points().size(), DriftTracker::kMaxPoints / 2)
+      << "decimation must not collapse the reservoir";
+
+  const Json doc = drift.to_json();
+  EXPECT_EQ(doc.at("cycles").as_number(), static_cast<double>(kCycles));
+  // first/last/worst aggregates are exact regardless of decimation.
+  EXPECT_DOUBLE_EQ(doc.at("first").at("mean_rel").as_number(), 1e-6);
+  EXPECT_DOUBLE_EQ(doc.at("last").at("cycle").as_number(), static_cast<double>(kCycles));
+  EXPECT_DOUBLE_EQ(doc.at("worst").at("mean_rel").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(doc.at("worst").at("cycle").as_number(), 4242.0);
+  EXPECT_LE(doc.at("points").as_array().size(), DriftTracker::kMaxPoints);
+}
+
+TEST(DriftTracker, EmptyRendersNull) {
+  const DriftTracker drift;
+  EXPECT_TRUE(drift.to_json().is_null());
+}
+
+// ---------------------------------------------------------------- schema
+
+TEST(QualityReport, JsonSchemaShape) {
+  const auto field = make_smooth_field(Shape{16, 16}, 5);
+  const CompressionParams params = spike_params(64, 1);
+  const auto rt = WaveletCompressor(params).round_trip(field);
+
+  QualityReport report;
+  report.variables.push_back(
+      analyze_pair(field, rt.reconstructed, params, "x", rt.compressed.data.size()));
+  DriftTracker drift;
+  drift.record(1, rt.error);
+  report.drift = drift.to_json();
+
+  const Json doc = Json::parse(report.to_json_text());
+  EXPECT_EQ(doc.at("schema").as_string(), QualityReport::kSchemaName);
+  EXPECT_EQ(doc.at("schema_version").as_number(), QualityReport::kSchemaVersion);
+  const auto& vars = doc.at("variables").as_array();
+  ASSERT_EQ(vars.size(), 1u);
+  const Json& v = vars[0];
+  EXPECT_EQ(v.at("name").as_string(), "x");
+  EXPECT_GT(v.at("compressed_bytes").as_number(), 0.0);
+  EXPECT_GT(v.at("bits_per_value").as_number(), 0.0);
+  for (const char* key : {"mean_rel", "max_rel", "max_abs", "rmse", "value_range", "count"}) {
+    EXPECT_TRUE(v.at("value_error").find(key) != nullptr) << key;
+    EXPECT_TRUE(v.at("coefficient_error").find(key) != nullptr) << key;
+  }
+  const auto& bands = v.at("bands").as_array();
+  ASSERT_FALSE(bands.empty());
+  for (const Json& b : bands) {
+    EXPECT_FALSE(b.at("name").as_string().empty());
+    EXPECT_GE(b.at("quantized_fraction").as_number(), 0.0);
+    EXPECT_LE(b.at("quantized_fraction").as_number(), 1.0);
+    // psnr is number-or-null (null = +inf, an exact band).
+    const Json* psnr = b.find("psnr");
+    ASSERT_NE(psnr, nullptr);
+    EXPECT_TRUE(psnr->is_null() || psnr->as_number() > 0.0);
+  }
+  EXPECT_FALSE(doc.at("drift").is_null());
+
+  // The text rendering mentions every band by name.
+  const std::string text = report.to_text();
+  for (const Json& b : bands) {
+    EXPECT_NE(text.find(b.at("name").as_string()), std::string::npos);
+  }
+}
+
+TEST(QualityReport, ExactBandSerializesPsnrAsNull) {
+  // A band reconstructed exactly has rmse 0 -> psnr +inf -> JSON null.
+  BandQuality band;
+  band.name = "l1.H";
+  band.level = 1;
+  band.axis_mask = 1;
+  band.count = 4;
+  band.error.psnr = std::numeric_limits<double>::infinity();
+  VariableQuality v;
+  v.name = "x";
+  v.bands.push_back(band);
+  const Json doc = v.to_json();
+  EXPECT_TRUE(doc.at("bands").as_array()[0].at("psnr").is_null());
+}
+
+}  // namespace
+}  // namespace wck::quality

@@ -240,6 +240,57 @@ TEST(CheckpointManager, RetriesTransientWriteFaults) {
   EXPECT_EQ(restored, state);
 }
 
+TEST(CheckpointManager, FlightRecorderCapturesFaultRetryCommitSequence) {
+  // The flight recorder must preserve the *order* of what happened: the
+  // injected fault, the retry it caused, and the commit that finally
+  // succeeded — that sequence is what a post-mortem reconstructs.
+  telemetry::set_enabled(true);
+  TempDir dir;
+  FaultInjectingBackend io(FaultPlan::parse("write:fail@1:count=2"), posix_backend());
+  const NullCodec codec;
+  CheckpointManager manager(dir.path(), codec, fast_options(), &io);
+  NdArray<double> state = test_field();
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+
+  auto& log = telemetry::EventLog::global();
+  const std::uint64_t first_seq = log.total();
+  EXPECT_NO_THROW((void)manager.write(reg, 1));
+  NdArray<double> restored;
+  CheckpointRegistry rreg;
+  rreg.add("state", &restored);
+  (void)manager.restore(rreg);
+
+  std::vector<telemetry::Event> events;
+  for (const telemetry::Event& e : log.snapshot()) {
+    if (e.seq >= first_seq) events.push_back(e);
+  }
+  const auto index_of = [&](telemetry::EventKind kind) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].kind == kind) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+  const std::ptrdiff_t begin = index_of(telemetry::EventKind::kCkptBegin);
+  const std::ptrdiff_t fault = index_of(telemetry::EventKind::kFaultInjected);
+  const std::ptrdiff_t retry = index_of(telemetry::EventKind::kCkptRetry);
+  const std::ptrdiff_t commit = index_of(telemetry::EventKind::kCkptCommit);
+  const std::ptrdiff_t done = index_of(telemetry::EventKind::kRestoreDone);
+  ASSERT_GE(begin, 0);
+  ASSERT_GE(fault, 0);
+  ASSERT_GE(retry, 0);
+  ASSERT_GE(commit, 0);
+  ASSERT_GE(done, 0);
+  EXPECT_LT(begin, fault);
+  EXPECT_LT(fault, retry);
+  EXPECT_LT(retry, commit);
+  EXPECT_LT(commit, done);
+  EXPECT_EQ(events[static_cast<std::size_t>(commit)].step, 1u);
+  // The fault event names the op and kind for the post-mortem reader.
+  EXPECT_NE(events[static_cast<std::size_t>(fault)].detail.find("write:fail"),
+            std::string::npos);
+}
+
 TEST(CheckpointManager, GivesUpAfterMaxAttempts) {
   TempDir dir;
   FaultInjectingBackend io(FaultPlan::parse("write:fail@1:every=1"), posix_backend());

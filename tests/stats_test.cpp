@@ -65,6 +65,30 @@ TEST(RelativeError, RmseMatchesHandComputation) {
   EXPECT_DOUBLE_EQ(s.rmse, std::sqrt((9.0 + 16.0) / 4.0));
 }
 
+TEST(Psnr, ConventionCoversDegenerateInputs) {
+  // Zero range (constant signal): PSNR is undefined, reported as 0.
+  EXPECT_DOUBLE_EQ(psnr_db(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(psnr_db(-1.0, 1.0), 0.0);
+  // Exact reconstruction: +infinity, the serialization layer turns it
+  // into JSON null.
+  EXPECT_TRUE(std::isinf(psnr_db(10.0, 0.0)));
+  EXPECT_GT(psnr_db(10.0, 0.0), 0.0);
+  // Normal case: 20 log10(range / rmse).
+  EXPECT_DOUBLE_EQ(psnr_db(100.0, 1.0), 40.0);
+  EXPECT_NEAR(psnr_db(1.0, 0.01), 40.0, 1e-12);
+}
+
+TEST(Psnr, RelativeErrorFillsPsnrConsistently) {
+  const std::vector<double> x = {0.0, 5.0, 10.0};
+  const std::vector<double> y = {1.0, 5.0, 10.0};
+  const auto s = relative_error(x, y);
+  EXPECT_DOUBLE_EQ(s.psnr, psnr_db(s.value_range, s.rmse));
+  // Exact pair: +inf.
+  EXPECT_TRUE(std::isinf(relative_error(x, x).psnr));
+  // Empty pair: degenerate, 0.
+  EXPECT_DOUBLE_EQ(relative_error({}, {}).psnr, 0.0);
+}
+
 TEST(CompressionRate, Equation5) {
   EXPECT_DOUBLE_EQ(compression_rate_percent(1000, 120), 12.0);
   EXPECT_DOUBLE_EQ(compression_rate_percent(1000, 1000), 100.0);

@@ -4,10 +4,19 @@
 // and the zero-allocation guarantee of disabled instrumentation macros.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <new>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -266,6 +275,273 @@ TEST_F(TelemetryTest, JsonParserHandlesEscapesAndNesting) {
   const Json again = Json::parse(v.dump());
   EXPECT_EQ(again.at("s").as_string(), "a\"b\\c\ndA");
   EXPECT_THROW(Json::parse("{broken"), std::runtime_error);
+}
+
+TEST_F(TelemetryTest, HistogramQuantilesInterpolateWithinBuckets) {
+  const std::array<double, 3> bounds{10.0, 20.0, 30.0};
+  Histogram h{std::span<const double>(bounds)};
+  // 100 samples spread evenly into the first three buckets.
+  for (int i = 0; i < 50; ++i) h.record(5.0);    // <= 10
+  for (int i = 0; i < 40; ++i) h.record(15.0);   // <= 20
+  for (int i = 0; i < 10; ++i) h.record(25.0);   // <= 30
+  // p50 lands exactly on the edge of the first bucket.
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1e-9);
+  // p90 consumes all of bucket 2: its upper edge.
+  EXPECT_NEAR(h.quantile(0.9), 20.0, 1e-9);
+  // p75 is halfway through bucket 2 (rank 75 of 50+40): 10 + 25/40 * 10.
+  EXPECT_NEAR(h.quantile(0.75), 16.25, 1e-9);
+  // Quantiles are clamped to the observed range, not bucket edges.
+  EXPECT_GE(h.quantile(0.0), 5.0);
+  EXPECT_LE(h.quantile(1.0), 25.0);
+
+  // The same interpolation is reachable from snapshot data alone.
+  auto& reg = MetricsRegistry::global();
+  Histogram& rh = reg.histogram("test.quant", std::span<const double>(bounds));
+  for (int i = 0; i < 50; ++i) rh.record(5.0);
+  for (int i = 0; i < 50; ++i) rh.record(15.0);
+  const auto snap = reg.snapshot();
+  const auto& stats = snap.histograms.at("test.quant");
+  ASSERT_EQ(stats.buckets.size(), stats.bounds.size() + 1);
+  EXPECT_DOUBLE_EQ(stats.p50, histogram_quantile(stats.bounds, stats.buckets, stats.min,
+                                                 stats.max, 0.5));
+  EXPECT_GT(stats.p95, stats.p50);
+  EXPECT_GE(stats.p99, stats.p95);
+  EXPECT_LE(stats.p99, stats.max);
+}
+
+TEST_F(TelemetryTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+// ------------------------------------------------------- flight recorder
+
+TEST_F(TelemetryTest, EventLogRecordsInOrderWithMonotonicSeq) {
+  EventLog log(8);
+  log.record(EventKind::kCkptBegin, 1);
+  log.record(EventKind::kCkptCommit, 1, "gen file");
+  log.record(EventKind::kRestoreDone, 1, "primary");
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kCkptBegin);
+  EXPECT_EQ(events[1].detail, "gen file");
+  EXPECT_LE(events[0].t_us, events[1].t_us);
+  EXPECT_EQ(log.total(), 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST_F(TelemetryTest, EventLogRingOverwritesOldestAndCountsDropped) {
+  EventLog log(4);
+  for (std::uint64_t i = 0; i < 10; ++i) log.record(EventKind::kSoakCycle, i);
+  EXPECT_EQ(log.total(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Newest 4 survive, oldest first.
+  EXPECT_EQ(events[0].step, 6u);
+  EXPECT_EQ(events[3].step, 9u);
+  EXPECT_EQ(events[0].seq, 6u);
+
+  log.clear();
+  EXPECT_TRUE(log.snapshot().empty());
+  // Sequence numbering continues after clear.
+  log.record(EventKind::kSoakCycle, 11);
+  EXPECT_EQ(log.snapshot()[0].seq, 10u);
+}
+
+TEST_F(TelemetryTest, EventLogJsonlIsParseablePerLine) {
+  EventLog log(8);
+  log.record(EventKind::kCkptRetry, 7, "attempt 2/5 \"quoted\"");
+  log.record(EventKind::kFaultInjected, 0, "write:fail rule#0");
+  const std::string jsonl = log.to_jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "every event line is newline-terminated";
+    const Json v = Json::parse(jsonl.substr(start, end - start));
+    EXPECT_TRUE(v.find("seq") && v.find("t_us") && v.find("kind") && v.find("step") &&
+                v.find("detail"));
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  // Kind names are the stable dotted spellings.
+  EXPECT_NE(jsonl.find("\"ckpt.retry\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"fault.injected\""), std::string::npos);
+  // max_events keeps only the newest tail.
+  const std::string tail = log.to_jsonl(1);
+  EXPECT_EQ(tail.find("ckpt.retry"), std::string::npos);
+  EXPECT_NE(tail.find("fault.injected"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, EventKindNamesAreStable) {
+  // Part of the JSONL schema: spot-check both ends of the enum.
+  EXPECT_STREQ(event_kind_name(EventKind::kCkptBegin), "ckpt.begin");
+  EXPECT_STREQ(event_kind_name(EventKind::kRestoreParity), "restore.parity");
+  EXPECT_STREQ(event_kind_name(EventKind::kQueueDropOldest), "queue.drop_oldest");
+  EXPECT_STREQ(event_kind_name(EventKind::kSoakVerifyFailed), "soak.verify_failed");
+}
+
+TEST_F(TelemetryTest, DisabledEventMacroRecordsNothing) {
+  set_enabled(false);
+  const std::uint64_t before = EventLog::global().total();
+  WCK_EVENT(kCkptBegin, 1, "suppressed");
+  EXPECT_EQ(EventLog::global().total(), before);
+  set_enabled(true);
+  WCK_EVENT(kCkptBegin, 1, "recorded");
+  EXPECT_EQ(EventLog::global().total(), before + 1);
+}
+
+// ------------------------------------------------------------ exposition
+
+TEST_F(TelemetryTest, PrometheusNameSanitization) {
+  EXPECT_EQ(prometheus_name("ckpt.write.retries"), "wck_ckpt_write_retries");
+  EXPECT_EQ(prometheus_name("stage.gzip.seconds"), "wck_stage_gzip_seconds");
+  EXPECT_EQ(prometheus_name("weird-name with spaces"), "wck_weird_name_with_spaces");
+}
+
+TEST_F(TelemetryTest, PrometheusTextRendersAllMetricKinds) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.prom.counter").add(42);
+  reg.gauge("test.prom.gauge").set(2.5);
+  const std::array<double, 2> bounds{1.0, 10.0};
+  Histogram& h = reg.histogram("test.prom.hist", std::span<const double>(bounds));
+  h.record(0.5);
+  h.record(5.0);
+  h.record(100.0);  // overflow bucket
+
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE wck_test_prom_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_counter 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wck_test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_gauge 2.5"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("# TYPE wck_test_prom_hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_hist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_hist_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_hist_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_hist_sum"), std::string::npos);
+  // Quantiles ride along as separate gauges.
+  EXPECT_NE(text.find("wck_test_prom_hist_p50"), std::string::npos);
+  EXPECT_NE(text.find("wck_test_prom_hist_p99"), std::string::npos);
+  // Every line is either a comment or "name[{labels}] value".
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST_F(TelemetryTest, PeriodicSnapshotWriterWritesBothFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("wck_expo_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  MetricsRegistry::global().counter("test.expo.counter").add(5);
+  EventLog::global().record(EventKind::kSoakCycle, 3, "for exposition");
+
+  PeriodicSnapshotWriter::Options options;
+  options.interval = std::chrono::milliseconds(3600 * 1000);  // never fires
+  PeriodicSnapshotWriter writer(dir, options);
+  EXPECT_TRUE(writer.write_once());
+  EXPECT_GE(writer.writes(), 1u);
+  EXPECT_TRUE(fs::exists(dir / "metrics.prom"));
+  EXPECT_TRUE(fs::exists(dir / "events.jsonl"));
+
+  std::ifstream prom(dir / "metrics.prom");
+  const std::string text((std::istreambuf_iterator<char>(prom)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("wck_test_expo_counter 5"), std::string::npos);
+
+  // start/stop is clean and performs a final write.
+  const std::uint64_t before = writer.writes();
+  writer.start();
+  writer.stop();
+  EXPECT_GT(writer.writes(), before);
+  fs::remove_all(dir);
+}
+
+// -------------------------------------------------------- json edge cases
+
+TEST_F(TelemetryTest, JsonDepthLimitRejectsPathologicalNesting) {
+  // 200 nested arrays: beyond kMaxParseDepth, must throw (not overflow).
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)Json::parse(deep), std::runtime_error);
+  // Moderate nesting stays fine.
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_NO_THROW((void)Json::parse(ok));
+}
+
+TEST_F(TelemetryTest, JsonTruncatedInputsThrow) {
+  for (const char* text : {"{\"a\":", "[1,2", "\"unterminated", "{\"a\":1,", "tru", "-",
+                           "1e", "{\"a\" 1}", ""}) {
+    EXPECT_THROW((void)Json::parse(text), std::runtime_error) << text;
+  }
+  // Trailing garbage after a valid document is rejected too.
+  EXPECT_THROW((void)Json::parse("{} {}"), std::runtime_error);
+}
+
+TEST_F(TelemetryTest, JsonDuplicateKeysLastWins) {
+  const Json v = Json::parse(R"({"k":1,"k":2,"k":3})");
+  EXPECT_DOUBLE_EQ(v.at("k").as_number(), 3.0);
+  EXPECT_EQ(v.as_object().size(), 1u);
+}
+
+TEST_F(TelemetryTest, JsonNonFiniteNumbersSerializeAsNull) {
+  Json::Object o;
+  o["inf"] = std::numeric_limits<double>::infinity();
+  o["nan"] = std::numeric_limits<double>::quiet_NaN();
+  o["fin"] = 1.5;
+  const std::string text = Json(std::move(o)).dump();
+  const Json back = Json::parse(text);
+  EXPECT_TRUE(back.at("inf").is_null());
+  EXPECT_TRUE(back.at("nan").is_null());
+  EXPECT_DOUBLE_EQ(back.at("fin").as_number(), 1.5);
+}
+
+TEST_F(TelemetryTest, RunReportPsnrRoundTripsIncludingInfinity) {
+  RunReport report;
+  report.has_error_metrics = true;
+  report.error.rmse = 0.01;
+  report.error.psnr = 62.5;
+  RunReport back = RunReport::from_json(Json::parse(report.to_json_text()));
+  EXPECT_DOUBLE_EQ(back.error.psnr, 62.5);
+
+  // Exact reconstruction: psnr +inf -> JSON null -> +inf again.
+  report.error.psnr = std::numeric_limits<double>::infinity();
+  const std::string text = report.to_json_text();
+  EXPECT_EQ(text.find("inf"), std::string::npos) << "must not emit bare inf tokens";
+  back = RunReport::from_json(Json::parse(text));
+  EXPECT_TRUE(std::isinf(back.error.psnr));
+}
+
+TEST_F(TelemetryTest, RunReportCarriesQualitySectionOpaquely) {
+  RunReport report;
+  report.tool = "roundtrip";
+  Json::Object q;
+  q["schema"] = std::string("wck-quality-report");
+  q["schema_version"] = 1.0;
+  report.quality = Json(std::move(q));
+  const RunReport back = RunReport::from_json(Json::parse(report.to_json_text()));
+  ASSERT_FALSE(back.quality.is_null());
+  EXPECT_EQ(back.quality.at("schema").as_string(), "wck-quality-report");
+  // Absent quality stays null (older reports parse unchanged).
+  RunReport bare;
+  EXPECT_TRUE(RunReport::from_json(Json::parse(bare.to_json_text())).quality.is_null());
 }
 
 TEST_F(TelemetryTest, DisabledMacrosAllocateNothing) {

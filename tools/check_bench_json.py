@@ -3,9 +3,12 @@
 
 Validates files against the v1 schemas emitted by the repo:
 
-  wck-run-report   -- one run of the pipeline (wckpt --telemetry, RunReport)
-  wck-bench-record -- a bench harness record wrapping a run report
-                      (bench/* --bench-json, perf/BENCH_*.json)
+  wck-run-report     -- one run of the pipeline (wckpt --telemetry, RunReport)
+  wck-bench-record   -- a bench harness record wrapping a run report
+                        (bench/* --bench-json, perf/BENCH_*.json)
+  wck-quality-report -- per-band compression-quality analysis
+                        (wckpt analyze --json, or embedded as a run
+                        report's optional `quality` section)
 
 Usage: tools/check_bench_json.py FILE [FILE...]
 Exits 0 when every file validates; prints one line per problem otherwise.
@@ -17,6 +20,7 @@ import sys
 
 RUN_REPORT_SCHEMA = "wck-run-report"
 BENCH_RECORD_SCHEMA = "wck-bench-record"
+QUALITY_REPORT_SCHEMA = "wck-quality-report"
 SCHEMA_VERSION = 1
 
 
@@ -47,6 +51,116 @@ def _check_str_map(problems, obj, where, value_check, value_desc):
                 f"{where} key {k!r} must be a non-empty string")
         _expect(problems, value_check(v),
                 f"{where}[{k!r}] must be {value_desc} (got {v!r})")
+
+
+def _is_num_or_null(v):
+    """PSNR convention: +inf (exact reconstruction) serializes as null."""
+    return v is None or _is_num(v)
+
+
+def _check_error_stats(problems, e, where):
+    if not _expect(problems, isinstance(e, dict), f"{where} must be an object"):
+        return
+    for key in ("mean_rel", "max_rel", "max_abs", "rmse", "value_range"):
+        _expect(problems, _is_num(e.get(key)), f"{where}.{key} must be a number")
+    if "psnr" in e:
+        _expect(problems, _is_num_or_null(e["psnr"]),
+                f"{where}.psnr must be a number or null")
+    count = e.get("count")
+    _expect(problems, _is_num(count) and count >= 0,
+            f"{where}.count must be a non-negative number")
+
+
+def check_quality_report(problems, doc, *, where="$"):
+    if not _expect(problems, isinstance(doc, dict), f"{where} must be an object"):
+        return
+    _expect(problems, doc.get("schema") == QUALITY_REPORT_SCHEMA,
+            f"{where}.schema must be {QUALITY_REPORT_SCHEMA!r} (got {doc.get('schema')!r})")
+    _expect(problems, doc.get("schema_version") == SCHEMA_VERSION,
+            f"{where}.schema_version must be {SCHEMA_VERSION}")
+
+    variables = doc.get("variables")
+    if _expect(problems, isinstance(variables, list), f"{where}.variables must be an array"):
+        for i, v in enumerate(variables):
+            vw = f"{where}.variables[{i}]"
+            if not _expect(problems, isinstance(v, dict), f"{vw} must be an object"):
+                continue
+            _expect(problems, isinstance(v.get("name"), str) and v["name"],
+                    f"{vw}.name must be a non-empty string")
+            _expect(problems, isinstance(v.get("shape"), str) and v["shape"],
+                    f"{vw}.shape must be a non-empty string")
+            for key in ("original_bytes", "compressed_bytes"):
+                _expect(problems, _is_num(v.get(key)) and v[key] >= 0,
+                        f"{vw}.{key} must be a non-negative number")
+            _expect(problems, _is_num(v.get("bits_per_value")) and v["bits_per_value"] >= 0,
+                    f"{vw}.bits_per_value must be a non-negative number")
+            _check_error_stats(problems, v.get("coefficient_error"),
+                               f"{vw}.coefficient_error")
+            if "value_error" in v:
+                _check_error_stats(problems, v["value_error"], f"{vw}.value_error")
+
+            bands = v.get("bands")
+            if not _expect(problems, isinstance(bands, list) and bands,
+                           f"{vw}.bands must be a non-empty array"):
+                continue
+            for j, b in enumerate(bands):
+                bw = f"{vw}.bands[{j}]"
+                if not _expect(problems, isinstance(b, dict), f"{bw} must be an object"):
+                    continue
+                _expect(problems, isinstance(b.get("name"), str) and b["name"],
+                        f"{bw}.name must be a non-empty string")
+                _expect(problems, _is_num(b.get("level")) and b["level"] >= 1,
+                        f"{bw}.level must be >= 1")
+                _expect(problems, _is_num(b.get("axis_mask")) and b["axis_mask"] >= 1,
+                        f"{bw}.axis_mask must be >= 1")
+                count = b.get("count")
+                quantized = b.get("quantized")
+                _expect(problems, _is_num(count) and count > 0,
+                        f"{bw}.count must be a positive number")
+                _expect(problems, _is_num(quantized) and 0 <= quantized <= (count or 0),
+                        f"{bw}.quantized must be in [0, count]")
+                frac = b.get("quantized_fraction")
+                _expect(problems, _is_num(frac) and 0.0 <= frac <= 1.0,
+                        f"{bw}.quantized_fraction must be in [0, 1]")
+                _check_error_stats(problems, b.get("error"), f"{bw}.error")
+                _expect(problems, _is_num_or_null(b.get("psnr")),
+                        f"{bw}.psnr must be a number or null")
+
+            spike = v.get("spike")
+            if spike is not None:
+                sw = f"{vw}.spike"
+                if _expect(problems, isinstance(spike, dict), f"{sw} must be an object"):
+                    partitions = spike.get("partitions")
+                    occupied = spike.get("occupied")
+                    _expect(problems, _is_num(partitions) and partitions >= 0,
+                            f"{sw}.partitions must be a non-negative number")
+                    _expect(problems,
+                            _is_num(occupied) and 0 <= occupied <= (partitions or 0),
+                            f"{sw}.occupied must be in [0, partitions]")
+                    occupancy = spike.get("occupancy")
+                    _expect(problems, _is_num(occupancy) and 0.0 <= occupancy <= 1.0,
+                            f"{sw}.occupancy must be in [0, 1]")
+                    for key in ("quant_min", "quant_max", "domain_min", "domain_max"):
+                        _expect(problems, _is_num(spike.get(key)),
+                                f"{sw}.{key} must be a number")
+
+    drift = doc.get("drift")
+    if drift is not None:
+        dw = f"{where}.drift"
+        if _expect(problems, isinstance(drift, dict), f"{dw} must be an object"):
+            _expect(problems, _is_num(drift.get("cycles")) and drift["cycles"] > 0,
+                    f"{dw}.cycles must be a positive number")
+            for key in ("first", "last", "worst"):
+                point = drift.get(key)
+                pw = f"{dw}.{key}"
+                if _expect(problems, isinstance(point, dict), f"{pw} must be an object"):
+                    for field in ("cycle", "mean_rel", "rmse"):
+                        _expect(problems, _is_num(point.get(field)),
+                                f"{pw}.{field} must be a number")
+                    _expect(problems, _is_num_or_null(point.get("psnr")),
+                            f"{pw}.psnr must be a number or null")
+            _expect(problems, isinstance(drift.get("points"), list),
+                    f"{dw}.points must be an array")
 
 
 def check_run_report(problems, doc, *, where="report"):
@@ -81,6 +195,9 @@ def check_run_report(problems, doc, *, where="report"):
             for key in ("mean_rel", "max_rel", "max_abs", "rmse"):
                 _expect(problems, _is_num(error.get(key)),
                         f"{where}.error.{key} must be a number")
+            if "psnr" in error:
+                _expect(problems, _is_num_or_null(error["psnr"]),
+                        f"{where}.error.psnr must be a number or null")
             count = error.get("count")
             _expect(problems, isinstance(count, int) and count >= 0,
                     f"{where}.error.count must be a non-negative integer")
@@ -101,10 +218,31 @@ def check_run_report(problems, doc, *, where="report"):
                 for key in ("count", "sum", "min", "max", "mean"):
                     _expect(problems, _is_num(h.get(key)),
                             f"{where}.metrics.histograms[{name!r}].{key} must be a number")
+                # Quantiles and bucket layout are optional (added in v1
+                # without a version bump: consumers ignore unknown keys).
+                for key in ("p50", "p95", "p99"):
+                    if key in h:
+                        _expect(problems, _is_num(h[key]),
+                                f"{where}.metrics.histograms[{name!r}].{key} "
+                                "must be a number")
+                if "bounds" in h or "buckets" in h:
+                    bounds = h.get("bounds")
+                    buckets = h.get("buckets")
+                    ok = (isinstance(bounds, list) and isinstance(buckets, list)
+                          and len(buckets) == len(bounds) + 1
+                          and all(_is_num(x) for x in bounds)
+                          and all(isinstance(x, int) and x >= 0 for x in buckets))
+                    _expect(problems, ok,
+                            f"{where}.metrics.histograms[{name!r}] bounds/buckets "
+                            "must be arrays with len(buckets) == len(bounds) + 1")
 
     span_count = doc.get("span_count")
     _expect(problems, isinstance(span_count, int) and span_count >= 0,
             f"{where}.span_count must be a non-negative integer")
+
+    quality = doc.get("quality")
+    if quality is not None:
+        check_quality_report(problems, quality, where=f"{where}.quality")
 
 
 def check_bench_record(problems, doc):
@@ -133,9 +271,11 @@ def check_file(path):
         check_bench_record(problems, doc)
     elif schema == RUN_REPORT_SCHEMA:
         check_run_report(problems, doc, where="$")
+    elif schema == QUALITY_REPORT_SCHEMA:
+        check_quality_report(problems, doc, where="$")
     else:
-        problems.add(f"unknown schema {schema!r} "
-                     f"(expected {BENCH_RECORD_SCHEMA!r} or {RUN_REPORT_SCHEMA!r})")
+        problems.add(f"unknown schema {schema!r} (expected {BENCH_RECORD_SCHEMA!r}, "
+                     f"{RUN_REPORT_SCHEMA!r}, or {QUALITY_REPORT_SCHEMA!r})")
     return problems
 
 

@@ -16,6 +16,13 @@
 //   roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]
 //              Compress + restore + error metrics in one process — the
 //              full paper pipeline in a single telemetry report.
+//   analyze    --in=COMPRESSED --original=FILE [--d=64] [--name=VAR] [--out=FILE]
+//              Per-band quality analysis of a compressed stream against
+//              its original: both are wavelet-transformed with the
+//              stream's own parameters, every high-frequency band gets
+//              error stats + PSNR + quantized fraction, and the spike
+//              partition occupancy is re-derived. --json emits the
+//              standalone "wck-quality-report" document.
 //   soak       --dir=DIR [--cycles=1000] [--shape=32x32] [--keep=3]
 //              [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]
 //              [--seed=N] [--verify-every=1] [--scrub-every=0]
@@ -27,11 +34,17 @@
 //
 // Telemetry flags (every subcommand):
 //   --json             emit the RunReport as JSON on stdout instead of text
+//                      (for analyze: the quality report document)
 //   --telemetry=FILE   also write the RunReport JSON to FILE
 //   --trace=FILE       write a chrome://tracing span dump to FILE
+//   --events=FILE      dump the flight-recorder event log as JSONL to FILE
+//   --expose=DIR[,MS]  periodically write metrics.prom + events.jsonl to
+//                      DIR every MS milliseconds (default 1000) while
+//                      the command runs
 //
 // Both the text and --json paths render the same RunReport aggregate,
 // so they can never disagree about the numbers.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -45,6 +58,7 @@
 #include "core/compressor.hpp"
 #include "core/synthetic.hpp"
 #include "io/fault_injection.hpp"
+#include "quality/quality.hpp"
 #include "stats/error_metrics.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
@@ -64,10 +78,12 @@ namespace {
                "  info       --in=FILE\n"
                "  verify     --in=FILE --original=FILE [--max-mean-rel=PCT]\n"
                "  roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]\n"
+               "  analyze    --in=COMPRESSED --original=FILE [--d=64] [--name=VAR] [--out=FILE]\n"
                "  soak       --dir=DIR [--cycles=1000] [--shape=32x32] [--keep=3]\n"
                "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
                "             [--seed=N] [--verify-every=1] [--scrub-every=0]\n"
-               "common:      [--json] [--telemetry=FILE] [--trace=FILE]\n");
+               "common:      [--json] [--telemetry=FILE] [--trace=FILE] [--events=FILE]\n"
+               "             [--expose=DIR[,MS]]\n");
   std::exit(2);
 }
 
@@ -192,6 +208,7 @@ void fill_error_summary(const ErrorStats& err, telemetry::RunReport& report) {
   report.error.max_rel = err.max_rel;
   report.error.max_abs = err.max_abs;
   report.error.rmse = err.rmse;
+  report.error.psnr = err.psnr;
   report.error.count = err.count;
 }
 
@@ -213,6 +230,10 @@ void finish_run(const std::map<std::string, std::string>& flags, telemetry::RunR
   if (trace_path != flags.end()) {
     telemetry::write_text_file(trace_path->second,
                                telemetry::Tracer::global().chrome_trace_json() + "\n");
+  }
+  const auto events_path = flags.find("events");
+  if (events_path != flags.end()) {
+    telemetry::EventLog::global().dump_to_file(events_path->second);
   }
 }
 
@@ -322,7 +343,11 @@ int cmd_verify(const std::map<std::string, std::string>& flags) {
 int cmd_roundtrip(const std::map<std::string, std::string>& flags) {
   const Shape shape = parse_shape(require(flags, "shape"));
   const NdArray<double> field = read_raw_array(require(flags, "in"), shape);
-  const WaveletCompressor compressor(params_from_flags(flags));
+  WaveletCompressor compressor(params_from_flags(flags));
+
+  // Per-band quality capture rides along on the compress pass.
+  quality::QualityProbe probe("array");
+  if (telemetry::enabled()) compressor.attach_observer(&probe);
 
   const CompressedArray comp = compressor.compress(field);
   const NdArray<double> restored = WaveletCompressor::decompress(comp.data);
@@ -338,7 +363,81 @@ int cmd_roundtrip(const std::map<std::string, std::string>& flags) {
   report.compressed_bytes = comp.data.size();
   report.payload_bytes = comp.payload_bytes;
   fill_error_summary(err, report);
+  if (!probe.variables().empty()) {
+    quality::QualityReport qr = probe.take_report();
+    qr.variables[0].compressed_bytes = comp.data.size();
+    qr.variables[0].bits_per_value =
+        8.0 * static_cast<double>(comp.data.size()) / static_cast<double>(field.size());
+    qr.variables[0].has_value_error = true;
+    qr.variables[0].value_error = err;
+    report.quality = qr.to_json();
+  }
   finish_run(flags, report);
+  return 0;
+}
+
+/// Standalone quality analysis: the compressed stream is self-
+/// describing, so the transform/quantizer parameters come from the
+/// stream itself; only the spike-partition count `d` (not serialized —
+/// decompression never needs it) falls back to the --d flag.
+int cmd_analyze(const std::map<std::string, std::string>& flags) {
+  const Bytes data = read_file(require(flags, "in"));
+  const StreamInfo info = WaveletCompressor::inspect(data);
+  const NdArray<double> restored = WaveletCompressor::decompress(data);
+  const NdArray<double> original =
+      read_raw_array(require(flags, "original"), info.shape);
+
+  CompressionParams p;
+  p.wavelet_levels = info.levels;
+  p.wavelet = info.wavelet;
+  p.quantizer.kind = info.quantizer;
+  // Effective n is the serialized averages-table size; classification
+  // (quantized vs exact) depends only on the spike detection, so a
+  // degenerate table does not skew the quantized fractions.
+  p.quantizer.divisions =
+      static_cast<int>(std::min<std::size_t>(std::max<std::size_t>(info.averages_count, 1), 256));
+  p.quantizer.spike_partitions =
+      static_cast<int>(std::strtol(get_or(flags, "d", "64").c_str(), nullptr, 10));
+
+  quality::QualityReport qr;
+  qr.variables.push_back(quality::analyze_pair(original, restored, p,
+                                               get_or(flags, "name", "array"), data.size()));
+
+  telemetry::RunReport report;
+  report.tool = "wckpt analyze";
+  report_params_from_flags(flags, report);
+  report.params["shape"] = info.shape.to_string();
+  report.original_bytes = original.size_bytes();
+  report.compressed_bytes = data.size();
+  report.payload_bytes = info.payload_bytes;
+  fill_error_summary(qr.variables[0].value_error, report);
+  report.quality = qr.to_json();
+  report.capture_global();
+
+  // The primary artifact is the quality document itself; the RunReport
+  // (with the same document embedded) still goes to --telemetry.
+  if (flags.count("json") != 0) {
+    std::printf("%s\n", qr.to_json_text().c_str());
+  } else {
+    std::fputs(qr.to_text().c_str(), stdout);
+  }
+  const auto out = flags.find("out");
+  if (out != flags.end()) {
+    telemetry::write_text_file(out->second, qr.to_json_text() + "\n");
+  }
+  const auto telemetry_path = flags.find("telemetry");
+  if (telemetry_path != flags.end()) {
+    telemetry::write_text_file(telemetry_path->second, report.to_json_text() + "\n");
+  }
+  const auto trace_path = flags.find("trace");
+  if (trace_path != flags.end()) {
+    telemetry::write_text_file(trace_path->second,
+                               telemetry::Tracer::global().chrome_trace_json() + "\n");
+  }
+  const auto events_path = flags.find("events");
+  if (events_path != flags.end()) {
+    telemetry::EventLog::global().dump_to_file(events_path->second);
+  }
   return 0;
 }
 
@@ -416,6 +515,7 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
   std::uint64_t restore_failures = 0;
   std::uint64_t silent_mismatches = 0;
   std::uint64_t unverifiable = 0;
+  quality::DriftTracker drift;
 
   for (std::uint64_t cycle = 1; cycle <= cycles; ++cycle) {
     // Deterministic state evolution: the soak is replayable from seed.
@@ -428,6 +528,13 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
       // What a restore of this generation must reproduce: the codec's
       // round-trip of the state (identity for lossless codecs).
       NdArray<double> expected = codec->decode(codec->encode(state));
+      // Cross-cycle drift of the codec's own error (zero for lossless
+      // codecs): does repeated evolution push the data somewhere the
+      // lossy pipeline handles worse?
+      if (telemetry::enabled()) {
+        drift.record(cycle, relative_error(state.values(), expected.values()));
+      }
+      WCK_EVENT(kSoakCycle, cycle, "committed");
       committed[cycle] = std::vector<double>(expected.values().begin(),
                                              expected.values().end());
       // Keep images for every generation still on disk (plus slack for
@@ -453,6 +560,9 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
                    std::memcmp(scratch.values().data(), it->second.data(),
                                it->second.size() * sizeof(double)) != 0) {
           ++silent_mismatches;
+          WCK_EVENT(kSoakVerifyFailed, cycle,
+                    "restore reported step " + std::to_string(outcome.step) + " (" +
+                        restore_source_name(outcome.source) + ") with wrong bytes");
           std::fprintf(stderr,
                        "soak: cycle %llu SILENT MISMATCH — restore reported step %llu "
                        "(%s) but bytes differ from committed state\n",
@@ -495,7 +605,27 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
                                                       : "")
                                     : plan_spec;
   report.params["cycles"] = std::to_string(cycles);
+  if (drift.cycles() > 0) {
+    quality::QualityReport qr;
+    qr.drift = drift.to_json();
+    report.quality = qr.to_json();
+  }
   finish_run(flags, report);
+
+  // A failed soak dumps its flight recorder next to the checkpoint
+  // directory: the post-mortem needs the event sequence (faults, retries,
+  // fallbacks) leading up to the failure, not just the aggregates.
+  const bool failed = silent_mismatches > 0 || commits == 0;
+  if (failed && telemetry::enabled()) {
+    const std::filesystem::path recorder = dir / "flight-recorder.jsonl";
+    try {
+      telemetry::EventLog::global().dump_to_file(recorder.string());
+      std::fprintf(stderr, "soak: flight recorder dumped to %s\n",
+                   recorder.string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "soak: flight recorder dump failed: %s\n", e.what());
+    }
+  }
 
   std::fprintf(stderr,
                "soak: %llu cycles, %llu commits (%llu write giveups), %llu restores "
@@ -520,18 +650,46 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int run(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv);
+int dispatch(const std::string& cmd, const std::map<std::string, std::string>& flags) {
   if (cmd == "gen") return cmd_gen(flags);
   if (cmd == "compress") return cmd_compress(flags);
   if (cmd == "decompress") return cmd_decompress(flags);
   if (cmd == "info") return cmd_info(flags);
   if (cmd == "verify") return cmd_verify(flags);
   if (cmd == "roundtrip") return cmd_roundtrip(flags);
+  if (cmd == "analyze") return cmd_analyze(flags);
   if (cmd == "soak") return cmd_soak(flags);
   usage(("unknown command: " + cmd).c_str());
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv);
+
+  // --expose=DIR[,MS]: background metrics/event exposition for the
+  // lifetime of the command (the destructor performs a final dump even
+  // when the command throws).
+  std::unique_ptr<telemetry::PeriodicSnapshotWriter> expose;
+  const auto expose_flag = flags.find("expose");
+  if (expose_flag != flags.end()) {
+    std::string dir = expose_flag->second;
+    telemetry::PeriodicSnapshotWriter::Options opt;
+    const auto comma = dir.find(',');
+    if (comma != std::string::npos) {
+      const long ms = std::strtol(dir.c_str() + comma + 1, nullptr, 10);
+      if (ms <= 0) usage("bad --expose interval (want DIR[,MS] with MS >= 1)");
+      opt.interval = std::chrono::milliseconds(ms);
+      dir.resize(comma);
+    }
+    if (dir.empty()) usage("bad --expose directory");
+    expose = std::make_unique<telemetry::PeriodicSnapshotWriter>(dir, opt);
+    expose->start();
+  }
+
+  const int rc = dispatch(cmd, flags);
+  if (expose != nullptr) expose->stop();
+  return rc;
 }
 
 }  // namespace
