@@ -21,6 +21,11 @@
 // Telemetry: ckpt.write.retries / ckpt.write.giveups,
 // ckpt.restore.fallbacks / ckpt.restore.parity_reconstructions,
 // ckpt.scrub.checked / ckpt.scrub.corrupt, gauge ckpt.generations.
+//
+// Parallelism: the manager is codec-agnostic; pass a WaveletLossyCodec
+// whose CompressionParams set threads (or export WCK_THREADS) and every
+// generation's entropy stage runs on the sharded parallel deflate
+// engine (src/deflate/parallel.hpp) with no manager changes.
 #pragma once
 
 #include <cstdint>

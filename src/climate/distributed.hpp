@@ -57,7 +57,9 @@ class DistributedClimate {
   /// Writes this rank's slab through `codec` into
   /// dir/rank_<r>_step_<s>.wck. Returns the write info. A non-null `io`
   /// routes the file I/O through that backend — handing each rank its
-  /// own FaultInjectingBackend gives per-rank fault injection.
+  /// own FaultInjectingBackend gives per-rank fault injection. With a
+  /// WaveletLossyCodec whose params set threads (or WCK_THREADS), each
+  /// rank's entropy stage runs on the sharded parallel deflate engine.
   CheckpointInfo write_local_checkpoint(const std::filesystem::path& dir,
                                         const Codec& codec, IoBackend* io = nullptr) const;
 

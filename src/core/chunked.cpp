@@ -28,7 +28,9 @@ CompressedArray chunked_compress(const NdArray<double>& input, const ChunkedPara
   }
   const std::size_t row_elems = input.size() / rows;
 
-  const WaveletCompressor compressor(params.base);
+  CompressionParams base = params.base;
+  if (params.threads != 0) base.threads = params.threads;
+  const WaveletCompressor compressor(base);
   std::vector<CompressedArray> parts(chunks);
   auto compress_chunk = [&](std::size_t c) {
     const std::size_t r0 = begin_row[c];

@@ -2,12 +2,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <string>
 
 #include "deflate/deflate.hpp"
 #include "deflate/huffman_only.hpp"
+#include "deflate/parallel.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "wavelet/haar.hpp"
@@ -19,6 +21,7 @@ constexpr std::uint8_t kTagNone = 0;
 constexpr std::uint8_t kTagZlib = 1;
 constexpr std::uint8_t kTagGzip = 2;
 constexpr std::uint8_t kTagHuffman = 3;
+constexpr std::uint8_t kTagSharded = 4;  ///< WCKP block-parallel deflate container
 
 /// Writes `data` to `path`; throws IoError on failure.
 void write_file(const std::filesystem::path& path, std::span<const std::byte> data) {
@@ -102,10 +105,24 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
       WCK_TRACE_SPAN("quantize");
       const WallTimer quantize_timer;
       high.reserve(plan.high_count());
-      for_each_high_band(work.view(), plan.final_low_extents(),
-                         [&high](double& v) { high.push_back(v); });
+      // Fold min/max into the collection walk so analyze() skips its own
+      // range scan over the bands. The fold replicates the analyzer's
+      // exact order (seed with the first value, then fold every value
+      // including the first), so the scheme is bit-identical.
+      ValueRange range;
+      bool bands_empty = true;
+      for_each_high_band(work.view(), plan.final_low_extents(), [&](double& v) {
+        if (bands_empty) {
+          range.min = range.max = v;
+          bands_empty = false;
+        }
+        range.min = std::min(range.min, v);
+        range.max = std::max(range.max, v);
+        high.push_back(v);
+      });
 
-      scheme = QuantizationScheme::analyze(high, params_.quantizer);
+      scheme = QuantizationScheme::analyze(high, params_.quantizer,
+                                           bands_empty ? nullptr : &range);
 
       p.shape = input.shape();
       p.levels = params_.wavelet_levels;
@@ -154,15 +171,22 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
       break;
     }
     case EntropyMode::kDeflate: {
+      const auto sharding = resolve_deflate_sharding(params_.threads);
       Bytes body;
       {
         WCK_TRACE_SPAN("deflate");
         ScopedStage stage(out.times, "gzip");
         const WallTimer deflate_timer;
-        body = zlib_compress(payload_bytes, DeflateOptions{params_.deflate_level});
+        if (sharding) {
+          body = sharded_deflate_compress(
+              payload_bytes,
+              {params_.deflate_level, params_.deflate_block_size, *sharding});
+        } else {
+          body = zlib_compress(payload_bytes, DeflateOptions{params_.deflate_level});
+        }
         WCK_HISTOGRAM_RECORD("stage.deflate.seconds", deflate_timer.seconds());
       }
-      out.data.push_back(static_cast<std::byte>(kTagZlib));
+      out.data.push_back(static_cast<std::byte>(sharding ? kTagSharded : kTagZlib));
       out.data.insert(out.data.end(), body.begin(), body.end());
       break;
     }
@@ -190,13 +214,23 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
         ScopedStage stage(out.times, "temp_file_write");
         write_file(tmp, payload_bytes);
       }
+      // With sharding enabled the temp-file dance is kept (the write /
+      // read-back overhead is the point of this mode) but the on-disk
+      // compressed body is the block-parallel WCKP container, so the
+      // dominant "gzip" stage scales with threads.
+      const auto sharding = resolve_deflate_sharding(params_.threads);
       Bytes body;
       {
         WCK_TRACE_SPAN("deflate");
         ScopedStage stage(out.times, "gzip");
         const WallTimer deflate_timer;
         const Bytes on_disk = read_file(tmp);
-        body = gzip_compress(on_disk, DeflateOptions{params_.deflate_level});
+        if (sharding) {
+          body = sharded_deflate_compress(
+              on_disk, {params_.deflate_level, params_.deflate_block_size, *sharding});
+        } else {
+          body = gzip_compress(on_disk, DeflateOptions{params_.deflate_level});
+        }
         write_file(tmp_gz, body);
         body = read_file(tmp_gz);
         WCK_HISTOGRAM_RECORD("stage.deflate.seconds", deflate_timer.seconds());
@@ -204,7 +238,7 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
       std::filesystem::remove(tmp_gz, ec);
-      out.data.push_back(static_cast<std::byte>(kTagGzip));
+      out.data.push_back(static_cast<std::byte>(sharding ? kTagSharded : kTagGzip));
       out.data.insert(out.data.end(), body.begin(), body.end());
       break;
     }
@@ -238,6 +272,10 @@ NdArray<double> WaveletCompressor::decompress(std::span<const std::byte> data) {
       break;
     case kTagHuffman:
       payload_storage = huffman_only_decompress(body);
+      payload = payload_storage;
+      break;
+    case kTagSharded:
+      payload_storage = sharded_deflate_decompress(body);
       payload = payload_storage;
       break;
     default:
@@ -293,6 +331,10 @@ StreamInfo WaveletCompressor::inspect(std::span<const std::byte> data) {
       break;
     case kTagHuffman:
       payload_storage = huffman_only_decompress(body);
+      payload = payload_storage;
+      break;
+    case kTagSharded:
+      payload_storage = sharded_deflate_decompress(body);
       payload = payload_storage;
       break;
     default:

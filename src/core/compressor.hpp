@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <span>
 
+#include "deflate/parallel.hpp"
 #include "encode/payload.hpp"
 #include "ndarray/ndarray.hpp"
 #include "quantize/quantizer.hpp"
@@ -47,6 +48,16 @@ struct CompressionParams {
   WaveletKind wavelet = WaveletKind::kHaar;
   EntropyMode entropy = EntropyMode::kDeflate;
   int deflate_level = 6;
+  /// Entropy-stage parallelism. 0 (default) defers to the WCK_THREADS
+  /// environment variable — unset means the legacy single-stream
+  /// container, so existing streams, benches and tests are unaffected.
+  /// >= 1 selects the sharded WCKP container with that many workers
+  /// (1 = sharded but compressed inline); < 0 forces the legacy serial
+  /// container regardless of environment. The sharded bytes depend only
+  /// on (payload, deflate_block_size), never on the worker count.
+  int threads = 0;
+  /// Uncompressed bytes per shard when the sharded container is used.
+  std::size_t deflate_block_size = kDefaultDeflateBlockSize;
   /// Directory for kTempFileGzip scratch files (default: system temp).
   std::filesystem::path temp_dir{};
 };
@@ -93,7 +104,8 @@ struct StreamInfo {
   int levels = 0;
   WaveletKind wavelet = WaveletKind::kHaar;
   QuantizerKind quantizer = QuantizerKind::kSpike;
-  std::uint8_t entropy_tag = 0;      ///< kNone/kDeflate/kTempFileGzip/kHuffmanOnly order
+  std::uint8_t entropy_tag = 0;      ///< kNone/kDeflate/kTempFileGzip/kHuffmanOnly
+                                     ///< order; 4 = sharded parallel deflate
   std::size_t averages_count = 0;    ///< quantization table size (== effective n)
   std::size_t high_count = 0;        ///< high-band elements (bitmap size)
   std::size_t quantized_count = 0;   ///< of which stored as 1-byte indexes

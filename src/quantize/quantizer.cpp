@@ -76,14 +76,15 @@ int QuantizationScheme::classify(double v) const noexcept {
   return grid_index(v, quant_min_, inv_width_, divisions_);
 }
 
-QuantizationScheme QuantizationScheme::analyze_simple(std::span<const double> values, int n) {
+QuantizationScheme QuantizationScheme::analyze_simple(std::span<const double> values, int n,
+                                                      const ValueRange* range) {
   check_divisions(n);
   QuantizationScheme s;
   s.kind_ = QuantizerKind::kSimple;
   s.divisions_ = n;
   if (values.empty()) return s;
 
-  const auto [lo, hi] = min_max(values);
+  const auto [lo, hi] = range != nullptr ? MinMax{range->min, range->max} : min_max(values);
   s.quant_min_ = lo;
   s.quant_max_ = hi;
   s.inv_width_ = hi > lo ? n / (hi - lo) : 0.0;
@@ -108,7 +109,7 @@ QuantizationScheme QuantizationScheme::analyze_simple(std::span<const double> va
 }
 
 QuantizationScheme QuantizationScheme::analyze_spike(std::span<const double> values, int n,
-                                                     int d) {
+                                                     int d, const ValueRange* range) {
   check_divisions(n);
   if (d < 1) throw InvalidArgumentError("spike partition count d must be >= 1");
   QuantizationScheme s;
@@ -116,7 +117,7 @@ QuantizationScheme QuantizationScheme::analyze_spike(std::span<const double> val
   s.divisions_ = n;
   if (values.empty()) return s;
 
-  const auto [lo, hi] = min_max(values);
+  const auto [lo, hi] = range != nullptr ? MinMax{range->min, range->max} : min_max(values);
   s.domain_min_ = lo;
   s.domain_max_ = hi;
   s.inv_domain_width_ = hi > lo ? d / (hi - lo) : 0.0;
@@ -174,12 +175,13 @@ QuantizationScheme QuantizationScheme::analyze_spike(std::span<const double> val
 }
 
 QuantizationScheme QuantizationScheme::analyze(std::span<const double> values,
-                                               const QuantizerConfig& cfg) {
+                                               const QuantizerConfig& cfg,
+                                               const ValueRange* range) {
   switch (cfg.kind) {
     case QuantizerKind::kSimple:
-      return analyze_simple(values, cfg.divisions);
+      return analyze_simple(values, cfg.divisions, range);
     case QuantizerKind::kSpike:
-      return analyze_spike(values, cfg.divisions, cfg.spike_partitions);
+      return analyze_spike(values, cfg.divisions, cfg.spike_partitions, range);
   }
   throw InvalidArgumentError("unknown quantizer kind");
 }

@@ -37,6 +37,17 @@ struct QuantizerConfig {
   int spike_partitions = 64;
 };
 
+/// Precomputed exact extrema of a value set. Callers that already walk
+/// the data (the compressor collects high-band coefficients in a pass of
+/// its own) can fold min/max during that walk and hand the result to
+/// analyze(), which then skips its leading range scan — the bands are
+/// otherwise scanned twice. The values must be the true extrema of the
+/// span passed to analyze(); results are bit-identical either way.
+struct ValueRange {
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// The data-dependent outcome of analyzing one value set: the averages
 /// table plus everything classify() needs. Serialized with the payload
 /// so decompression can rebuild values from indexes.
@@ -60,13 +71,18 @@ class QuantizationScheme {
   // --- construction ---
 
   /// Analyzes `values` with simple quantization into `n` partitions.
-  static QuantizationScheme analyze_simple(std::span<const double> values, int n);
+  /// `range`, when non-null, supplies the precomputed extrema of
+  /// `values` and elides the internal min/max pass.
+  static QuantizationScheme analyze_simple(std::span<const double> values, int n,
+                                           const ValueRange* range = nullptr);
 
   /// Analyzes `values` with the proposed spike quantization (Eq. 4).
-  static QuantizationScheme analyze_spike(std::span<const double> values, int n, int d);
+  static QuantizationScheme analyze_spike(std::span<const double> values, int n, int d,
+                                          const ValueRange* range = nullptr);
 
   /// Dispatches on config.kind.
-  static QuantizationScheme analyze(std::span<const double> values, const QuantizerConfig& cfg);
+  static QuantizationScheme analyze(std::span<const double> values, const QuantizerConfig& cfg,
+                                    const ValueRange* range = nullptr);
 
   // --- serialization (used by the encode subsystem) ---
 

@@ -1,0 +1,353 @@
+// Tests for the sharded parallel deflate engine (src/deflate/parallel):
+// round trips, bit-determinism across thread counts, frame-format
+// robustness (truncation, CRC corruption, implausible headers), and the
+// compressor integration (tag-4 streams, WCK_THREADS resolution, size
+// parity with the serial container).
+#include "deflate/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/chunked.hpp"
+#include "core/compressor.hpp"
+#include "core/synthetic.hpp"
+#include "deflate/deflate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wck {
+namespace {
+
+Bytes make_payload(std::size_t size, std::uint64_t seed = 7) {
+  Xoshiro256 rng(seed);
+  Bytes data(size);
+  // Mildly compressible: runs of a few repeated bytes.
+  std::size_t i = 0;
+  while (i < size) {
+    const auto value = static_cast<std::byte>(rng() & 0xFF);
+    const std::size_t run = 1 + (rng() % 8);
+    for (std::size_t r = 0; r < run && i < size; ++r) data[i++] = value;
+  }
+  return data;
+}
+
+/// Scoped environment variable override (restores on destruction).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(ShardedDeflate, RoundTripsAcrossSizes) {
+  // Exercises: empty, sub-block, exact multiples, one-past boundaries.
+  const std::size_t block = 1024;
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, std::size_t{1023}, std::size_t{1024}, std::size_t{1025},
+        std::size_t{4096}, std::size_t{10000}}) {
+    const Bytes input = make_payload(size);
+    const Bytes packed = sharded_deflate_compress(input, {6, block, 2});
+    EXPECT_TRUE(is_sharded_deflate(packed));
+    const Bytes restored = sharded_deflate_decompress(packed, 2);
+    EXPECT_EQ(restored, input) << "size " << size;
+  }
+}
+
+TEST(ShardedDeflate, EmptyInputYieldsValidZeroBlockContainer) {
+  const Bytes packed = sharded_deflate_compress({}, {6, 4096, 4});
+  EXPECT_TRUE(is_sharded_deflate(packed));
+  const Bytes restored = sharded_deflate_decompress(packed);
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(ShardedDeflate, BitDeterministicAcrossThreadCounts) {
+  const Bytes input = make_payload(100 * 1024);
+  const Bytes reference = sharded_deflate_compress(input, {6, 8192, 1});
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const Bytes packed = sharded_deflate_compress(input, {6, 8192, threads});
+    EXPECT_EQ(packed, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedDeflate, BlockSizeChangesBytesButNotContent) {
+  const Bytes input = make_payload(64 * 1024);
+  const Bytes a = sharded_deflate_compress(input, {6, 4096, 2});
+  const Bytes b = sharded_deflate_compress(input, {6, 16384, 2});
+  EXPECT_NE(a, b);  // different framing
+  EXPECT_EQ(sharded_deflate_decompress(a), input);
+  EXPECT_EQ(sharded_deflate_decompress(b), input);
+}
+
+TEST(ShardedDeflate, SizeWithinTwoPercentOfSerial) {
+  // The per-block window reset must not cost more than the gated 2%
+  // drift at the default block size on a checkpoint-like payload.
+  const NdArray<double> field = make_temperature_field(Shape{256, 128}, 11);
+  const auto raw = std::as_bytes(field.values());
+  const Bytes serial = zlib_compress(raw, {});
+  const Bytes sharded = sharded_deflate_compress(Bytes(raw.begin(), raw.end()), {});
+  EXPECT_LE(static_cast<double>(sharded.size()),
+            static_cast<double>(serial.size()) * 1.02)
+      << "sharded " << sharded.size() << " vs serial " << serial.size();
+}
+
+TEST(ShardedDeflate, RejectsBadMagicAndVersion) {
+  const Bytes packed = sharded_deflate_compress(make_payload(100), {6, 64, 1});
+  Bytes bad_magic = packed;
+  bad_magic[0] = static_cast<std::byte>(0x00);
+  EXPECT_THROW((void)sharded_deflate_decompress(bad_magic), FormatError);
+  Bytes bad_version = packed;
+  bad_version[4] = static_cast<std::byte>(9);
+  EXPECT_THROW((void)sharded_deflate_decompress(bad_version), FormatError);
+  EXPECT_FALSE(is_sharded_deflate(bad_magic));
+  EXPECT_FALSE(is_sharded_deflate({}));
+}
+
+TEST(ShardedDeflate, RejectsTruncatedFrames) {
+  // Every proper prefix must fail loudly with a typed error, never
+  // crash or return data.
+  const Bytes packed = sharded_deflate_compress(make_payload(5000), {6, 1024, 2});
+  for (std::size_t len = 0; len < packed.size(); ++len) {
+    const std::span<const std::byte> prefix(packed.data(), len);
+    EXPECT_THROW((void)sharded_deflate_decompress(prefix), Error) << "prefix " << len;
+  }
+}
+
+TEST(ShardedDeflate, RejectsCorruptedBlockCrc) {
+  const Bytes input = make_payload(8192);
+  const Bytes packed = sharded_deflate_compress(input, {6, 1024, 2});
+  // Flip one byte in the last block's body: frame parsing stays valid,
+  // so the corruption must be caught by that block's CRC-32.
+  Bytes corrupt = packed;
+  corrupt[corrupt.size() - 1] ^= static_cast<std::byte>(0x01);
+  EXPECT_THROW((void)sharded_deflate_decompress(corrupt), Error);
+}
+
+TEST(ShardedDeflate, RejectsImplausibleBlockCount) {
+  // A hand-built header claiming 2^40 output bytes from a tiny input
+  // must be rejected before any allocation (allocation-bomb guard).
+  ByteWriter w;
+  w.u32(0x504B4357);
+  w.u8(1);
+  w.u8(0);
+  w.varint(1024);                      // block_size
+  w.varint(1ull << 40);                // total: absurd for a tiny container
+  w.varint((1ull << 40) / 1024);       // matching block count
+  EXPECT_THROW((void)sharded_deflate_decompress(w.buffer()), FormatError);
+}
+
+TEST(ShardedDeflate, RejectsBlockCountMismatch) {
+  const Bytes packed = sharded_deflate_compress(make_payload(4096), {6, 1024, 1});
+  // Rebuild the header with an off-by-one block count; table/body bytes
+  // no longer agree with the derived count.
+  ByteReader r(packed);
+  (void)r.u32();
+  (void)r.u8();
+  (void)r.u8();
+  const std::uint64_t block_size = r.varint();
+  const std::uint64_t total = r.varint();
+  const std::uint64_t count = r.varint();
+  ByteWriter w;
+  w.u32(0x504B4357);
+  w.u8(1);
+  w.u8(0);
+  w.varint(block_size);
+  w.varint(total);
+  w.varint(count + 1);
+  w.raw(packed.data() + r.position(), packed.size() - r.position());
+  EXPECT_THROW((void)sharded_deflate_decompress(w.buffer()), FormatError);
+}
+
+TEST(ShardedDeflate, RejectsTrailingBytes) {
+  Bytes packed = sharded_deflate_compress(make_payload(2048), {6, 512, 1});
+  packed.push_back(std::byte{0});
+  EXPECT_THROW((void)sharded_deflate_decompress(packed), FormatError);
+}
+
+TEST(ResolveDeflateSharding, ExplicitRequestWins) {
+  const ScopedEnv env("WCK_THREADS", "8");
+  EXPECT_EQ(resolve_deflate_sharding(3), std::size_t{3});
+  EXPECT_EQ(resolve_deflate_sharding(1), std::size_t{1});
+  EXPECT_EQ(resolve_deflate_sharding(-1), std::nullopt);  // explicit opt-out
+}
+
+TEST(ResolveDeflateSharding, EnvControlsDefault) {
+  {
+    const ScopedEnv env("WCK_THREADS", nullptr);
+    EXPECT_EQ(resolve_deflate_sharding(0), std::nullopt);
+  }
+  {
+    const ScopedEnv env("WCK_THREADS", "");
+    EXPECT_EQ(resolve_deflate_sharding(0), std::nullopt);
+  }
+  {
+    const ScopedEnv env("WCK_THREADS", "4");
+    EXPECT_EQ(resolve_deflate_sharding(0), std::size_t{4});
+  }
+  {
+    const ScopedEnv env("WCK_THREADS", "nonsense");
+    EXPECT_EQ(resolve_deflate_sharding(0), std::nullopt);
+  }
+  {
+    const ScopedEnv env("WCK_THREADS", "max");
+    const auto resolved = resolve_deflate_sharding(0);
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_GE(*resolved, std::size_t{1});
+  }
+}
+
+TEST(CompressorSharded, RoundTripsWithTag4) {
+  const NdArray<double> field = make_temperature_field(Shape{64, 48}, 5);
+  CompressionParams p;
+  p.threads = 2;
+  p.deflate_block_size = 4096;  // small enough for several blocks
+  const WaveletCompressor compressor(p);
+  const CompressedArray comp = compressor.compress(field);
+  EXPECT_EQ(static_cast<std::uint8_t>(comp.data[0]), 4);  // kTagSharded
+  EXPECT_EQ(WaveletCompressor::inspect(comp.data).entropy_tag, 4);
+
+  const NdArray<double> restored = WaveletCompressor::decompress(comp.data);
+  // Restore must be bit-identical to the serial container's restore:
+  // sharding only changes the lossless stage.
+  CompressionParams serial = p;
+  serial.threads = -1;
+  const WaveletCompressor serial_compressor(serial);
+  const CompressedArray serial_comp = serial_compressor.compress(field);
+  EXPECT_EQ(static_cast<std::uint8_t>(serial_comp.data[0]), 1);  // kTagZlib
+  const NdArray<double> serial_restored = WaveletCompressor::decompress(serial_comp.data);
+  ASSERT_EQ(restored.shape(), serial_restored.shape());
+  EXPECT_TRUE(std::equal(restored.values().begin(), restored.values().end(),
+                         serial_restored.values().begin()));
+
+  // And the sharded stream must stay within 2% of the serial one.
+  EXPECT_LE(static_cast<double>(comp.data.size()),
+            static_cast<double>(serial_comp.data.size()) * 1.02);
+}
+
+TEST(CompressorSharded, TempFileGzipModeShards) {
+  const NdArray<double> field = make_temperature_field(Shape{48, 32}, 9);
+  CompressionParams p;
+  p.entropy = EntropyMode::kTempFileGzip;
+  p.threads = 2;
+  p.deflate_block_size = 4096;
+  const WaveletCompressor compressor(p);
+  const CompressedArray comp = compressor.compress(field);
+  EXPECT_EQ(static_cast<std::uint8_t>(comp.data[0]), 4);
+  const NdArray<double> restored = WaveletCompressor::decompress(comp.data);
+  EXPECT_EQ(restored.shape(), field.shape());
+}
+
+TEST(CompressorSharded, IdenticalStreamsForAnyWckThreadsValue) {
+  // WCK_THREADS only picks the worker count; every explicit setting must
+  // produce byte-identical compressed streams (the acceptance criterion
+  // that lets soak/fuzz/regression infra run under any matrix leg).
+  const NdArray<double> field = make_temperature_field(Shape{96, 64}, 3);
+  CompressionParams p;  // threads = 0: defer to environment
+  p.deflate_block_size = 8192;
+  std::vector<Bytes> streams;
+  for (const char* value : {"1", "2", "8"}) {
+    const ScopedEnv env("WCK_THREADS", value);
+    const WaveletCompressor compressor(p);
+    streams.push_back(compressor.compress(field).data);
+    EXPECT_EQ(static_cast<std::uint8_t>(streams.back()[0]), 4) << "WCK_THREADS=" << value;
+  }
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+}
+
+TEST(CompressorSharded, UnsetEnvKeepsLegacySerialContainer) {
+  const ScopedEnv env("WCK_THREADS", nullptr);
+  const NdArray<double> field = make_temperature_field(Shape{32, 32}, 1);
+  const WaveletCompressor compressor{CompressionParams{}};
+  const CompressedArray comp = compressor.compress(field);
+  EXPECT_EQ(static_cast<std::uint8_t>(comp.data[0]), 1);  // legacy kTagZlib
+}
+
+TEST(CompressorSharded, LegacySerialStreamStillDecodes) {
+  // Old-container round-trip through the new decode path: streams
+  // written before (or without) sharding must keep restoring.
+  const NdArray<double> field = make_temperature_field(Shape{40, 24}, 2);
+  CompressionParams serial;
+  serial.threads = -1;
+  const WaveletCompressor compressor(serial);
+  const CompressedArray comp = compressor.compress(field);
+  const NdArray<double> restored = WaveletCompressor::decompress(comp.data);
+  EXPECT_EQ(restored.shape(), field.shape());
+  EXPECT_EQ(WaveletCompressor::inspect(comp.data).entropy_tag, 1);
+}
+
+TEST(CompressorSharded, ChunkedComposesWithSharding) {
+  // Slab-level parallelism (caller's pool) nested over shard-level
+  // parallelism (the engine's own pool) must round-trip and stay
+  // deterministic.
+  const NdArray<double> field = make_temperature_field(Shape{64, 64}, 13);
+  ThreadPool pool(2);
+  ChunkedParams params;
+  params.chunks = 4;
+  params.threads = 2;
+  params.base.deflate_block_size = 2048;
+  const CompressedArray a = chunked_compress(field, params, &pool);
+  const CompressedArray b = chunked_compress(field, params, nullptr);
+  EXPECT_EQ(a.data, b.data);
+  const NdArray<double> restored = chunked_decompress(a.data, &pool);
+  ASSERT_EQ(restored.shape(), field.shape());
+  const NdArray<double> reference = chunked_decompress(a.data, nullptr);
+  EXPECT_TRUE(std::equal(restored.values().begin(), restored.values().end(),
+                         reference.values().begin()));
+}
+
+TEST(QuantizeFusion, PrecomputedRangeIsBitIdentical) {
+  // The compressor now folds min/max during band collection and hands
+  // the range to analyze(); both paths must produce identical schemes.
+  Xoshiro256 rng(21);
+  std::vector<double> values(10000);
+  for (double& v : values) v = rng.uniform(-3.0, 5.0);
+  double lo = values[0];
+  double hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const ValueRange range{lo, hi};
+  for (const QuantizerKind kind : {QuantizerKind::kSimple, QuantizerKind::kSpike}) {
+    QuantizerConfig cfg;
+    cfg.kind = kind;
+    const QuantizationScheme with = QuantizationScheme::analyze(values, cfg, &range);
+    const QuantizationScheme without = QuantizationScheme::analyze(values, cfg);
+    EXPECT_EQ(with.averages(), without.averages());
+    EXPECT_EQ(with.quant_min(), without.quant_min());
+    EXPECT_EQ(with.quant_max(), without.quant_max());
+    for (const double v : values) {
+      ASSERT_EQ(with.classify(v), without.classify(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wck

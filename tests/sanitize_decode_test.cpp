@@ -171,6 +171,41 @@ TEST(SanitizeDecode, RawDeflateMutationsNeverCrash) {
   }
 }
 
+/// Sharded (WCKP) container: mutations land in the frame header, the
+/// per-block table, or the concatenated block bodies — parallel decode
+/// must reject them with a typed error (per-block CRC-32 catches body
+/// corruption) or, where a flip is genuinely invisible (reserved flags
+/// byte), decode cleanly. Never a crash, over-read, or allocation bomb.
+TEST(SanitizeDecode, ShardedContainerMutationsNeverCrash) {
+  const auto field = make_smooth_field(Shape{48, 32}, 33);
+  CompressionParams params;
+  params.quantizer.divisions = 64;
+  params.threads = 2;
+  params.deflate_block_size = 2048;  // several blocks
+  const Bytes stream = WaveletCompressor(params).compress(field).data;
+  ASSERT_EQ(static_cast<std::uint8_t>(stream[0]), 4);  // sharded tag
+  Xoshiro256 rng(6060);
+  int rejected = 0;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    Bytes bad = stream;
+    const int n_mut = 1 + static_cast<int>(rng.bounded(3));
+    Mutation last;
+    for (int i = 0; i < n_mut; ++i) last = mutate(bad, rng);
+    try {
+      (void)WaveletCompressor::decompress(bad);
+    } catch (const Error&) {
+      ++rejected;
+    } catch (const std::exception& e) {
+      FAIL() << "non-library exception after " << describe(last) << " trial " << t << ": "
+             << e.what();
+    }
+  }
+  // Per-block CRC-32 + payload CRC leave only reserved-bit flips
+  // undetected.
+  EXPECT_GT(rejected, trials * 95 / 100);
+}
+
 /// Restores must be transactional: after a rejected checkpoint, every
 /// registered array still holds its pre-restore contents — even when the
 /// corruption hits a *later* field than the ones already decoded.

@@ -19,9 +19,15 @@ missing from the baseline set is an error (the gate must never silently
 compare nothing), as is a params mismatch (different shape => different
 numbers, not a regression signal).
 
+Exception: a baseline-less record that carries serial_bytes and
+sharded_bytes in its params (bench/micro_deflate) is self-baselining —
+the gate instead checks that the sharded parallel-deflate container is
+no more than --sharded-tol (default 2%) larger than the serial stream
+compressed from the same input.
+
 Usage:
   tools/check_bench_regress.py --baseline perf/BENCH_seed.json FRESH.json...
-  options: --size-tol=0.05  --time-mult=10.0
+  options: --size-tol=0.05  --time-mult=10.0  --sharded-tol=0.02
 
 Exits 0 when every fresh record passes; prints one line per violation
 otherwise. Used by the `bench-smoke` CI job; no third-party dependencies.
@@ -55,9 +61,10 @@ def rel_delta(fresh, base):
 
 
 class Gate:
-    def __init__(self, size_tol, time_mult):
+    def __init__(self, size_tol, time_mult, sharded_tol):
         self.size_tol = size_tol
         self.time_mult = time_mult
+        self.sharded_tol = sharded_tol
         self.violations = []
         self.checks = 0
 
@@ -119,6 +126,32 @@ class Gate:
             if stage in fresh_stages:
                 self.check_time(name, stage, fresh_stages[stage], base_time)
 
+    def check_sharded_drift(self, name, record):
+        """Self-baselining check for records carrying serial/sharded sizes.
+
+        Returns True when the record was handled (both params present),
+        so the caller skips the missing-baseline error.
+        """
+        params = record.get("report", {}).get("params", {})
+        if "serial_bytes" not in params or "sharded_bytes" not in params:
+            return False
+        self.checks += 1
+        try:
+            serial = int(params["serial_bytes"])
+            sharded = int(params["sharded_bytes"])
+        except (TypeError, ValueError):
+            self.fail(f"{name}: serial_bytes/sharded_bytes are not integers "
+                      f"({params.get('serial_bytes')!r}, {params.get('sharded_bytes')!r})")
+            return True
+        if serial <= 0:
+            self.fail(f"{name}: serial_bytes must be positive, got {serial}")
+            return True
+        drift = sharded / serial - 1.0
+        if drift > self.sharded_tol:
+            self.fail(f"{name}: sharded container {drift:+.2%} larger than serial "
+                      f"({serial} -> {sharded}, tolerance +{self.sharded_tol:.0%})")
+        return True
+
 
 def main(argv):
     parser = argparse.ArgumentParser(
@@ -129,6 +162,8 @@ def main(argv):
                         help="relative tolerance for deterministic outputs (default 0.05)")
     parser.add_argument("--time-mult", type=float, default=10.0,
                         help="stage-time blowup multiplier (default 10)")
+    parser.add_argument("--sharded-tol", type=float, default=0.02,
+                        help="max sharded-vs-serial compressed-size drift (default 0.02)")
     parser.add_argument("fresh", nargs="+", help="freshly produced BENCH_*.json files")
     args = parser.parse_args(argv[1:])
 
@@ -138,7 +173,7 @@ def main(argv):
         print(f"baseline unreadable: {e}", file=sys.stderr)
         return 2
 
-    gate = Gate(args.size_tol, args.time_mult)
+    gate = Gate(args.size_tol, args.time_mult, args.sharded_tol)
     compared = 0
     for path in args.fresh:
         try:
@@ -148,7 +183,10 @@ def main(argv):
             continue
         for bench, record in fresh.items():
             if bench not in baseline:
-                gate.fail(f"{path}: bench {bench!r} has no baseline record")
+                if gate.check_sharded_drift(f"{path}[{bench}]", record):
+                    compared += 1
+                else:
+                    gate.fail(f"{path}: bench {bench!r} has no baseline record")
                 continue
             gate.compare(f"{path}[{bench}]", record, baseline[bench])
             compared += 1

@@ -5,7 +5,10 @@
 //              Writes a deterministic synthetic field as raw little-endian doubles.
 //   compress   --in=FILE --shape=AxBxC --out=FILE [--quantizer=spike|simple]
 //              [--n=128] [--d=64] [--levels=1] [--entropy=deflate|gzip-file|none]
+//              [--threads=N] [--block-size=BYTES]
 //              Compresses a raw double file with the paper's pipeline.
+//              --threads >= 1 (or WCK_THREADS set) selects the sharded
+//              parallel deflate container; see src/deflate/parallel.hpp.
 //   decompress --in=FILE --out=FILE
 //              Restores raw doubles from a compressed stream.
 //   info       --in=FILE
@@ -74,6 +77,7 @@ namespace {
                "  gen        --shape=AxBxC --out=FILE [--seed=N] [--kind=temperature]\n"
                "  compress   --in=FILE --shape=AxBxC --out=FILE [--quantizer=spike|simple]\n"
                "             [--n=128] [--d=64] [--levels=1] [--entropy=deflate|gzip-file|none]\n"
+               "             [--threads=N] [--block-size=BYTES]\n"
                "  decompress --in=FILE --out=FILE\n"
                "  info       --in=FILE\n"
                "  verify     --in=FILE --original=FILE [--max-mean-rel=PCT]\n"
@@ -81,7 +85,7 @@ namespace {
                "  analyze    --in=COMPRESSED --original=FILE [--d=64] [--name=VAR] [--out=FILE]\n"
                "  soak       --dir=DIR [--cycles=1000] [--shape=32x32] [--keep=3]\n"
                "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
-               "             [--seed=N] [--verify-every=1] [--scrub-every=0]\n"
+               "             [--seed=N] [--verify-every=1] [--scrub-every=0] [--threads=N]\n"
                "common:      [--json] [--telemetry=FILE] [--trace=FILE] [--events=FILE]\n"
                "             [--expose=DIR[,MS]]\n");
   std::exit(2);
@@ -189,14 +193,22 @@ CompressionParams params_from_flags(const std::map<std::string, std::string>& fl
   } else {
     usage(("unknown entropy mode: " + e).c_str());
   }
+  // --threads=N selects the sharded parallel deflate container (N=1 is
+  // sharded but inline); the default 0 defers to WCK_THREADS, and -1
+  // forces the legacy serial container. --block-size tunes the shard
+  // granularity (bytes of payload per independently compressed block).
+  p.threads = static_cast<int>(std::strtol(get_or(flags, "threads", "0").c_str(), nullptr, 10));
+  const long block_size = std::strtol(get_or(flags, "block-size", "0").c_str(), nullptr, 10);
+  if (block_size < 0) usage("--block-size must be >= 1");
+  if (block_size > 0) p.deflate_block_size = static_cast<std::size_t>(block_size);
   return p;
 }
 
 void report_params_from_flags(const std::map<std::string, std::string>& flags,
                               telemetry::RunReport& report) {
-  for (const char* key : {"shape", "quantizer", "n", "d", "levels", "entropy", "in", "out",
-                          "original", "kind", "seed", "dir", "keep", "verify-every",
-                          "scrub-every"}) {
+  for (const char* key : {"shape", "quantizer", "n", "d", "levels", "entropy", "threads",
+                          "block-size", "in", "out", "original", "kind", "seed", "dir", "keep",
+                          "verify-every", "scrub-every"}) {
     const auto it = flags.find(key);
     if (it != flags.end()) report.params[key] = it->second;
   }
@@ -472,6 +484,8 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
   } else if (codec_name == "wavelet") {
     CompressionParams p;
     p.quantizer.divisions = 128;
+    p.threads =
+        static_cast<int>(std::strtol(get_or(flags, "threads", "0").c_str(), nullptr, 10));
     codec = std::make_unique<WaveletLossyCodec>(p);
   } else if (codec_name == "fpc") {
     codec = std::make_unique<FpcCodec>();

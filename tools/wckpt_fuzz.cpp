@@ -1,8 +1,9 @@
 // Deterministic decode-robustness fuzz driver.
 //
 // Builds a corpus of valid encoded artifacts — a Fig. 5 payload, full
-// WaveletCompressor streams, a multi-field checkpoint, raw DEFLATE and
-// both containers, FPC and chunked streams — then applies seeded random
+// WaveletCompressor streams (serial and sharded-parallel), a multi-field
+// checkpoint, raw DEFLATE with the gzip/zlib/WCKP containers, FPC and
+// chunked streams — then applies seeded random
 // mutations (bit flips, truncations, length-field corruption; see
 // util/mutate.hpp) and feeds each mutant to its decoder. The contract:
 // every decoder either throws a typed wck::Error or returns a valid
@@ -30,6 +31,7 @@
 #include "core/truncation.hpp"
 #include "deflate/deflate.hpp"
 #include "deflate/huffman_only.hpp"
+#include "deflate/parallel.hpp"
 #include "encode/payload.hpp"
 #include "fpc/fpc.hpp"
 #include "util/error.hpp"
@@ -121,6 +123,19 @@ std::vector<CorpusEntry> build_corpus() {
                     [](const Bytes& b) { (void)zlib_decompress(b); }});
   corpus.push_back({"huffman-only", huffman_only_compress(text),
                     [](const Bytes& b) { (void)huffman_only_decompress(b); }});
+
+  // Sharded parallel-deflate frame (WCKP): mutants hit the frame header,
+  // per-block table, and block bodies, driving the parallel decode path.
+  corpus.push_back({"sharded-deflate", sharded_deflate_compress(text, {6, 1024, 2}),
+                    [](const Bytes& b) { (void)sharded_deflate_decompress(b, 2); }});
+  {
+    CompressionParams params;
+    params.quantizer.divisions = 64;
+    params.threads = 2;
+    params.deflate_block_size = 2048;
+    corpus.push_back({"wavelet-sharded", WaveletCompressor(params).compress(field).data,
+                      [](const Bytes& b) { (void)WaveletCompressor::decompress(b); }});
+  }
 
   corpus.push_back({"fpc", fpc_compress(field.values()),
                     [](const Bytes& b) { (void)fpc_decompress(b); }});
