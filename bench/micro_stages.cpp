@@ -7,12 +7,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <optional>
+#include <string>
 
 #include "core/compressor.hpp"
 #include "telemetry/telemetry.hpp"
 #include "core/synthetic.hpp"
 #include "deflate/deflate.hpp"
 #include "quantize/quantizer.hpp"
+#include "util/env.hpp"
 #include "wavelet/haar.hpp"
 
 namespace wck {
@@ -118,7 +121,7 @@ int main(int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
 
-  if (const char* path = std::getenv("WCK_BENCH_JSON")) {
+  if (const std::optional<std::string> path = wck::env::get("WCK_BENCH_JSON")) {
     wck::telemetry::RunReport report;
     report.tool = "bench/micro_stages";
     report.capture_global();
@@ -127,8 +130,8 @@ int main(int argc, char** argv) {
     doc["schema_version"] = 1;
     doc["bench"] = "micro_stages";
     doc["report"] = report.to_json();
-    wck::telemetry::write_text_file(path, wck::telemetry::Json(std::move(doc)).dump(1) + "\n");
-    std::printf("wrote bench record %s\n", path);
+    wck::telemetry::write_text_file(*path, wck::telemetry::Json(std::move(doc)).dump(1) + "\n");
+    std::printf("wrote bench record %s\n", path->c_str());
   }
   return 0;
 }

@@ -12,7 +12,7 @@ AsyncCheckpointWriter::AsyncCheckpointWriter(const Codec& codec, AsyncWriterOpti
 
 AsyncCheckpointWriter::~AsyncCheckpointWriter() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -35,7 +35,7 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
   job.enqueued = std::chrono::steady_clock::now();
   std::size_t depth = 0;
   {
-    std::unique_lock lk(mu_);
+    MutexLock lk(mu_);
     if (unhealthy_) {
       // Fail fast: queueing against a persistently failing storage path
       // only buries the error deeper in the queue.
@@ -52,6 +52,7 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
           WCK_EVENT(kQueueBlock, step,
                     "queue full (" + std::to_string(queue_.size()) + ")");
           space_cv_.wait(lk, [this] {
+            mu_.assert_held();
             return stopping_ || queue_.size() < options_.max_queue;
           });
           break;
@@ -84,22 +85,25 @@ std::future<CheckpointInfo> AsyncCheckpointWriter::write_async(
 }
 
 void AsyncCheckpointWriter::drain() {
-  std::unique_lock lk(mu_);
-  idle_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lk(mu_);
+  idle_cv_.wait(lk, [this] {
+    mu_.assert_held();
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 std::size_t AsyncCheckpointWriter::pending() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return queue_.size() + in_flight_;
 }
 
 bool AsyncCheckpointWriter::healthy() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return !unhealthy_;
 }
 
 std::size_t AsyncCheckpointWriter::consecutive_failures() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return consecutive_failures_;
 }
 
@@ -107,8 +111,11 @@ void AsyncCheckpointWriter::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      cv_.wait(lk, [this] {
+        mu_.assert_held();
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -147,7 +154,7 @@ void AsyncCheckpointWriter::worker_loop() {
 
     std::size_t depth = 0;
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       --in_flight_;
       depth = queue_.size() + in_flight_;
       if (succeeded) {

@@ -18,16 +18,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <filesystem>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
 #include "ckpt/codec.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wck {
 
@@ -67,9 +66,11 @@ class AsyncCheckpointWriter {
   /// the background. The returned future yields the write's
   /// CheckpointInfo (or rethrows its error — including backpressure
   /// eviction and unhealthy-writer rejection, both reported as IoError).
-  std::future<CheckpointInfo> write_async(const std::filesystem::path& path,
-                                          const CheckpointRegistry& registry,
-                                          std::uint64_t step);
+  /// Dropping the future silently swallows that error, hence
+  /// [[nodiscard]].
+  [[nodiscard]] std::future<CheckpointInfo> write_async(const std::filesystem::path& path,
+                                                        const CheckpointRegistry& registry,
+                                                        std::uint64_t step);
 
   /// Blocks until every queued write has completed (successfully or
   /// not). Errors are never swallowed: each failed job's exception
@@ -101,15 +102,15 @@ class AsyncCheckpointWriter {
   const Codec& codec_;
   const AsyncWriterOptions options_;
   IoBackend* io_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::condition_variable space_cv_;
-  std::deque<Job> queue_;
-  std::size_t in_flight_ = 0;
-  std::size_t consecutive_failures_ = 0;
-  bool unhealthy_ = false;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  CondVar space_cv_;
+  std::deque<Job> queue_ WCK_GUARDED_BY(mu_);
+  std::size_t in_flight_ WCK_GUARDED_BY(mu_) = 0;
+  std::size_t consecutive_failures_ WCK_GUARDED_BY(mu_) = 0;
+  bool unhealthy_ WCK_GUARDED_BY(mu_) = false;
+  bool stopping_ WCK_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

@@ -66,8 +66,8 @@ struct CheckpointInfo {
 /// Restores registered arrays from a serialized checkpoint. Every field
 /// in the buffer must be registered (unknown fields throw FormatError);
 /// registered fields missing from the buffer are left untouched.
-CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
-                                  const CheckpointRegistry& registry);
+[[nodiscard]] CheckpointInfo restore_checkpoint(std::span<const std::byte> data,
+                                                const CheckpointRegistry& registry);
 
 class IoBackend;
 
@@ -78,15 +78,17 @@ class IoBackend;
 /// fsynced; concurrent writers to the same target cannot collide, and a
 /// crash leaves `path` either absent, the old contents, or fully the new
 /// contents.
-CheckpointInfo write_checkpoint(const std::filesystem::path& path,
-                                const CheckpointRegistry& registry, const Codec& codec,
-                                std::uint64_t step, IoBackend& io);
-CheckpointInfo write_checkpoint(const std::filesystem::path& path,
-                                const CheckpointRegistry& registry, const Codec& codec,
-                                std::uint64_t step);
-CheckpointInfo read_checkpoint(const std::filesystem::path& path,
-                               const CheckpointRegistry& registry, IoBackend& io);
-CheckpointInfo read_checkpoint(const std::filesystem::path& path,
-                               const CheckpointRegistry& registry);
+[[nodiscard]] CheckpointInfo write_checkpoint(const std::filesystem::path& path,
+                                              const CheckpointRegistry& registry,
+                                              const Codec& codec, std::uint64_t step,
+                                              IoBackend& io);
+[[nodiscard]] CheckpointInfo write_checkpoint(const std::filesystem::path& path,
+                                              const CheckpointRegistry& registry,
+                                              const Codec& codec, std::uint64_t step);
+[[nodiscard]] CheckpointInfo read_checkpoint(const std::filesystem::path& path,
+                                             const CheckpointRegistry& registry,
+                                             IoBackend& io);
+[[nodiscard]] CheckpointInfo read_checkpoint(const std::filesystem::path& path,
+                                             const CheckpointRegistry& registry);
 
 }  // namespace wck

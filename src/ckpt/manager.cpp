@@ -60,6 +60,7 @@ CheckpointManager::CheckpointManager(std::filesystem::path dir, const Codec& cod
     throw InvalidArgumentError("CheckpointManager: retry.max_attempts must be >= 1");
   }
   std::filesystem::create_directories(dir_);
+  MutexLock lk(mu_);
   load_manifest();
 }
 
@@ -182,6 +183,8 @@ CheckpointInfo CheckpointManager::write(const CheckpointRegistry& registry,
   CheckpointInfo info;
   const Bytes data = serialize_checkpoint(registry, codec_, step, &info);
 
+  // Monitor section: generation list + manifest mutate together.
+  MutexLock lk(mu_);
   Generation gen;
   gen.step = step;
   gen.crc = crc32(std::span<const std::byte>(data));
@@ -210,7 +213,8 @@ void CheckpointManager::rotate() {
     const Generation old = generations_.back();
     generations_.pop_back();
     try {
-      io().remove_file(dir_ / old.file);
+      // false (already gone) is as good as removed here.
+      (void)io().remove_file(dir_ / old.file);
       WCK_COUNTER_ADD("ckpt.rotate.removed", 1);
       WCK_EVENT(kCkptRotate, old.step, old.file);
     } catch (const IoError&) {
@@ -248,6 +252,7 @@ std::optional<CheckpointInfo> CheckpointManager::try_restore_generation(
 
 RestoreOutcome CheckpointManager::restore(const CheckpointRegistry& registry) {
   WCK_TRACE_SPAN("ckpt.manager.restore");
+  MutexLock lk(mu_);
   WCK_EVENT(kRestoreBegin, 0, std::to_string(generations_.size()) + " generations");
   RestoreOutcome outcome;
   for (std::size_t i = 0; i < generations_.size(); ++i) {
@@ -290,6 +295,7 @@ RestoreOutcome CheckpointManager::restore(const CheckpointRegistry& registry) {
 
 ScrubReport CheckpointManager::scrub() {
   WCK_TRACE_SPAN("ckpt.manager.scrub");
+  MutexLock lk(mu_);
   ScrubReport report;
   std::vector<Generation> kept;
   kept.reserve(generations_.size());
@@ -342,8 +348,14 @@ ScrubReport CheckpointManager::scrub() {
 
 void CheckpointManager::attach_parity_store(InMemoryCheckpointStore* store,
                                             std::size_t rank) {
+  MutexLock lk(mu_);
   parity_store_ = store;
   parity_rank_ = rank;
+}
+
+std::vector<CheckpointManager::Generation> CheckpointManager::generations() const {
+  MutexLock lk(mu_);
+  return generations_;
 }
 
 }  // namespace wck

@@ -38,6 +38,7 @@
 #include "ckpt/codec.hpp"
 #include "io/io_backend.hpp"
 #include "redundancy/xor_parity.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wck {
 
@@ -99,25 +100,31 @@ class CheckpointManager {
   /// Throws IoError after the final attempt fails (counted as a
   /// giveup). Also mirrors the payload into the attached parity store,
   /// when there is one.
-  CheckpointInfo write(const CheckpointRegistry& registry, std::uint64_t step);
+  ///
+  /// The manager is a monitor: write/restore/scrub serialize on one
+  /// internal mutex, so concurrent callers (e.g. an async flush racing
+  /// a foreground scrub) see consistent generations and manifest state.
+  [[nodiscard]] CheckpointInfo write(const CheckpointRegistry& registry, std::uint64_t step)
+      WCK_EXCLUDES(mu_);
 
   /// Restores the newest restorable generation: read + manifest CRC
   /// check + transactional decode, falling back through older
   /// generations, then parity reconstruction. Throws CorruptDataError
   /// when nothing is restorable. The registry arrays are only modified
   /// by the generation that actually restores.
-  RestoreOutcome restore(const CheckpointRegistry& registry);
+  [[nodiscard]] RestoreOutcome restore(const CheckpointRegistry& registry) WCK_EXCLUDES(mu_);
 
   /// Verifies every generation against the manifest (size + CRC + file
   /// magic); corrupt ones are renamed to `<file>.quarantined.<n>` and
   /// dropped from the manifest.
-  ScrubReport scrub();
+  [[nodiscard]] ScrubReport scrub() WCK_EXCLUDES(mu_);
 
   /// Attaches a peer-memory parity store: write() mirrors every payload
   /// to `rank`, restore() falls back to store.retrieve(rank) when no
   /// on-disk generation is restorable. The store must outlive the
   /// manager; nullptr detaches.
-  void attach_parity_store(InMemoryCheckpointStore* store, std::size_t rank);
+  void attach_parity_store(InMemoryCheckpointStore* store, std::size_t rank)
+      WCK_EXCLUDES(mu_);
 
   /// One committed generation (manifest order: newest first).
   struct Generation {
@@ -126,30 +133,34 @@ class CheckpointManager {
     std::uint64_t size = 0;
     std::string file;  ///< name relative to dir()
   };
-  [[nodiscard]] const std::vector<Generation>& generations() const noexcept {
-    return generations_;
-  }
+  /// Copy of the committed generations (newest first). Returned by
+  /// value: a reference into the live vector could be invalidated (and
+  /// raced) by a concurrent write()/scrub().
+  [[nodiscard]] std::vector<Generation> generations() const WCK_EXCLUDES(mu_);
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
 
  private:
   [[nodiscard]] IoBackend& io() const noexcept;
-  void load_manifest();
-  void commit_manifest();
+  void load_manifest() WCK_REQUIRES(mu_);
+  void commit_manifest() WCK_REQUIRES(mu_);
   void commit_with_retry(const std::filesystem::path& path, const Bytes& data);
-  void rotate();
+  void rotate() WCK_REQUIRES(mu_);
   /// Reads + verifies + restores one generation; returns the info on
   /// success, nullopt (after counting the reason) on any failure.
   std::optional<CheckpointInfo> try_restore_generation(const Generation& gen,
                                                        const CheckpointRegistry& registry);
 
-  std::filesystem::path dir_;
+  // Immutable after construction — need no guard.
+  const std::filesystem::path dir_;
   const Codec& codec_;
-  Options options_;
-  IoBackend* io_;
-  std::vector<Generation> generations_;  ///< newest first
-  InMemoryCheckpointStore* parity_store_ = nullptr;
-  std::size_t parity_rank_ = 0;
-  std::uint64_t quarantine_seq_ = 0;
+  const Options options_;
+  IoBackend* const io_;
+
+  mutable Mutex mu_;
+  std::vector<Generation> generations_ WCK_GUARDED_BY(mu_);  ///< newest first
+  InMemoryCheckpointStore* parity_store_ WCK_GUARDED_BY(mu_) = nullptr;
+  std::size_t parity_rank_ WCK_GUARDED_BY(mu_) = 0;
+  std::uint64_t quarantine_seq_ WCK_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace wck

@@ -10,6 +10,9 @@ namespace wck {
 
 World::World(std::size_t ranks) : ranks_(ranks), mailboxes_(ranks) {
   if (ranks == 0) throw InvalidArgumentError("World needs at least one rank");
+  // No rank threads exist yet, but the slots are guarded fields; taking
+  // the (uncontended) lock keeps the discipline uniform.
+  MutexLock lk(coll_.mu);
   coll_.reduce_slots.resize(ranks, 0.0);
   coll_.gather_slots.resize(ranks, nullptr);
 }
@@ -17,7 +20,7 @@ World::World(std::size_t ranks) : ranks_(ranks), mailboxes_(ranks) {
 void World::run(const std::function<void(Comm&)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(ranks_);
-  std::mutex error_mu;
+  Mutex error_mu;
   std::exception_ptr first_error;
 
   for (std::size_t r = 0; r < ranks_; ++r) {
@@ -26,7 +29,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
       try {
         fn(comm);
       } catch (...) {
-        std::lock_guard lk(error_mu);
+        MutexLock lk(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
     });
@@ -35,7 +38,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 
   for (auto& mb : mailboxes_) {
-    std::lock_guard lk(mb.mu);
+    MutexLock lk(mb.mu);
     if (!mb.messages.empty()) {
       throw Error("World::run finished with undelivered messages");
     }
@@ -46,7 +49,7 @@ void Comm::send(std::size_t dest, int tag, std::span<const std::byte> data) {
   if (dest >= size()) throw InvalidArgumentError("send: destination rank out of range");
   World::Mailbox& mb = world_.mailboxes_[dest];
   {
-    std::lock_guard lk(mb.mu);
+    MutexLock lk(mb.mu);
     mb.messages.push_back(World::Message{rank_, tag, Bytes(data.begin(), data.end())});
   }
   mb.cv.notify_all();
@@ -55,7 +58,7 @@ void Comm::send(std::size_t dest, int tag, std::span<const std::byte> data) {
 Bytes Comm::recv(std::size_t src, int tag) {
   if (src >= size()) throw InvalidArgumentError("recv: source rank out of range");
   World::Mailbox& mb = world_.mailboxes_[rank_];
-  std::unique_lock lk(mb.mu);
+  MutexLock lk(mb.mu);
   for (;;) {
     const auto it = std::find_if(mb.messages.begin(), mb.messages.end(),
                                  [&](const World::Message& m) {
@@ -72,14 +75,17 @@ Bytes Comm::recv(std::size_t src, int tag) {
 
 void Comm::barrier() {
   World::Collectives& c = world_.coll_;
-  std::unique_lock lk(c.mu);
+  MutexLock lk(c.mu);
   const std::uint64_t gen = c.barrier_generation;
   if (++c.barrier_waiting == size()) {
     c.barrier_waiting = 0;
     ++c.barrier_generation;
     c.cv.notify_all();
   } else {
-    c.cv.wait(lk, [&] { return c.barrier_generation != gen; });
+    c.cv.wait(lk, [&] {
+      c.mu.assert_held();
+      return c.barrier_generation != gen;
+    });
   }
 }
 
@@ -87,13 +93,13 @@ template <typename Op>
 double Comm::allreduce(double value, Op op, double init) {
   World::Collectives& c = world_.coll_;
   {
-    std::lock_guard lk(c.mu);
+    MutexLock lk(c.mu);
     c.reduce_slots[rank_] = value;
   }
   barrier();
   double result = init;
   {
-    std::lock_guard lk(c.mu);
+    MutexLock lk(c.mu);
     // Fold in rank order: deterministic regardless of scheduling.
     for (const double v : c.reduce_slots) result = op(result, v);
   }
@@ -116,13 +122,13 @@ std::vector<Bytes> Comm::gather(std::span<const std::byte> data, std::size_t roo
   World::Collectives& c = world_.coll_;
   const Bytes mine(data.begin(), data.end());
   {
-    std::lock_guard lk(c.mu);
+    MutexLock lk(c.mu);
     c.gather_slots[rank_] = &mine;
   }
   barrier();
   std::vector<Bytes> out;
   if (rank_ == root) {
-    std::lock_guard lk(c.mu);
+    MutexLock lk(c.mu);
     out.reserve(size());
     for (const Bytes* slot : c.gather_slots) out.push_back(*slot);
   }
@@ -134,13 +140,13 @@ Bytes Comm::broadcast(std::span<const std::byte> data, std::size_t root) {
   if (root >= size()) throw InvalidArgumentError("broadcast: root out of range");
   World::Collectives& c = world_.coll_;
   if (rank_ == root) {
-    std::lock_guard lk(c.mu);
+    MutexLock lk(c.mu);
     c.bcast_value.assign(data.begin(), data.end());
   }
   barrier();
   Bytes out;
   {
-    std::lock_guard lk(c.mu);
+    MutexLock lk(c.mu);
     out = c.bcast_value;
   }
   barrier();

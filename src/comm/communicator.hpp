@@ -11,18 +11,17 @@
 // checkpointing exactly as an MPI code would.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "util/bytes.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wck {
 
@@ -52,21 +51,21 @@ class World {
   };
 
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> messages;
+    Mutex mu;
+    CondVar cv;
+    std::deque<Message> messages WCK_GUARDED_BY(mu);
   };
 
   // Collectives state.
   struct Collectives {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::uint64_t barrier_generation = 0;
-    std::size_t barrier_waiting = 0;
-    std::vector<double> reduce_slots;
-    std::vector<const Bytes*> gather_slots;
-    Bytes bcast_value;
-    std::uint64_t bcast_generation = 0;
+    Mutex mu;
+    CondVar cv;
+    std::uint64_t barrier_generation WCK_GUARDED_BY(mu) = 0;
+    std::size_t barrier_waiting WCK_GUARDED_BY(mu) = 0;
+    std::vector<double> reduce_slots WCK_GUARDED_BY(mu);
+    std::vector<const Bytes*> gather_slots WCK_GUARDED_BY(mu);
+    Bytes bcast_value WCK_GUARDED_BY(mu);
+    std::uint64_t bcast_generation WCK_GUARDED_BY(mu) = 0;
   };
 
   std::size_t ranks_;

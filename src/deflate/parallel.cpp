@@ -13,6 +13,7 @@
 #include "parallel/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/checksum.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -261,17 +262,17 @@ bool is_sharded_deflate(std::span<const std::byte> data) noexcept {
 std::optional<std::size_t> resolve_deflate_sharding(int requested) {
   if (requested > 0) return static_cast<std::size_t>(requested);
   if (requested < 0) return std::nullopt;
-  const char* env = std::getenv("WCK_THREADS");
-  if (env == nullptr || *env == '\0') return std::nullopt;
-  const std::string value(env);
+  const std::optional<std::string> env = env::get("WCK_THREADS");
+  if (!env.has_value() || env->empty()) return std::nullopt;
+  const std::string& value = *env;
   auto hardware = [] {
     const unsigned n = std::thread::hardware_concurrency();
     return static_cast<std::size_t>(n == 0 ? 1 : n);
   };
   if (value == "max") return hardware();
   char* end = nullptr;
-  const long parsed = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || parsed < 0) {
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || parsed < 0) {
     return std::nullopt;  // unparsable -> behave as unset (legacy serial)
   }
   if (parsed == 0) return hardware();

@@ -1,8 +1,10 @@
 #include "io/fault_injection.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -122,8 +124,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
 }
 
 FaultPlan FaultPlan::from_env() {
-  const char* spec = std::getenv("WCK_FAULT_PLAN");
-  return spec == nullptr ? FaultPlan{} : parse(spec);
+  const std::optional<std::string> spec = env::get("WCK_FAULT_PLAN");
+  return spec ? parse(*spec) : FaultPlan{};
 }
 
 FaultInjectingBackend::FaultInjectingBackend(FaultPlan plan, IoBackend& inner)
@@ -131,7 +133,7 @@ FaultInjectingBackend::FaultInjectingBackend(FaultPlan plan, IoBackend& inner)
 
 const FaultRule* FaultInjectingBackend::check(IoOp op, const std::filesystem::path& path,
                                               std::uint64_t* fire_index) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const std::string path_str = path.string();
   for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
     const FaultRule& rule = plan_.rules[i];
@@ -240,14 +242,14 @@ bool FaultInjectingBackend::exists(const std::filesystem::path& path) {
 }
 
 std::uint64_t FaultInjectingBackend::fault_count() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::uint64_t n = 0;
   for (const RuleState& st : states_) n += st.fires;
   return n;
 }
 
 std::uint64_t FaultInjectingBackend::rule_fault_count(std::size_t i) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return i < states_.size() ? states_[i].fires : 0;
 }
 

@@ -32,11 +32,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "io/io_backend.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wck {
 
@@ -90,7 +90,7 @@ class FaultInjectingBackend final : public IoBackend {
   void fsync_dir(const std::filesystem::path& dir) override;
   void rename_file(const std::filesystem::path& from,
                    const std::filesystem::path& to) override;
-  bool remove_file(const std::filesystem::path& path) override;
+  [[nodiscard]] bool remove_file(const std::filesystem::path& path) override;
   [[nodiscard]] bool exists(const std::filesystem::path& path) override;
 
   /// Total faults injected so far (all rules).
@@ -110,10 +110,11 @@ class FaultInjectingBackend final : public IoBackend {
   const FaultRule* check(IoOp op, const std::filesystem::path& path,
                          std::uint64_t* fire_index);
 
-  FaultPlan plan_;
+  // Immutable after construction — needs no guard.
+  const FaultPlan plan_;
   IoBackend& inner_;
-  mutable std::mutex mu_;
-  std::vector<RuleState> states_;
+  mutable Mutex mu_;
+  std::vector<RuleState> states_ WCK_GUARDED_BY(mu_);
 };
 
 }  // namespace wck

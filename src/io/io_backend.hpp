@@ -45,7 +45,9 @@ class IoBackend {
                            const std::filesystem::path& to) = 0;
 
   /// Removes `path`; a missing file is not an error (returns false).
-  virtual bool remove_file(const std::filesystem::path& path) = 0;
+  /// Callers that don't care whether the file existed must say so with
+  /// a (void) cast.
+  [[nodiscard]] virtual bool remove_file(const std::filesystem::path& path) = 0;
 
   [[nodiscard]] virtual bool exists(const std::filesystem::path& path) = 0;
 };
@@ -60,7 +62,7 @@ class PosixBackend final : public IoBackend {
   void fsync_dir(const std::filesystem::path& dir) override;
   void rename_file(const std::filesystem::path& from,
                    const std::filesystem::path& to) override;
-  bool remove_file(const std::filesystem::path& path) override;
+  [[nodiscard]] bool remove_file(const std::filesystem::path& path) override;
   [[nodiscard]] bool exists(const std::filesystem::path& path) override;
 };
 

@@ -6,9 +6,11 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "io/fault_injection.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -109,11 +111,11 @@ PosixBackend& posix_backend() {
 namespace {
 
 IoBackend* make_env_default() {
-  const char* spec = std::getenv("WCK_FAULT_PLAN");
-  if (spec == nullptr || spec[0] == '\0') return &posix_backend();
+  const std::optional<std::string> spec = env::get("WCK_FAULT_PLAN");
+  if (!spec.has_value() || spec->empty()) return &posix_backend();
   // Process-lifetime fault backend: soaks set WCK_FAULT_PLAN and every
   // checkpoint in the process runs against the injected faults.
-  static FaultInjectingBackend fault(FaultPlan::parse(spec), posix_backend());
+  static FaultInjectingBackend fault(FaultPlan::parse(*spec), posix_backend());
   return &fault;
 }
 
@@ -149,7 +151,7 @@ void atomic_write_durable(IoBackend& io, const std::filesystem::path& path,
     io.rename_file(tmp, path);
   } catch (...) {
     try {
-      io.remove_file(tmp);
+      (void)io.remove_file(tmp);
     } catch (...) {  // NOLINT(bugprone-empty-catch)
       // Cleanup is best effort; the original error is what matters.
     }

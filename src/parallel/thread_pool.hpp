@@ -6,17 +6,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wck {
 
@@ -36,7 +35,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -63,7 +62,7 @@ class ThreadPool {
     // the worker to skip the queue-wait histogram for this job.
     if (telemetry::enabled()) job.enqueued = Clock::now();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       queue_.push_back(std::move(job));
     }
     cv_.notify_one();
@@ -125,8 +124,11 @@ class ThreadPool {
     for (;;) {
       Job job;
       {
-        std::unique_lock lk(mu_);
-        cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lk(mu_);
+        cv_.wait(lk, [this] {
+          mu_.assert_held();
+          return stopping_ || !queue_.empty();
+        });
         if (stopping_ && queue_.empty()) return;
         job = std::move(queue_.front());
         queue_.pop_front();
@@ -140,11 +142,13 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Job> queue_ WCK_GUARDED_BY(mu_);
+  // Touched only by the constructing/destructing thread; workers never
+  // read it, so it needs no guard.
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ WCK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace wck

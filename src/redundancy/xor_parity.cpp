@@ -43,7 +43,8 @@ Bytes xor_recover(const ParityBlock& parity, std::span<const Bytes> payloads,
 }
 
 InMemoryCheckpointStore::InMemoryCheckpointStore(std::size_t ranks, std::size_t group_size)
-    : group_size_(group_size),
+    : ranks_(ranks),
+      group_size_(group_size),
       payloads_(ranks),
       parities_((ranks + group_size - 1) / std::max<std::size_t>(group_size, 1)),
       stored_(ranks, false) {
@@ -55,7 +56,7 @@ InMemoryCheckpointStore::InMemoryCheckpointStore(std::size_t ranks, std::size_t 
 // check itself needs no lock; everything touching payloads_/stored_/
 // parities_ runs under mu_ (rank threads share one store).
 void InMemoryCheckpointStore::check_rank(std::size_t rank) const {
-  if (rank >= payloads_.size()) throw InvalidArgumentError("store: rank out of range");
+  if (rank >= ranks_) throw InvalidArgumentError("store: rank out of range");
 }
 
 std::size_t InMemoryCheckpointStore::group_of(std::size_t rank) const {
@@ -66,13 +67,13 @@ std::size_t InMemoryCheckpointStore::group_of(std::size_t rank) const {
 std::pair<std::size_t, std::size_t> InMemoryCheckpointStore::group_range(
     std::size_t group) const {
   const std::size_t begin = group * group_size_;
-  const std::size_t end = std::min(begin + group_size_, payloads_.size());
+  const std::size_t end = std::min(begin + group_size_, ranks_);
   return {begin, end};
 }
 
 void InMemoryCheckpointStore::store(std::size_t rank, Bytes payload) {
   check_rank(rank);
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   payloads_[rank] = std::move(payload);
   stored_[rank] = true;
   refresh_group_parity(group_of(rank));
@@ -90,19 +91,19 @@ void InMemoryCheckpointStore::refresh_group_parity(std::size_t group) {
 
 void InMemoryCheckpointStore::fail_rank(std::size_t rank) {
   check_rank(rank);
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   payloads_[rank].reset();
 }
 
 bool InMemoryCheckpointStore::rank_alive(std::size_t rank) const {
   check_rank(rank);
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return payloads_[rank].has_value();
 }
 
 std::optional<Bytes> InMemoryCheckpointStore::retrieve(std::size_t rank) const {
   check_rank(rank);
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   if (payloads_[rank].has_value()) return payloads_[rank];
   if (!stored_[rank]) return std::nullopt;  // never had a checkpoint
 
@@ -122,7 +123,7 @@ std::optional<Bytes> InMemoryCheckpointStore::retrieve(std::size_t rank) const {
 }
 
 std::size_t InMemoryCheckpointStore::stored_bytes() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& p : payloads_) {
     if (p.has_value()) n += p->size();

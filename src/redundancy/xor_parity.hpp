@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wck {
 
@@ -42,7 +42,7 @@ class InMemoryCheckpointStore {
  public:
   InMemoryCheckpointStore(std::size_t ranks, std::size_t group_size);
 
-  [[nodiscard]] std::size_t rank_count() const noexcept { return payloads_.size(); }
+  [[nodiscard]] std::size_t rank_count() const noexcept { return ranks_; }
   [[nodiscard]] std::size_t group_of(std::size_t rank) const;
 
   /// Stores rank `r`'s checkpoint payload and refreshes its group parity.
@@ -64,15 +64,19 @@ class InMemoryCheckpointStore {
   [[nodiscard]] std::size_t stored_bytes() const;
 
  private:
-  void refresh_group_parity(std::size_t group);
+  void refresh_group_parity(std::size_t group) WCK_REQUIRES(mu_);
   [[nodiscard]] std::pair<std::size_t, std::size_t> group_range(std::size_t group) const;
   void check_rank(std::size_t rank) const;
 
-  mutable std::mutex mu_;
-  std::size_t group_size_;
-  std::vector<std::optional<Bytes>> payloads_;  ///< nullopt = failed/absent
-  std::vector<ParityBlock> parities_;
-  std::vector<bool> stored_;  ///< rank ever stored (distinguishes failed from empty)
+  // Rank count and group layout are fixed at construction — no guard.
+  const std::size_t ranks_;
+  const std::size_t group_size_;
+
+  mutable Mutex mu_;
+  std::vector<std::optional<Bytes>> payloads_ WCK_GUARDED_BY(mu_);  ///< nullopt = failed/absent
+  std::vector<ParityBlock> parities_ WCK_GUARDED_BY(mu_);
+  /// rank ever stored (distinguishes failed from empty)
+  std::vector<bool> stored_ WCK_GUARDED_BY(mu_);
 };
 
 }  // namespace wck

@@ -38,7 +38,7 @@ EventLog::EventLog(std::size_t capacity) : capacity_(std::max<std::size_t>(capac
 
 void EventLog::record(EventKind kind, std::uint64_t step, std::string detail) {
   const auto now = std::chrono::steady_clock::now();
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   Event e;
   e.seq = total_;
   e.t_us = std::chrono::duration<double, std::micro>(now - epoch_).count();
@@ -54,7 +54,7 @@ void EventLog::record(EventKind kind, std::uint64_t step, std::string detail) {
 }
 
 std::vector<Event> EventLog::snapshot() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<Event> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -70,17 +70,17 @@ std::vector<Event> EventLog::snapshot() const {
 }
 
 std::uint64_t EventLog::total() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return total_;
 }
 
 std::uint64_t EventLog::dropped() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return total_ > capacity_ ? total_ - capacity_ : 0;
 }
 
 void EventLog::clear() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   ring_.clear();
 }
 

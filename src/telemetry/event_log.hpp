@@ -13,11 +13,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/metrics.hpp"  // enabled()
+#include "util/thread_annotations.hpp"
 
 namespace wck::telemetry {
 
@@ -96,10 +96,12 @@ class EventLog {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Event> ring_;      // ring_[total_ % capacity_] is the next slot
-  std::uint64_t total_ = 0;
-  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+  mutable Mutex mu_;
+  // ring_[total_ % capacity_] is the next slot
+  std::vector<Event> ring_ WCK_GUARDED_BY(mu_);
+  std::uint64_t total_ WCK_GUARDED_BY(mu_) = 0;
+  // Set once at construction, immutable after — needs no guard.
+  const std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };
 
 /// Renders one event as a compact JSON object (no trailing newline).

@@ -100,7 +100,7 @@ bool PeriodicSnapshotWriter::write_once() {
 }
 
 void PeriodicSnapshotWriter::start() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (started_) return;
   started_ = true;
   stopping_ = false;
@@ -108,26 +108,35 @@ void PeriodicSnapshotWriter::start() {
 }
 
 void PeriodicSnapshotWriter::stop() {
+  // Claim the thread handle under the lock and join the local copy:
+  // with the handle itself guarded, two racing stop() calls can never
+  // both reach join() on the same std::thread (which is undefined
+  // behavior). The loser of the race sees started_ == false and leaves
+  // the final dump to the winner.
+  std::thread claimed;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (!started_) return;
+    started_ = false;
     stopping_ = true;
+    claimed = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  {
-    std::lock_guard lk(mu_);
-    started_ = false;
-  }
+  if (claimed.joinable()) claimed.join();
   write_once();  // final state dump
 }
 
 void PeriodicSnapshotWriter::run() {
-  std::unique_lock lk(mu_);
+  MutexLock lk(mu_);
   while (!stopping_) {
     // Wait first so a stop() right after start() skips the initial dump
     // race; stop() performs the final write.
-    if (cv_.wait_for(lk, options_.interval, [this] { return stopping_; })) break;
+    if (cv_.wait_for(lk, options_.interval, [this] {
+          mu_.assert_held();
+          return stopping_;
+        })) {
+      break;
+    }
     lk.unlock();
     write_once();
     lk.lock();

@@ -10,14 +10,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "telemetry/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wck::telemetry {
 
@@ -63,7 +62,9 @@ class PeriodicSnapshotWriter {
   void start();
 
   /// Stops the background thread promptly and performs a final
-  /// write_once() so the directory reflects the end state.
+  /// write_once() so the directory reflects the end state. Safe to call
+  /// concurrently and repeatedly: exactly one caller joins the thread
+  /// and performs the final dump; the others return immediately.
   void stop();
 
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
@@ -76,11 +77,15 @@ class PeriodicSnapshotWriter {
 
   std::filesystem::path dir_;
   Options options_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  bool started_ = false;
-  std::thread thread_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ WCK_GUARDED_BY(mu_) = false;
+  bool started_ WCK_GUARDED_BY(mu_) = false;
+  // Guarded: stop() must move the handle out under the lock and join
+  // the local copy, so two concurrent stop() calls cannot both join the
+  // same std::thread (that double-join was a real defect the annotation
+  // pass surfaced; see telemetry_test "StopIsConcurrencySafe").
+  std::thread thread_ WCK_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> writes_{0};
 };
 

@@ -2,18 +2,18 @@
 
 #include <algorithm>
 #include <array>
-#include <cstdlib>
-#include <cstring>
 #include <limits>
+#include <optional>
+
+#include "util/env.hpp"
 
 namespace wck::telemetry {
 namespace {
 
-bool env_enabled() noexcept {
-  const char* v = std::getenv("WCK_TELEMETRY");
-  if (v == nullptr) return true;
-  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
-         std::strcmp(v, "false") != 0 && std::strcmp(v, "OFF") != 0;
+bool env_enabled() {
+  const std::optional<std::string> v = env::get("WCK_TELEMETRY");
+  if (!v) return true;
+  return *v != "off" && *v != "0" && *v != "false" && *v != "OFF";
 }
 
 std::atomic<bool>& enabled_flag() noexcept {
@@ -123,21 +123,21 @@ void Histogram::reset() noexcept {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>()).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, std::span<const double> bounds) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds))
@@ -145,7 +145,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, std::span<const dou
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -167,7 +167,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   for (const auto& [_, c] : counters_) c->reset();
   for (const auto& [_, g] : gauges_) g->reset();
   for (const auto& [_, h] : histograms_) h->reset();

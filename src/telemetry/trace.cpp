@@ -7,10 +7,15 @@
 namespace wck::telemetry {
 
 struct Tracer::ThreadStream {
-  mutable std::mutex mu;
-  std::vector<SpanRecord> spans;
+  mutable Mutex mu;
+  std::vector<SpanRecord> spans WCK_GUARDED_BY(mu);
+  // Written once (under the Tracer's mu_) before the stream is ever
+  // shared; read-only afterwards, so it needs no guard.
   std::uint32_t tid = 0;
-  std::uint32_t depth = 0;  // touched only by the owning thread
+  // Only the owning thread calls enter()/leave(), but snapshotting
+  // threads hold mu for spans anyway — guarding depth too keeps the
+  // whole mutable state under one discipline at zero extra cost.
+  std::uint32_t depth WCK_GUARDED_BY(mu) = 0;
 };
 
 double Tracer::now_us() const noexcept {
@@ -23,7 +28,7 @@ Tracer::ThreadStream& Tracer::stream_for_this_thread() {
   thread_local Tracer* local_owner = nullptr;
   if (!local || local_owner != this) {
     auto stream = std::make_shared<ThreadStream>();
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stream->tid = static_cast<std::uint32_t>(streams_.size());
     streams_.push_back(stream);
     local = std::move(stream);
@@ -34,26 +39,31 @@ Tracer::ThreadStream& Tracer::stream_for_this_thread() {
 
 void Tracer::record(std::string name, double start_us, double dur_us, std::uint32_t depth) {
   ThreadStream& s = stream_for_this_thread();
-  std::lock_guard lk(s.mu);
+  MutexLock lk(s.mu);
   s.spans.push_back(SpanRecord{std::move(name), start_us, dur_us, depth, s.tid});
 }
 
-std::uint32_t Tracer::enter() noexcept { return stream_for_this_thread().depth++; }
-
-void Tracer::leave() noexcept {
+std::uint32_t Tracer::enter() {
   ThreadStream& s = stream_for_this_thread();
+  MutexLock lk(s.mu);
+  return s.depth++;
+}
+
+void Tracer::leave() {
+  ThreadStream& s = stream_for_this_thread();
+  MutexLock lk(s.mu);
   if (s.depth > 0) --s.depth;
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {
   std::vector<std::shared_ptr<ThreadStream>> streams;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     streams = streams_;
   }
   std::vector<SpanRecord> out;
   for (const auto& s : streams) {
-    std::lock_guard lk(s->mu);
+    MutexLock lk(s->mu);
     out.insert(out.end(), s->spans.begin(), s->spans.end());
   }
   std::stable_sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
@@ -65,12 +75,12 @@ std::vector<SpanRecord> Tracer::snapshot() const {
 std::size_t Tracer::span_count() const {
   std::vector<std::shared_ptr<ThreadStream>> streams;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     streams = streams_;
   }
   std::size_t n = 0;
   for (const auto& s : streams) {
-    std::lock_guard lk(s->mu);
+    MutexLock lk(s->mu);
     n += s->spans.size();
   }
   return n;
@@ -79,11 +89,11 @@ std::size_t Tracer::span_count() const {
 void Tracer::clear() {
   std::vector<std::shared_ptr<ThreadStream>> streams;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     streams = streams_;
   }
   for (const auto& s : streams) {
-    std::lock_guard lk(s->mu);
+    MutexLock lk(s->mu);
     s->spans.clear();
   }
 }

@@ -13,11 +13,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/metrics.hpp"  // enabled()
+#include "util/thread_annotations.hpp"
 
 namespace wck::telemetry {
 
@@ -44,8 +44,8 @@ class Tracer {
 
   /// Enters/leaves a nesting level on the calling thread; returns the
   /// depth the span runs at.
-  std::uint32_t enter() noexcept;
-  void leave() noexcept;
+  std::uint32_t enter();
+  void leave();
 
   /// All spans from all threads, ordered by (tid, start).
   [[nodiscard]] std::vector<SpanRecord> snapshot() const;
@@ -65,9 +65,10 @@ class Tracer {
   struct ThreadStream;
   ThreadStream& stream_for_this_thread();
 
-  mutable std::mutex mu_;  // guards streams_ vector growth
-  std::vector<std::shared_ptr<ThreadStream>> streams_;
-  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<ThreadStream>> streams_ WCK_GUARDED_BY(mu_);
+  // Set once at construction, immutable after — needs no guard.
+  const std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };
 
 /// RAII span: measures construction-to-destruction and records it into

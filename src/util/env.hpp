@@ -1,0 +1,94 @@
+// Process-environment cache: the only sanctioned way to read WCK_*
+// environment variables (WCK_THREADS, WCK_TELEMETRY, WCK_EVENT,
+// WCK_FAULT_PLAN, WCK_BENCH_JSON, ...).
+//
+// Why not call std::getenv directly?
+//   * std::getenv is not required to be thread-safe against concurrent
+//     setenv (clang-tidy's concurrency-mt-unsafe check, re-enabled by
+//     this header's introduction, flags every call site).
+//   * Subsystems read configuration lazily from worker threads (e.g.
+//     the deflate sharding decision, the telemetry enable flag); a
+//     cache makes those reads race-free and stable for the process
+//     lifetime, which is also the semantic the code wants — flipping
+//     WCK_TELEMETRY mid-run was never supported.
+//
+// Each variable is read from the real environment exactly once, on
+// first access, under a lock; later lookups hit the cache. Tests that
+// need to vary a variable per test case use set_override() /
+// clear_override() (see ScopedEnv in tests/parallel_deflate_test.cpp)
+// instead of setenv, which the cache would otherwise mask.
+//
+// Header-only on purpose: wck_util links against wck_telemetry, and
+// telemetry itself needs env lookups — an env .cpp in wck_util would
+// create a link cycle.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/thread_annotations.hpp"
+
+namespace wck::env {
+
+namespace detail {
+
+struct Cache {
+  wck::Mutex mu;
+  // Entries are never erased: nullopt means "looked up, unset".
+  std::map<std::string, std::optional<std::string>, std::less<>> values
+      WCK_GUARDED_BY(mu);
+  std::map<std::string, std::optional<std::string>, std::less<>> overrides
+      WCK_GUARDED_BY(mu);
+};
+
+inline Cache& cache() {
+  static Cache c;  // leaked-by-design lifetime is irrelevant: static, trivial dtor order ok
+  return c;
+}
+
+}  // namespace detail
+
+/// Cached lookup of `name` in the process environment. The real
+/// ::getenv happens at most once per name for the process lifetime;
+/// std::nullopt means the variable is unset.
+inline std::optional<std::string> get(std::string_view name) {
+  detail::Cache& c = detail::cache();
+  wck::MutexLock lk(c.mu);
+  if (const auto ov = c.overrides.find(name); ov != c.overrides.end()) {
+    return ov->second;
+  }
+  if (const auto it = c.values.find(name); it != c.values.end()) {
+    return it->second;
+  }
+  std::optional<std::string> value;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): the one sanctioned getenv —
+  // serialized under c.mu and performed once per variable.
+  if (const char* raw = std::getenv(std::string(name).c_str())) {
+    value = raw;
+  }
+  c.values.emplace(std::string(name), value);
+  return value;
+}
+
+/// Test hook: make get(name) return `value` (nullopt = behave as
+/// unset), bypassing both the cache and the real environment.
+inline void set_override(std::string_view name, std::optional<std::string> value) {
+  detail::Cache& c = detail::cache();
+  wck::MutexLock lk(c.mu);
+  c.overrides.insert_or_assign(std::string(name), std::move(value));
+}
+
+/// Test hook: drop an override; get(name) falls back to the (cached)
+/// real environment again.
+inline void clear_override(std::string_view name) {
+  detail::Cache& c = detail::cache();
+  wck::MutexLock lk(c.mu);
+  if (const auto it = c.overrides.find(name); it != c.overrides.end()) {
+    c.overrides.erase(it);
+  }
+}
+
+}  // namespace wck::env

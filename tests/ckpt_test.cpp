@@ -197,7 +197,7 @@ TEST(Checkpoint, FileRoundTrip) {
 TEST(Checkpoint, MissingFileThrowsIoError) {
   TwoFieldApp app;
   EXPECT_THROW((void)read_checkpoint("/nonexistent/dir/x.wck", app.registry), IoError);
-  EXPECT_THROW(write_checkpoint("/nonexistent/dir/x.wck", app.registry, NullCodec{}, 0),
+  EXPECT_THROW((void)write_checkpoint("/nonexistent/dir/x.wck", app.registry, NullCodec{}, 0),
                IoError);
 }
 

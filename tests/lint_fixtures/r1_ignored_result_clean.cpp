@@ -1,0 +1,14 @@
+// Fixture: every must-consume result below is consumed (or explicitly
+// discarded with the sanctioned (void) cast).
+bool clean(Backend& backend, Pool& pool, Manager& manager) {
+  (void)backend.remove_file(path);
+  const bool present = backend.exists(path);
+  futures.push_back(pool.submit(job));
+  if (io().exists(p)) {
+    use(store->retrieve(key));
+  }
+  // A declaration is not a call site:
+  // bool remove_file(const std::filesystem::path& path) override;
+  return manager.scrub().ok && present;
+}
+ScrubReport Manager::scrub() { return do_scrub(); }

@@ -1,0 +1,9 @@
+// Fixture: every statement below discards a must-consume result.
+// (Not compiled — parsed by wck_lint_test through lint::scan_file.)
+void violations(Backend& backend, Pool& pool, Manager& manager) {
+  backend.remove_file(path);
+  pool.submit(job);
+  manager.scrub();
+  io().exists(p);
+  store->retrieve(key);
+}

@@ -1,0 +1,9 @@
+// Fixture: file I/O routed through the backend; mentions of raw
+// primitives in comments (std::ofstream, fopen) and string literals
+// must not count, nor must identifiers that merely contain the token.
+void clean(wck::IoBackend& io, const std::filesystem::path& path, wck::Bytes data) {
+  io.write_file(path, data);
+  const wck::Bytes back = io.read_file(path);
+  log("do not use std::ofstream or fopen( here");
+  reopen(path);  // 'open' inside another identifier
+}

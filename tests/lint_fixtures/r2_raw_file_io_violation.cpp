@@ -1,0 +1,7 @@
+// Fixture: raw file I/O that bypasses the IoBackend layer.
+void violations(const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  std::ifstream in(path);
+  FILE* f = fopen(path, "w");
+  int fd = ::open(path, 0);
+}

@@ -1,0 +1,12 @@
+// Fixture: the annotated wrappers; comments naming std::mutex and
+// string literals ("std::lock_guard") must not count.
+class Guarded {
+  void poke() {
+    wck::MutexLock lk(mu_);  // not a std::lock_guard
+    cv_.notify_all();
+    log("std::mutex is banned outside util/thread_annotations.hpp");
+  }
+  wck::Mutex mu_;
+  wck::CondVar cv_;
+  int value_ WCK_GUARDED_BY(mu_) = 0;
+};

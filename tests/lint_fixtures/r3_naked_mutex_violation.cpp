@@ -1,0 +1,12 @@
+// Fixture: raw standard-library synchronization primitives that the
+// thread-safety analysis cannot see.
+class Racy {
+  void poke() {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock ul(other_);
+    cv_.notify_all();
+  }
+  std::mutex mu_;
+  std::mutex other_;
+  std::condition_variable cv_;
+};

@@ -1,0 +1,10 @@
+// Fixture: conforming metric names, plus dynamic names (which the
+// scanner must skip — it only judges whole-literal arguments).
+void clean(wck::telemetry::MetricsRegistry& registry, const std::string& op) {
+  WCK_COUNTER_ADD("ckpt.async.jobs_completed", 1);
+  WCK_GAUGE_SET("deflate.threads", 4.0);
+  WCK_HISTOGRAM_RECORD("stage.deflate.block.seconds", 0.5);
+  registry.counter("io.fault." + op).add(1);
+  registry.counter(dynamic_name()).add(1);
+  registry.histogram("ckpt.write.seconds").record(0.25);
+}

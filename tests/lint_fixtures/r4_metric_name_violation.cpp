@@ -1,0 +1,8 @@
+// Fixture: metric names that break the dotted.lowercase convention.
+void violations(wck::telemetry::MetricsRegistry& registry) {
+  WCK_COUNTER_ADD("CkptAsyncJobs", 1);
+  WCK_GAUGE_SET("deflate.Threads", 4.0);
+  WCK_HISTOGRAM_RECORD("stage_deflate_seconds", 0.5);
+  registry.counter("soak.").add(1);
+  registry.gauge("io.fault-count").set(2.0);
+}

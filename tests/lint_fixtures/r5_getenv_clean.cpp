@@ -1,0 +1,7 @@
+// Fixture: environment reads through the cache; getenv in comments and
+// string literals must not count.
+std::optional<std::string> clean() {
+  // std::getenv is banned here; wck::env::get memoizes it race-free.
+  log("never call getenv( directly");
+  return wck::env::get("WCK_THREADS");
+}

@@ -1,0 +1,6 @@
+// Fixture: direct environment reads outside the env cache.
+const char* violations() {
+  const char* threads = std::getenv("WCK_THREADS");
+  if (getenv("WCK_TELEMETRY") != nullptr) return threads;
+  return nullptr;
+}

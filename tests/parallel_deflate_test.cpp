@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +16,7 @@
 #include "core/compressor.hpp"
 #include "core/synthetic.hpp"
 #include "deflate/deflate.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -35,35 +36,23 @@ Bytes make_payload(std::size_t size, std::uint64_t seed = 7) {
   return data;
 }
 
-/// Scoped environment variable override (restores on destruction).
+/// Scoped environment variable override (removed on destruction).
+/// Production code reads WCK_* variables through the wck::env cache,
+/// which memoizes the first real lookup — plain setenv would be masked
+/// by the cache, so this goes through the cache's test override hook.
 class ScopedEnv {
  public:
   ScopedEnv(const char* name, const char* value) : name_(name) {
-    const char* old = std::getenv(name);
-    if (old != nullptr) {
-      had_old_ = true;
-      old_ = old;
-    }
-    if (value != nullptr) {
-      ::setenv(name, value, 1);
-    } else {
-      ::unsetenv(name);
-    }
+    env::set_override(name_, value == nullptr
+                                 ? std::nullopt
+                                 : std::optional<std::string>(value));
   }
-  ~ScopedEnv() {
-    if (had_old_) {
-      ::setenv(name_.c_str(), old_.c_str(), 1);
-    } else {
-      ::unsetenv(name_.c_str());
-    }
-  }
+  ~ScopedEnv() { env::clear_override(name_); }
   ScopedEnv(const ScopedEnv&) = delete;
   ScopedEnv& operator=(const ScopedEnv&) = delete;
 
  private:
   std::string name_;
-  std::string old_;
-  bool had_old_ = false;
 };
 
 TEST(ShardedDeflate, RoundTripsAcrossSizes) {

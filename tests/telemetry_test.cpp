@@ -18,6 +18,7 @@
 #include <new>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -470,6 +471,36 @@ TEST_F(TelemetryTest, PeriodicSnapshotWriterWritesBothFiles) {
   writer.start();
   writer.stop();
   EXPECT_GT(writer.writes(), before);
+  fs::remove_all(dir);
+}
+
+// Regression test for a double-join defect the thread-safety annotation
+// pass surfaced: stop() used to join thread_ without claiming it under
+// the lock, so two concurrent stop() calls could both reach join() on
+// the same std::thread (std::terminate). Now exactly one caller moves
+// the handle out under the mutex and joins its local copy.
+TEST_F(TelemetryTest, StopIsConcurrencySafe) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("wck_expo_stop_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  PeriodicSnapshotWriter::Options options;
+  options.interval = std::chrono::milliseconds(1);
+  PeriodicSnapshotWriter writer(dir, options);
+
+  for (int round = 0; round < 3; ++round) {
+    writer.start();
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&writer] { writer.stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+  }
+  // Each round's winning stop() performed the final dump.
+  EXPECT_GE(writer.writes(), 3u);
+  EXPECT_TRUE(fs::exists(dir / "metrics.prom"));
   fs::remove_all(dir);
 }
 

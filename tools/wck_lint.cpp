@@ -1,0 +1,88 @@
+// wck_lint — command-line driver for the project-invariant linter.
+//
+// Usage:
+//   wck_lint [--root DIR] [--baseline FILE] [--list]
+//
+// Scans src/, tools/ and bench/ under --root (default: the current
+// directory) and compares the findings against the committed baseline
+// (default: <root>/tools/wck_lint_baseline.txt). Mirrors the
+// tools/run_tidy.sh contract: any finding NOT in the baseline fails the
+// gate (exit 1); baseline entries that no longer fire are reported but
+// do not fail. --list prints every finding, ignoring the baseline.
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wck_lint_core.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--root DIR] [--baseline FILE] [--list]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  std::filesystem::path baseline_path;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--list") {
+      list_only = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!std::filesystem::is_directory(root / "src")) {
+    std::fprintf(stderr, "wck_lint: %s does not look like the repo root (no src/)\n",
+                 root.string().c_str());
+    return 2;
+  }
+  if (baseline_path.empty()) baseline_path = root / "tools" / "wck_lint_baseline.txt";
+
+  const std::vector<wck::lint::Finding> findings = wck::lint::scan_tree(root);
+
+  if (list_only) {
+    for (const auto& f : findings) std::printf("%s\n", wck::lint::format(f).c_str());
+    std::printf("wck_lint: %zu finding(s)\n", findings.size());
+    return findings.empty() ? 0 : 1;
+  }
+
+  const std::set<std::string> baseline = wck::lint::load_baseline(baseline_path);
+  std::set<std::string> fired;
+  std::vector<std::string> fresh;
+  for (const auto& f : findings) {
+    const std::string line = wck::lint::format(f);
+    if (baseline.count(line) != 0) {
+      fired.insert(line);
+    } else {
+      fresh.push_back(line);
+    }
+  }
+
+  for (const auto& entry : baseline) {
+    if (fired.count(entry) == 0) {
+      std::printf("wck_lint: NOTE: baseline entry no longer fires (consider removing):\n  %s\n",
+                  entry.c_str());
+    }
+  }
+  if (!fresh.empty()) {
+    std::fprintf(stderr, "wck_lint: FAIL — new findings not in the baseline:\n");
+    for (const auto& line : fresh) std::fprintf(stderr, "  %s\n", line.c_str());
+    std::fprintf(stderr,
+                 "Fix them, or (with justification) append to %s.\n",
+                 baseline_path.string().c_str());
+    return 1;
+  }
+  std::printf("wck_lint: OK — no new findings (%zu baselined)\n", fired.size());
+  return 0;
+}

@@ -64,6 +64,7 @@
 #include "quality/quality.hpp"
 #include "stats/error_metrics.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -613,11 +614,8 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
   report.tool = "wckpt soak";
   report_params_from_flags(flags, report);
   report.params["codec"] = codec_name;
-  report.params["fault_plan"] = plan_spec.empty()
-                                    ? std::string(std::getenv("WCK_FAULT_PLAN") != nullptr
-                                                      ? std::getenv("WCK_FAULT_PLAN")
-                                                      : "")
-                                    : plan_spec;
+  report.params["fault_plan"] =
+      plan_spec.empty() ? env::get("WCK_FAULT_PLAN").value_or("") : plan_spec;
   report.params["cycles"] = std::to_string(cycles);
   if (drift.cycles() > 0) {
     quality::QualityReport qr;
