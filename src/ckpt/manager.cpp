@@ -185,6 +185,40 @@ CheckpointInfo CheckpointManager::write(const CheckpointRegistry& registry,
 
   // Monitor section: generation list + manifest mutate together.
   MutexLock lk(mu_);
+  if (options_.max_total_bytes != 0) {
+    // Rotation-aware admission: charge only the generations that would
+    // survive this commit (same-step rewrite replaces its entry, and
+    // anything past keep_generations rotates out), so a full store whose
+    // oldest generation is about to rotate still accepts writes that fit
+    // the post-rotation budget. Checked before any I/O: a rejected put
+    // leaves the store byte-identical.
+    // Simulate the post-commit survivor set: existing generations minus
+    // any same-step entry, plus the new one, newest keep_generations by
+    // step. The new payload is charged even when it would itself rotate
+    // out immediately — it exists on disk until rotate() runs.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sim;  // (step, size)
+    sim.reserve(generations_.size() + 1);
+    sim.emplace_back(step, data.size());
+    for (const Generation& g : generations_) {
+      if (g.step != step) sim.emplace_back(g.step, g.size);
+    }
+    std::sort(sim.begin(), sim.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::uint64_t after = data.size();
+    for (std::size_t i = 0; i < sim.size() && i < options_.keep_generations; ++i) {
+      if (sim[i].first != step) after += sim[i].second;
+    }
+    if (after > options_.max_total_bytes) {
+      WCK_COUNTER_ADD("ckpt.quota.rejections", 1);
+      WCK_EVENT(kQuotaRejected, step,
+                std::to_string(after) + " bytes would exceed quota " +
+                    std::to_string(options_.max_total_bytes));
+      throw QuotaExceededError(
+          "CheckpointManager: step " + std::to_string(step) + " needs " +
+          std::to_string(after) + " bytes but quota is " +
+          std::to_string(options_.max_total_bytes) + " (" + dir_.string() + ")");
+    }
+  }
   Generation gen;
   gen.step = step;
   gen.crc = crc32(std::span<const std::byte>(data));
@@ -356,6 +390,13 @@ void CheckpointManager::attach_parity_store(InMemoryCheckpointStore* store,
 std::vector<CheckpointManager::Generation> CheckpointManager::generations() const {
   MutexLock lk(mu_);
   return generations_;
+}
+
+std::uint64_t CheckpointManager::total_stored_bytes() const {
+  MutexLock lk(mu_);
+  std::uint64_t total = 0;
+  for (const Generation& gen : generations_) total += gen.size;
+  return total;
 }
 
 }  // namespace wck

@@ -79,6 +79,12 @@ struct ScrubReport {
 struct CheckpointManagerOptions {
   std::size_t keep_generations = 3;  ///< >= 1
   RetryPolicy retry;
+  /// Byte quota over the committed generations (manifest sizes). A
+  /// write() whose payload would push the post-rotation total past this
+  /// throws QuotaExceededError *before* touching the store; 0 disables.
+  /// Accounting follows the manifest, so rotation and scrub() quarantine
+  /// both return their bytes to the budget.
+  std::uint64_t max_total_bytes = 0;
 };
 
 class CheckpointManager {
@@ -137,6 +143,9 @@ class CheckpointManager {
   /// value: a reference into the live vector could be invalidated (and
   /// raced) by a concurrent write()/scrub().
   [[nodiscard]] std::vector<Generation> generations() const WCK_EXCLUDES(mu_);
+  /// Sum of the committed generation sizes per the manifest — the value
+  /// the max_total_bytes quota is enforced against.
+  [[nodiscard]] std::uint64_t total_stored_bytes() const WCK_EXCLUDES(mu_);
   [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
 
  private:

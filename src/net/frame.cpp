@@ -1,0 +1,113 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace wck::net {
+namespace {
+
+[[nodiscard]] std::uint32_t read_u32le(const std::byte* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Validates the 16-byte header; returns the payload length.
+[[nodiscard]] std::size_t parse_header(const std::byte* h) {
+  if (read_u32le(h) != kFrameMagic) throw FormatError("net frame: bad magic");
+  if (static_cast<std::uint8_t>(h[4]) != kFrameVersion) {
+    throw FormatError("net frame: unsupported version " +
+                      std::to_string(static_cast<unsigned>(h[4])));
+  }
+  if (h[6] != std::byte{0} || h[7] != std::byte{0}) {
+    throw FormatError("net frame: reserved bytes not zero");
+  }
+  const std::uint32_t len = read_u32le(h + 8);
+  if (len > kMaxFramePayload) {
+    throw FormatError("net frame: payload length " + std::to_string(len) +
+                      " exceeds limit " + std::to_string(kMaxFramePayload));
+  }
+  return len;
+}
+
+}  // namespace
+
+Bytes encode_frame(std::uint8_t type, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw InvalidArgumentError("net frame: payload too large (" +
+                               std::to_string(payload.size()) + " bytes)");
+  }
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u8(kFrameVersion);
+  w.u8(type);
+  w.u16(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  w.raw(payload);
+  return w.take();
+}
+
+Frame decode_frame(std::span<const std::byte> data) {
+  if (data.size() < kFrameHeaderBytes) throw FormatError("net frame: truncated header");
+  const std::size_t len = parse_header(data.data());
+  if (data.size() != kFrameHeaderBytes + len) {
+    throw FormatError("net frame: length field says " + std::to_string(len) +
+                      " payload bytes but " +
+                      std::to_string(data.size() - kFrameHeaderBytes) + " present");
+  }
+  const std::span<const std::byte> payload = data.subspan(kFrameHeaderBytes, len);
+  if (crc32(payload) != read_u32le(data.data() + 12)) {
+    throw CorruptDataError("net frame: payload CRC mismatch");
+  }
+  Frame f;
+  f.type = static_cast<std::uint8_t>(data[5]);
+  f.payload.assign(payload.begin(), payload.end());
+  return f;
+}
+
+void FrameDecoder::feed(std::span<const std::byte> data) {
+  if (poisoned_) throw FormatError("net frame: decoder poisoned by earlier error");
+  // Drop the consumed prefix before growing, keeping the buffer
+  // proportional to the frames actually in flight.
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  check_header();
+}
+
+void FrameDecoder::check_header() {
+  if (header_checked_ || buffered() < kFrameHeaderBytes) return;
+  try {
+    (void)parse_header(buf_.data() + consumed_);
+  } catch (const Error&) {
+    poisoned_ = true;
+    throw;
+  }
+  header_checked_ = true;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) throw FormatError("net frame: decoder poisoned by earlier error");
+  check_header();
+  if (!header_checked_) return std::nullopt;
+  const std::byte* h = buf_.data() + consumed_;
+  const std::size_t len = parse_header(h);
+  if (buffered() < kFrameHeaderBytes + len) return std::nullopt;
+  const std::span<const std::byte> payload(h + kFrameHeaderBytes, len);
+  if (crc32(payload) != read_u32le(h + 12)) {
+    poisoned_ = true;
+    throw CorruptDataError("net frame: payload CRC mismatch");
+  }
+  Frame f;
+  f.type = static_cast<std::uint8_t>(h[5]);
+  f.payload.assign(payload.begin(), payload.end());
+  consumed_ += kFrameHeaderBytes + len;
+  header_checked_ = false;
+  return f;
+}
+
+}  // namespace wck::net

@@ -1,0 +1,79 @@
+// Wire framing for the checkpoint store service (src/server).
+//
+// Every message on a store connection travels inside one frame:
+//
+//   offset  size  field
+//   0       4     magic "WCKN" (0x4E4B4357 little-endian)
+//   4       1     version (kFrameVersion)
+//   5       1     message type (net::MessageType, opaque to this layer)
+//   6       2     reserved, must be zero
+//   8       4     payload length (little-endian; <= kMaxFramePayload)
+//   12      4     CRC-32 of the payload bytes
+//   16      n     payload
+//
+// The CRC makes a torn or bit-flipped frame a *typed* CorruptDataError
+// instead of a misparsed request — the same contract every container in
+// this codebase honors (WCKP blocks, checkpoint fields, gzip members).
+//
+// FrameDecoder is incremental: feed() whatever recv() returned, poll
+// next() for completed frames. It never allocates ahead of the bytes
+// actually received, so a hostile length field cannot allocation-bomb
+// the server; lengths above kMaxFramePayload are rejected as soon as
+// the header is complete. decode_frame() is the one-shot variant for a
+// fully buffered frame (and the fuzz target: tools/wckpt_fuzz mutates
+// encoded frames and expects typed errors only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace wck::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4E4B4357;  // "WCKN"
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Upper bound on one frame's payload (a Put carries a whole field).
+inline constexpr std::size_t kMaxFramePayload = std::size_t{256} << 20;
+
+/// One decoded frame: the message type byte plus its payload.
+struct Frame {
+  std::uint8_t type = 0;
+  Bytes payload;
+};
+
+/// Wraps `payload` in a frame (header + CRC). Throws
+/// InvalidArgumentError when the payload exceeds kMaxFramePayload.
+[[nodiscard]] Bytes encode_frame(std::uint8_t type, std::span<const std::byte> payload);
+
+/// Decodes exactly one frame occupying the whole of `data`. Throws
+/// FormatError (bad magic/version/reserved/length, trailing bytes) or
+/// CorruptDataError (CRC mismatch).
+[[nodiscard]] Frame decode_frame(std::span<const std::byte> data);
+
+/// Incremental frame decoder for a byte stream.
+class FrameDecoder {
+ public:
+  /// Appends received bytes. Throws FormatError as soon as a malformed
+  /// header is visible; the decoder is then poisoned (the stream has
+  /// lost sync and must be closed).
+  void feed(std::span<const std::byte> data);
+
+  /// Next completed frame, or nullopt when more bytes are needed.
+  /// Throws CorruptDataError on a CRC mismatch (also poisoning).
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - consumed_; }
+
+ private:
+  void check_header();
+
+  Bytes buf_;
+  std::size_t consumed_ = 0;  ///< prefix of buf_ already returned
+  bool header_checked_ = false;
+  bool poisoned_ = false;
+};
+
+}  // namespace wck::net

@@ -1,0 +1,237 @@
+#include "net/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace wck::net {
+namespace {
+
+void put_shape(ByteWriter& w, const Shape& shape) {
+  w.u8(static_cast<std::uint8_t>(shape.rank()));
+  for (std::size_t a = 0; a < shape.rank(); ++a) w.varint(shape[a]);
+}
+
+[[nodiscard]] Shape get_shape(ByteReader& r) {
+  const std::uint8_t rank = r.u8();
+  if (rank == 0 || rank > kMaxRank) {
+    throw FormatError("net message: shape rank " + std::to_string(rank) +
+                      " outside 1.." + std::to_string(kMaxRank));
+  }
+  Shape shape = Shape::of_rank(rank);
+  for (std::size_t a = 0; a < rank; ++a) {
+    const std::uint64_t ext = r.varint();
+    if (ext == 0) throw FormatError("net message: zero shape extent");
+    shape[a] = static_cast<std::size_t>(ext);
+  }
+  return shape;
+}
+
+void put_values(ByteWriter& w, const Shape& shape, const std::vector<double>& values) {
+  if (values.size() != shape.size()) {
+    throw InvalidArgumentError("net message: " + std::to_string(values.size()) +
+                               " values for shape " + shape.to_string());
+  }
+  w.varint(values.size());
+  w.f64_array(values);
+}
+
+/// Reads the value block for `shape`, cross-checking the declared count
+/// against both the shape and the bytes actually present *before*
+/// allocating — a mutated count cannot allocation-bomb the decoder.
+[[nodiscard]] std::vector<double> get_values(ByteReader& r, const Shape& shape) {
+  const std::uint64_t count = r.varint();
+  if (count != shape.size()) {
+    throw FormatError("net message: value count " + std::to_string(count) +
+                      " does not match shape " + shape.to_string());
+  }
+  if (count > r.remaining() / sizeof(double)) {
+    throw FormatError("net message: value block truncated");
+  }
+  std::vector<double> values(static_cast<std::size_t>(count));
+  r.f64_array(values);
+  return values;
+}
+
+void expect_exhausted(const ByteReader& r, const char* what) {
+  if (!r.exhausted()) {
+    throw FormatError(std::string("net message: trailing bytes after ") + what);
+  }
+}
+
+[[nodiscard]] Bytes empty_body() { return Bytes{}; }
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kQuotaExceeded: return "quota-exceeded";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+Bytes encode(const PingRequest&) { return empty_body(); }
+Bytes encode(const ShutdownRequest&) { return empty_body(); }
+Bytes encode(const PongResponse&) { return empty_body(); }
+Bytes encode(const ShutdownOkResponse&) { return empty_body(); }
+
+Bytes encode(const PutRequest& m) {
+  ByteWriter w;
+  w.str(m.tenant);
+  w.u64(m.step);
+  put_shape(w, m.shape);
+  put_values(w, m.shape, m.values);
+  return w.take();
+}
+
+Bytes encode(const GetRequest& m) {
+  ByteWriter w;
+  w.str(m.tenant);
+  return w.take();
+}
+
+Bytes encode(const StatRequest& m) {
+  ByteWriter w;
+  w.str(m.tenant);
+  return w.take();
+}
+
+Bytes encode(const PutOkResponse& m) {
+  ByteWriter w;
+  w.u64(m.step);
+  w.u64(m.stored_bytes);
+  w.u64(m.total_bytes);
+  w.u32(m.generations);
+  return w.take();
+}
+
+Bytes encode(const GetOkResponse& m) {
+  ByteWriter w;
+  w.u64(m.step);
+  w.u8(m.source);
+  put_shape(w, m.shape);
+  put_values(w, m.shape, m.values);
+  return w.take();
+}
+
+Bytes encode(const StatOkResponse& m) {
+  ByteWriter w;
+  w.u64(m.tenants);
+  w.varint(m.stats.size());
+  for (const TenantStat& s : m.stats) {
+    w.str(s.name);
+    w.u64(s.generations);
+    w.u64(s.stored_bytes);
+    w.u64(s.quota_bytes);
+    w.u64(s.newest_step);
+  }
+  return w.take();
+}
+
+Bytes encode(const ErrorResponse& m) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(m.code));
+  w.str(m.message);
+  return w.take();
+}
+
+AnyMessage decode_message(const Frame& frame) {
+  ByteReader r{std::span<const std::byte>(frame.payload)};
+  switch (static_cast<MessageType>(frame.type)) {
+    case MessageType::kPing: {
+      expect_exhausted(r, "ping");
+      return PingRequest{};
+    }
+    case MessageType::kShutdown: {
+      expect_exhausted(r, "shutdown");
+      return ShutdownRequest{};
+    }
+    case MessageType::kPong: {
+      expect_exhausted(r, "pong");
+      return PongResponse{};
+    }
+    case MessageType::kShutdownOk: {
+      expect_exhausted(r, "shutdown-ok");
+      return ShutdownOkResponse{};
+    }
+    case MessageType::kPut: {
+      PutRequest m;
+      m.tenant = r.str();
+      m.step = r.u64();
+      m.shape = get_shape(r);
+      m.values = get_values(r, m.shape);
+      expect_exhausted(r, "put");
+      return m;
+    }
+    case MessageType::kGet: {
+      GetRequest m;
+      m.tenant = r.str();
+      expect_exhausted(r, "get");
+      return m;
+    }
+    case MessageType::kStat: {
+      StatRequest m;
+      m.tenant = r.str();
+      expect_exhausted(r, "stat");
+      return m;
+    }
+    case MessageType::kPutOk: {
+      PutOkResponse m;
+      m.step = r.u64();
+      m.stored_bytes = r.u64();
+      m.total_bytes = r.u64();
+      m.generations = r.u32();
+      expect_exhausted(r, "put-ok");
+      return m;
+    }
+    case MessageType::kGetOk: {
+      GetOkResponse m;
+      m.step = r.u64();
+      m.source = r.u8();
+      m.shape = get_shape(r);
+      m.values = get_values(r, m.shape);
+      expect_exhausted(r, "get-ok");
+      return m;
+    }
+    case MessageType::kStatOk: {
+      StatOkResponse m;
+      m.tenants = r.u64();
+      const std::uint64_t n = r.varint();
+      // Each entry needs at least its four u64 fields plus a length
+      // byte; bound the reserve by what the payload could actually hold.
+      if (n > r.remaining() / 33) {
+        throw FormatError("net message: stat entry count exceeds payload");
+      }
+      m.stats.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        TenantStat s;
+        s.name = r.str();
+        s.generations = r.u64();
+        s.stored_bytes = r.u64();
+        s.quota_bytes = r.u64();
+        s.newest_step = r.u64();
+        m.stats.push_back(std::move(s));
+      }
+      expect_exhausted(r, "stat-ok");
+      return m;
+    }
+    case MessageType::kError: {
+      ErrorResponse m;
+      const std::uint8_t code = r.u8();
+      if (code < 1 || code > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+        throw FormatError("net message: unknown error code " + std::to_string(code));
+      }
+      m.code = static_cast<ErrorCode>(code);
+      m.message = r.str();
+      expect_exhausted(r, "error");
+      return m;
+    }
+  }
+  throw FormatError("net message: unknown frame type " + std::to_string(frame.type));
+}
+
+}  // namespace wck::net

@@ -1,0 +1,146 @@
+// Request/response messages of the checkpoint store wire protocol.
+//
+// One message per frame (src/net/frame.hpp); the frame's type byte is
+// the MessageType. Payloads use the ByteWriter/ByteReader little-endian
+// conventions shared with the checkpoint containers, so every malformed
+// body surfaces as a typed FormatError — never a misparse.
+//
+// The protocol is deliberately small: a tenant namespace stores one
+// logical state field per step ("state" in the server's
+// CheckpointRegistry); Put ships the field's shape plus raw
+// little-endian doubles, Get returns the newest restorable generation
+// (the server's whole restore chain — older generations, XOR parity —
+// stands behind it), Stat reports per-tenant quota/generation
+// accounting. Errors travel as an ErrorResponse carrying a typed code
+// that clients map back onto the wck error hierarchy (Busy ->
+// BusyError, QuotaExceeded -> QuotaExceededError, ...), so backpressure
+// and quota enforcement are first-class, machine-readable outcomes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ndarray/shape.hpp"
+#include "net/frame.hpp"
+#include "util/bytes.hpp"
+
+namespace wck::net {
+
+/// Frame type byte. Requests are < 0x40, responses >= 0x40. Stable wire
+/// values: append, never renumber.
+enum class MessageType : std::uint8_t {
+  kPing = 0x01,
+  kPut = 0x02,
+  kGet = 0x03,
+  kStat = 0x04,
+  kShutdown = 0x05,
+
+  kPong = 0x41,
+  kPutOk = 0x42,
+  kGetOk = 0x43,
+  kStatOk = 0x44,
+  kShutdownOk = 0x45,
+  kError = 0x46,
+};
+
+/// Typed failure codes carried by ErrorResponse. Stable wire values.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest = 1,     ///< malformed/invalid request (client bug)
+  kNotFound = 2,       ///< unknown tenant / nothing restorable requested
+  kQuotaExceeded = 3,  ///< tenant byte quota would be exceeded; store untouched
+  kBusy = 4,           ///< admission control rejected the request; retriable
+  kCorrupt = 5,        ///< nothing restorable (every fallback exhausted)
+  kIo = 6,             ///< server-side I/O failure after retries
+  kInternal = 7,       ///< unexpected server error
+};
+
+[[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
+
+// ------------------------------------------------------------- requests
+
+struct PingRequest {};
+
+struct PutRequest {
+  std::string tenant;
+  std::uint64_t step = 0;
+  Shape shape = Shape{1};
+  std::vector<double> values;  ///< shape.size() doubles
+};
+
+struct GetRequest {
+  std::string tenant;
+};
+
+struct StatRequest {
+  std::string tenant;  ///< empty = server-wide (all tenants)
+};
+
+struct ShutdownRequest {};
+
+// ------------------------------------------------------------ responses
+
+struct PongResponse {};
+
+struct PutOkResponse {
+  std::uint64_t step = 0;
+  std::uint64_t stored_bytes = 0;   ///< encoded size of this generation
+  std::uint64_t total_bytes = 0;    ///< tenant bytes after commit+rotation
+  std::uint32_t generations = 0;    ///< tenant generations after rotation
+};
+
+struct GetOkResponse {
+  std::uint64_t step = 0;
+  std::uint8_t source = 0;  ///< RestoreSource as a stable byte
+  Shape shape = Shape{1};
+  std::vector<double> values;
+};
+
+struct TenantStat {
+  std::string name;
+  std::uint64_t generations = 0;
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t quota_bytes = 0;  ///< 0 = unlimited
+  std::uint64_t newest_step = 0;  ///< 0 when no generation exists
+};
+
+struct StatOkResponse {
+  std::uint64_t tenants = 0;  ///< tenants known to the server
+  std::vector<TenantStat> stats;
+};
+
+struct ShutdownOkResponse {};
+
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+// ------------------------------------------------- encoding / decoding
+
+[[nodiscard]] Bytes encode(const PingRequest& m);
+[[nodiscard]] Bytes encode(const PutRequest& m);
+[[nodiscard]] Bytes encode(const GetRequest& m);
+[[nodiscard]] Bytes encode(const StatRequest& m);
+[[nodiscard]] Bytes encode(const ShutdownRequest& m);
+[[nodiscard]] Bytes encode(const PongResponse& m);
+[[nodiscard]] Bytes encode(const PutOkResponse& m);
+[[nodiscard]] Bytes encode(const GetOkResponse& m);
+[[nodiscard]] Bytes encode(const StatOkResponse& m);
+[[nodiscard]] Bytes encode(const ShutdownOkResponse& m);
+[[nodiscard]] Bytes encode(const ErrorResponse& m);
+
+/// Every protocol message, decoded. Index order is not wire-stable —
+/// always dispatch via std::holds_alternative / std::get.
+using AnyMessage =
+    std::variant<PingRequest, PutRequest, GetRequest, StatRequest, ShutdownRequest,
+                 PongResponse, PutOkResponse, GetOkResponse, StatOkResponse,
+                 ShutdownOkResponse, ErrorResponse>;
+
+/// Decodes a frame's payload according to its type byte. Throws
+/// FormatError on an unknown type or malformed payload (truncation,
+/// shape/value-count mismatch, trailing bytes).
+[[nodiscard]] AnyMessage decode_message(const Frame& frame);
+
+}  // namespace wck::net

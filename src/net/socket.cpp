@@ -1,0 +1,239 @@
+#include "net/socket.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wck::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+[[nodiscard]] sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw IoError("unix socket path too long (" + std::to_string(path.size()) +
+                  " bytes, limit " + std::to_string(sizeof(addr.sun_path) - 1) + "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ UnixStream
+
+UnixStream::~UnixStream() { close(); }
+
+UnixStream::UnixStream(UnixStream&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+UnixStream UnixStream::connect_to(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect " + path);
+  }
+  return UnixStream(fd);
+}
+
+void UnixStream::send_all(std::span<const std::byte> data) {
+  if (fd_ < 0) throw IoError("send on closed stream");
+  const auto* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a vanished peer is a typed IoError, not SIGPIPE.
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t UnixStream::recv_some(Bytes& out, std::size_t max_bytes) {
+  if (fd_ < 0) throw IoError("recv on closed stream");
+  std::byte chunk[64 * 1024];
+  const std::size_t want = std::min(max_bytes, sizeof(chunk));
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A peer that died mid-conversation reads as EOF, not a distinct
+      // failure mode: the caller's framing already decides whether the
+      // stream ended cleanly (frame boundary) or not.
+      if (errno == ECONNRESET) return 0;
+      throw_errno("recv");
+    }
+    out.insert(out.end(), chunk, chunk + n);
+    return static_cast<std::size_t>(n);
+  }
+}
+
+void UnixStream::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void UnixStream::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------- UnixListener
+
+namespace {
+
+/// The listener couples the listening fd with a self-pipe so close()
+/// can wake a blocked accept_next() deterministically: accept_next
+/// polls both fds and treats a readable pipe as "listener closed".
+/// (Closing a listening fd out from under a blocked accept() is a
+/// fd-reuse race, and shutdown() semantics on listening AF_UNIX sockets
+/// are not portable — the pipe is.)
+struct ListenerPipes {
+  int wake_rd = -1;
+  int wake_wr = -1;
+};
+
+// One pipe pair per listener, keyed by the listening fd. Listeners are
+// few (one per server); a tiny linear registry keeps the header free of
+// platform types.
+ListenerPipes& pipes_for(int fd) {
+  static thread_local ListenerPipes dummy;
+  static ListenerPipes table[64];
+  if (fd >= 0 && fd < 64 * 1024) return table[fd % 64];
+  return dummy;
+}
+
+}  // namespace
+
+UnixListener::~UnixListener() {
+  close();
+  if (fd_ >= 0) {
+    ListenerPipes& p = pipes_for(fd_);
+    if (p.wake_rd >= 0) ::close(p.wake_rd);
+    if (p.wake_wr >= 0) ::close(p.wake_wr);
+    p.wake_rd = p.wake_wr = -1;
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    this->~UnixListener();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener UnixListener::bind_and_listen(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  UnixListener listener;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  ::unlink(path.c_str());  // a stale socket file from a dead server
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = err;
+    throw_errno("listen " + path);
+  }
+  int wake[2] = {-1, -1};
+  if (::pipe2(wake, O_CLOEXEC) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = err;
+    throw_errno("pipe2");
+  }
+  ListenerPipes& p = pipes_for(fd);
+  p.wake_rd = wake[0];
+  p.wake_wr = wake[1];
+  listener.fd_ = fd;
+  listener.path_ = path;
+  return listener;
+}
+
+UnixStream UnixListener::accept_next() {
+  if (fd_ < 0) throw IoError("accept on closed listener");
+  const ListenerPipes& p = pipes_for(fd_);
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {p.wake_rd, POLLIN, 0};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP)) != 0) {
+      throw IoError("listener closed");
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    return UnixStream(client);
+  }
+}
+
+void UnixListener::close() noexcept {
+  if (fd_ < 0 || path_.empty()) return;
+  // Unlink first: no new client can reach the socket once the path is
+  // gone. Then wake any blocked accept via the self-pipe. The fds stay
+  // open until destruction, so a concurrently blocked accept_next never
+  // touches a recycled descriptor.
+  ::unlink(path_.c_str());
+  path_.clear();
+  const ListenerPipes& p = pipes_for(fd_);
+  if (p.wake_wr >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(p.wake_wr, &byte, 1);
+  }
+}
+
+}  // namespace wck::net

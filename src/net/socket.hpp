@@ -1,0 +1,91 @@
+// RAII Unix-domain stream sockets for the checkpoint store service.
+//
+// This file (with socket.cpp) is the ONLY place in the tree that may
+// touch the raw socket syscalls — the wck_lint `raw-socket` rule
+// rejects socket()/bind()/connect()/accept() anywhere outside src/net/,
+// exactly like raw file I/O is confined to src/io/. Everything above
+// this layer works in frames and messages.
+//
+// Local (AF_UNIX) sockets only: the store serves co-located clients —
+// the paper's application-level checkpoint regime — and a filesystem
+// path doubles as the service's access control.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace wck::net {
+
+/// A connected Unix-domain stream. Movable, closes on destruction.
+class UnixStream {
+ public:
+  UnixStream() = default;
+  explicit UnixStream(int fd) noexcept : fd_(fd) {}
+  ~UnixStream();
+
+  UnixStream(UnixStream&& other) noexcept;
+  UnixStream& operator=(UnixStream&& other) noexcept;
+  UnixStream(const UnixStream&) = delete;
+  UnixStream& operator=(const UnixStream&) = delete;
+
+  /// Connects to the listener at `path`. Throws IoError.
+  [[nodiscard]] static UnixStream connect_to(const std::string& path);
+
+  /// Sends the whole buffer (handles short writes / EINTR). Throws
+  /// IoError on a closed or failing peer.
+  void send_all(std::span<const std::byte> data);
+
+  /// Receives up to `max_bytes` into `out` (appending). Returns the
+  /// number of bytes received; 0 means orderly EOF. Throws IoError.
+  std::size_t recv_some(Bytes& out, std::size_t max_bytes);
+
+  /// Disallows further sends and receives; any thread blocked in
+  /// recv_some() on this stream wakes with EOF. Safe to call while
+  /// another thread uses the stream (the fd stays open until
+  /// destruction, so there is no fd-reuse race).
+  void shutdown_both() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound+listening Unix-domain socket. Unlinks its path on close.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener();
+
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Binds `path` (removing a stale socket file first) and listens.
+  /// Throws IoError; also when `path` exceeds sockaddr_un limits.
+  [[nodiscard]] static UnixListener bind_and_listen(const std::string& path,
+                                                   int backlog = 128);
+
+  /// Blocks for the next connection. Throws IoError when the listener
+  /// has been closed (the accept loop's shutdown signal).
+  [[nodiscard]] UnixStream accept_next();
+
+  /// Wakes a blocked accept_next() and invalidates the listener: the
+  /// socket file is unlinked first so no new client can connect, then
+  /// the fd is shut down (accept fails with a typed IoError).
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace wck::net

@@ -1,0 +1,99 @@
+#include "server/client.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+/// Maps a wire ErrorResponse back onto the typed error hierarchy.
+[[noreturn]] void rethrow(const net::ErrorResponse& err) {
+  const std::string what = std::string("store server: ") + err.message;
+  switch (err.code) {
+    case net::ErrorCode::kQuotaExceeded: throw QuotaExceededError(what);
+    case net::ErrorCode::kBusy: throw BusyError(what);
+    case net::ErrorCode::kNotFound: throw NotFoundError(what);
+    case net::ErrorCode::kBadRequest: throw InvalidArgumentError(what);
+    case net::ErrorCode::kCorrupt: throw CorruptDataError(what);
+    case net::ErrorCode::kIo: throw IoError(what);
+    case net::ErrorCode::kInternal: break;
+  }
+  throw Error(what);
+}
+
+}  // namespace
+
+StoreClient StoreClient::connect(const std::string& socket_path) {
+  return StoreClient(net::UnixStream::connect_to(socket_path));
+}
+
+net::AnyMessage StoreClient::round_trip(net::MessageType type, const Bytes& body) {
+  stream_.send_all(net::encode_frame(static_cast<std::uint8_t>(type), body));
+  for (;;) {
+    if (std::optional<net::Frame> frame = decoder_.next()) {
+      net::AnyMessage reply = net::decode_message(*frame);
+      if (const auto* err = std::get_if<net::ErrorResponse>(&reply)) rethrow(*err);
+      return reply;
+    }
+    Bytes chunk;
+    if (stream_.recv_some(chunk, 64 * 1024) == 0) {
+      throw IoError("store server: connection closed mid-reply");
+    }
+    decoder_.feed(chunk);
+  }
+}
+
+void StoreClient::ping() {
+  const net::AnyMessage reply =
+      round_trip(net::MessageType::kPing, net::encode(net::PingRequest{}));
+  if (!std::holds_alternative<net::PongResponse>(reply)) {
+    throw FormatError("store server: unexpected reply to ping");
+  }
+}
+
+net::PutOkResponse StoreClient::put(const std::string& tenant, std::uint64_t step,
+                                    const NdArray<double>& array) {
+  net::PutRequest req;
+  req.tenant = tenant;
+  req.step = step;
+  req.shape = array.shape();
+  req.values.assign(array.values().begin(), array.values().end());
+  net::AnyMessage reply = round_trip(net::MessageType::kPut, net::encode(req));
+  if (auto* ok = std::get_if<net::PutOkResponse>(&reply)) return *ok;
+  throw FormatError("store server: unexpected reply to put");
+}
+
+StoreClient::GetResult StoreClient::get(const std::string& tenant) {
+  net::GetRequest req;
+  req.tenant = tenant;
+  net::AnyMessage reply = round_trip(net::MessageType::kGet, net::encode(req));
+  auto* ok = std::get_if<net::GetOkResponse>(&reply);
+  if (ok == nullptr) throw FormatError("store server: unexpected reply to get");
+  if (ok->source > static_cast<std::uint8_t>(RestoreSource::kParity)) {
+    throw FormatError("store server: unknown restore source " + std::to_string(ok->source));
+  }
+  GetResult result;
+  result.step = ok->step;
+  result.source = static_cast<RestoreSource>(ok->source);
+  result.array = NdArray<double>(ok->shape, std::move(ok->values));
+  return result;
+}
+
+net::StatOkResponse StoreClient::stat(const std::string& tenant) {
+  net::StatRequest req;
+  req.tenant = tenant;
+  net::AnyMessage reply = round_trip(net::MessageType::kStat, net::encode(req));
+  if (auto* ok = std::get_if<net::StatOkResponse>(&reply)) return std::move(*ok);
+  throw FormatError("store server: unexpected reply to stat");
+}
+
+void StoreClient::shutdown_server() {
+  const net::AnyMessage reply =
+      round_trip(net::MessageType::kShutdown, net::encode(net::ShutdownRequest{}));
+  if (!std::holds_alternative<net::ShutdownOkResponse>(reply)) {
+    throw FormatError("store server: unexpected reply to shutdown");
+  }
+}
+
+}  // namespace wck

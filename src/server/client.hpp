@@ -1,0 +1,62 @@
+// StoreClient — blocking client for the checkpoint store service.
+//
+// One Unix-socket connection, strict request/response. Server-side
+// ErrorResponses are rethrown as the matching typed wck error
+// (QuotaExceededError, BusyError, NotFoundError, ...), so application
+// code handles a remote quota rejection exactly like a local one. Not
+// thread-safe: one StoreClient per client thread (connections are
+// cheap — it's a local socket).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/manager.hpp"
+#include "ndarray/ndarray.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace wck {
+
+class StoreClient {
+ public:
+  /// Connects to a StoreServer's socket. Throws IoError.
+  [[nodiscard]] static StoreClient connect(const std::string& socket_path);
+
+  /// Liveness round-trip.
+  void ping();
+
+  /// Commits `array` as tenant's generation for `step`.
+  [[nodiscard]] net::PutOkResponse put(const std::string& tenant, std::uint64_t step,
+                                       const NdArray<double>& array);
+
+  struct GetResult {
+    std::uint64_t step = 0;
+    RestoreSource source = RestoreSource::kPrimary;
+    NdArray<double> array;
+  };
+  /// Restores the tenant's newest restorable generation.
+  [[nodiscard]] GetResult get(const std::string& tenant);
+
+  /// Accounting for one tenant, or all of them when `tenant` is empty.
+  [[nodiscard]] net::StatOkResponse stat(const std::string& tenant = std::string());
+
+  /// Asks the server to shut down (acknowledged before it does).
+  void shutdown_server();
+
+  void close() noexcept { stream_.close(); }
+
+ private:
+  explicit StoreClient(net::UnixStream stream) : stream_(std::move(stream)) {}
+
+  /// Sends one request frame and blocks for the reply frame. An
+  /// ErrorResponse is rethrown as its typed wck error; an unexpected
+  /// reply type or mid-reply EOF throws FormatError/IoError.
+  [[nodiscard]] net::AnyMessage round_trip(net::MessageType type, const Bytes& body);
+
+  net::UnixStream stream_;
+  net::FrameDecoder decoder_;
+};
+
+}  // namespace wck

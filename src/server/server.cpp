@@ -1,0 +1,205 @@
+#include "server/server.hpp"
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "net/frame.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace wck::server {
+namespace {
+
+using net::AnyMessage;
+using net::ErrorCode;
+using net::ErrorResponse;
+using net::MessageType;
+
+[[nodiscard]] Bytes encode_reply(MessageType type, const Bytes& body) {
+  return net::encode_frame(static_cast<std::uint8_t>(type), body);
+}
+
+[[nodiscard]] Bytes error_reply(ErrorCode code, const std::string& message) {
+  WCK_COUNTER_ADD("server.errors", 1);
+  ErrorResponse resp;
+  resp.code = code;
+  resp.message = message;
+  return encode_reply(MessageType::kError, net::encode(resp));
+}
+
+}  // namespace
+
+StoreServer::StoreServer(CheckpointService& service, const std::string& socket_path)
+    : service_(service),
+      socket_path_(socket_path),
+      listener_(net::UnixListener::bind_and_listen(socket_path)) {
+  WCK_EVENT(kServerStart, 0, socket_path_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+StoreServer::~StoreServer() { stop(); }
+
+void StoreServer::wait_for_shutdown() {
+  MutexLock lk(mu_);
+  shutdown_cv_.wait(lk, [this] {
+    mu_.assert_held();
+    return shutdown_requested_;
+  });
+}
+
+void StoreServer::request_shutdown() {
+  MutexLock lk(mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+std::uint64_t StoreServer::connections_accepted() const {
+  MutexLock lk(mu_);
+  return accepted_;
+}
+
+void StoreServer::stop() {
+  {
+    MutexLock lk(mu_);
+    if (!stopping_) WCK_EVENT(kServerStop, 0, socket_path_);
+    stopping_ = true;
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+  }
+  listener_.close();  // wakes a blocked accept_next()
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::unique_ptr<Connection>> to_join;
+  {
+    MutexLock lk(mu_);
+    for (const std::unique_ptr<Connection>& conn : connections_) {
+      conn->stream.shutdown_both();  // wakes a blocked recv with EOF
+    }
+    to_join.swap(connections_);
+  }
+  for (const std::unique_ptr<Connection>& conn : to_join) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void StoreServer::accept_loop() {
+  for (;;) {
+    net::UnixStream stream;
+    try {
+      stream = listener_.accept_next();
+    } catch (const IoError&) {
+      return;  // listener closed — the shutdown signal
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->stream = std::move(stream);
+    Connection* raw = conn.get();
+
+    MutexLock lk(mu_);
+    if (stopping_) return;  // raced with stop(); drop the connection
+    ++accepted_;
+    reap_finished();
+    conn->thread = std::thread([this, raw] { handle_connection(raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void StoreServer::reap_finished() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StoreServer::handle_connection(Connection* conn) {
+  WCK_COUNTER_ADD("server.connections", 1);
+  WCK_EVENT(kServerConnect, 0, "");
+  net::FrameDecoder decoder;
+  bool close_connection = false;
+  try {
+    while (!close_connection) {
+      Bytes chunk;
+      if (conn->stream.recv_some(chunk, 64 * 1024) == 0) break;  // EOF
+      decoder.feed(chunk);
+      while (!close_connection) {
+        const std::optional<net::Frame> frame = decoder.next();
+        if (!frame) break;
+        conn->stream.send_all(handle_frame(*frame, close_connection));
+      }
+    }
+  } catch (const FormatError& e) {
+    // A broken frame stream (bad magic/length/CRC) has no resync point:
+    // report and hang up.
+    try {
+      conn->stream.send_all(error_reply(ErrorCode::kBadRequest, e.what()));
+    } catch (const Error&) {
+    }
+  } catch (const CorruptDataError& e) {
+    try {
+      conn->stream.send_all(error_reply(ErrorCode::kCorrupt, e.what()));
+    } catch (const Error&) {
+    }
+  } catch (const Error&) {
+    // Socket failure (peer vanished mid-reply): nothing left to tell it.
+  }
+  conn->stream.shutdown_both();
+  WCK_EVENT(kServerDisconnect, 0, "");
+  MutexLock lk(mu_);
+  conn->done = true;
+}
+
+Bytes StoreServer::handle_frame(const net::Frame& frame, bool& close_connection) {
+  AnyMessage message;
+  try {
+    message = net::decode_message(frame);
+  } catch (const Error& e) {
+    // The frame itself was sound (CRC passed) but the body was not a
+    // well-formed request; the stream stays usable.
+    return error_reply(ErrorCode::kBadRequest, e.what());
+  }
+
+  try {
+    if (std::holds_alternative<net::PingRequest>(message)) {
+      return encode_reply(MessageType::kPong, net::encode(net::PongResponse{}));
+    }
+    if (const auto* put = std::get_if<net::PutRequest>(&message)) {
+      return encode_reply(MessageType::kPutOk, net::encode(service_.put(*put)));
+    }
+    if (const auto* get = std::get_if<net::GetRequest>(&message)) {
+      return encode_reply(MessageType::kGetOk, net::encode(service_.get(*get)));
+    }
+    if (const auto* stat = std::get_if<net::StatRequest>(&message)) {
+      return encode_reply(MessageType::kStatOk, net::encode(service_.stat(*stat)));
+    }
+    if (std::holds_alternative<net::ShutdownRequest>(message)) {
+      close_connection = true;
+      request_shutdown();
+      return encode_reply(MessageType::kShutdownOk, net::encode(net::ShutdownOkResponse{}));
+    }
+    // A response type sent at the server: a confused client.
+    return error_reply(ErrorCode::kBadRequest, "request frame expected");
+  } catch (const QuotaExceededError& e) {
+    return error_reply(ErrorCode::kQuotaExceeded, e.what());
+  } catch (const BusyError& e) {
+    return error_reply(ErrorCode::kBusy, e.what());
+  } catch (const NotFoundError& e) {
+    return error_reply(ErrorCode::kNotFound, e.what());
+  } catch (const InvalidArgumentError& e) {
+    return error_reply(ErrorCode::kBadRequest, e.what());
+  } catch (const FormatError& e) {
+    return error_reply(ErrorCode::kBadRequest, e.what());
+  } catch (const CorruptDataError& e) {
+    return error_reply(ErrorCode::kCorrupt, e.what());
+  } catch (const IoError& e) {
+    return error_reply(ErrorCode::kIo, e.what());
+  } catch (const std::exception& e) {
+    return error_reply(ErrorCode::kInternal, e.what());
+  }
+}
+
+}  // namespace wck::server

@@ -1,0 +1,78 @@
+// StoreServer — the wire front of CheckpointService.
+//
+// One accept loop (self-pipe-woken, src/net/socket.hpp) plus one thread
+// per connection. Each connection is a strict request/response stream
+// of CRC'd frames: decode -> dispatch into the service -> encode the
+// reply. Every typed wck error maps onto an ErrorResponse code, so a
+// client never sees a dropped connection where a QuotaExceeded or Busy
+// belongs; only a malformed frame (bad magic/CRC/length) ends the
+// connection, because a poisoned byte stream has no resynchronization
+// point.
+//
+// Shutdown has two triggers with one path: stop() from the owner, or a
+// ShutdownRequest from a client (acknowledged first, then the flag is
+// raised). wait_for_shutdown() lets `wckpt serve` park on the flag.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "server/service.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace wck::server {
+
+class StoreServer {
+ public:
+  /// Binds `socket_path` and starts the accept loop. The service must
+  /// outlive the server. Throws IoError when the path cannot be bound.
+  StoreServer(CheckpointService& service, const std::string& socket_path);
+  ~StoreServer();
+
+  StoreServer(const StoreServer&) = delete;
+  StoreServer& operator=(const StoreServer&) = delete;
+
+  /// Blocks until stop() runs or a client sends ShutdownRequest.
+  void wait_for_shutdown() WCK_EXCLUDES(mu_);
+
+  /// Stops accepting, wakes every connection (shutdown_both), joins all
+  /// threads, unlinks the socket path. Idempotent.
+  void stop() WCK_EXCLUDES(mu_);
+
+  [[nodiscard]] const std::string& socket_path() const noexcept { return socket_path_; }
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] std::uint64_t connections_accepted() const WCK_EXCLUDES(mu_);
+
+ private:
+  struct Connection {
+    net::UnixStream stream;
+    std::thread thread;
+    bool done = false;  ///< set by the handler as it exits (guarded by mu_)
+  };
+
+  void accept_loop();
+  void handle_connection(Connection* conn);
+  /// Decodes + dispatches one request frame; returns the encoded reply.
+  [[nodiscard]] Bytes handle_frame(const net::Frame& frame, bool& close_connection);
+  /// Joins and drops connections whose handlers have exited.
+  void reap_finished() WCK_REQUIRES(mu_);
+  void request_shutdown() WCK_EXCLUDES(mu_);
+
+  CheckpointService& service_;
+  const std::string socket_path_;
+  net::UnixListener listener_;
+  std::thread accept_thread_;
+
+  mutable Mutex mu_;
+  CondVar shutdown_cv_;
+  bool stopping_ WCK_GUARDED_BY(mu_) = false;
+  bool shutdown_requested_ WCK_GUARDED_BY(mu_) = false;
+  std::uint64_t accepted_ WCK_GUARDED_BY(mu_) = 0;
+  std::vector<std::unique_ptr<Connection>> connections_ WCK_GUARDED_BY(mu_);
+};
+
+}  // namespace wck::server

@@ -1,0 +1,222 @@
+#include "server/service.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace wck::server {
+
+bool valid_tenant_name(const std::string& name) noexcept {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+CheckpointService::CheckpointService(const Codec& codec, Options options, IoBackend* io)
+    : codec_(codec), options_(std::move(options)), io_(io) {
+  if (options_.root.empty()) {
+    throw InvalidArgumentError("CheckpointService: empty root directory");
+  }
+  if (options_.max_inflight == 0) {
+    throw InvalidArgumentError("CheckpointService: max_inflight must be >= 1");
+  }
+  std::filesystem::create_directories(options_.root);
+}
+
+// --------------------------------------------------------------- admission
+
+CheckpointService::AdmissionSlot::AdmissionSlot(CheckpointService& service) : service_(service) {
+  MutexLock lk(service_.admission_mu_);
+  if (service_.inflight_ >= service_.options_.max_inflight) {
+    if (service_.options_.admission == AdmissionPolicy::kRejectNewest) {
+      WCK_COUNTER_ADD("server.admission.rejections", 1);
+      WCK_EVENT(kServerBusy, 0,
+                std::to_string(service_.inflight_) + " requests in flight");
+      throw BusyError("store service: " + std::to_string(service_.inflight_) +
+                      " requests in flight (limit " +
+                      std::to_string(service_.options_.max_inflight) + ")");
+    }
+    WCK_COUNTER_ADD("server.admission.blocks", 1);
+    service_.admission_cv_.wait(lk, [&service] {
+      service.admission_mu_.assert_held();
+      return service.inflight_ < service.options_.max_inflight;
+    });
+  }
+  ++service_.inflight_;
+  WCK_GAUGE_SET("server.inflight", static_cast<double>(service_.inflight_));
+}
+
+CheckpointService::AdmissionSlot::~AdmissionSlot() {
+  MutexLock lk(service_.admission_mu_);
+  --service_.inflight_;
+  WCK_GAUGE_SET("server.inflight", static_cast<double>(service_.inflight_));
+  service_.admission_cv_.notify_one();
+}
+
+// ----------------------------------------------------------------- tenants
+
+CheckpointService::Tenant& CheckpointService::tenant_for(const std::string& name, bool create) {
+  if (!valid_tenant_name(name)) {
+    throw InvalidArgumentError("store service: invalid tenant name \"" + name +
+                               "\" (want [a-z0-9_-], 1..64 chars)");
+  }
+  MutexLock lk(tenants_mu_);
+  const auto it = tenants_.find(name);
+  if (it != tenants_.end()) return *it->second;
+  if (!create) throw NotFoundError("store service: unknown tenant \"" + name + "\"");
+
+  auto tenant = std::make_unique<Tenant>();
+  CheckpointManager::Options mgr;
+  mgr.keep_generations = options_.keep_generations;
+  mgr.retry = options_.retry;
+  mgr.max_total_bytes = options_.tenant_quota_bytes;
+  tenant->manager =
+      std::make_unique<CheckpointManager>(options_.root / name, codec_, mgr, io_);
+  Tenant& ref = *tenant;
+  tenants_.emplace(name, std::move(tenant));
+  WCK_COUNTER_ADD("server.tenants.created", 1);
+  WCK_GAUGE_SET("server.tenants", static_cast<double>(tenants_.size()));
+  return ref;
+}
+
+void CheckpointService::begin_put(Tenant& tenant) {
+  MutexLock lk(tenant.mu);
+  if (!tenant.writing) {
+    tenant.writing = true;
+    return;
+  }
+  // Park behind the in-flight put. A newer arrival takes the parking
+  // spot (checkpoints supersede), and the displaced caller leaves with
+  // a typed BusyError instead of silently losing its snapshot.
+  const std::uint64_t ticket = tenant.next_ticket++;
+  tenant.parked_ticket = ticket;
+  tenant.cv.notify_all();  // wake a previously parked put so it can see it lost
+  tenant.cv.wait(lk, [&tenant, ticket] {
+    tenant.mu.assert_held();
+    return tenant.parked_ticket != ticket || !tenant.writing;
+  });
+  if (tenant.parked_ticket != ticket) {
+    WCK_COUNTER_ADD("server.put.superseded", 1);
+    throw BusyError("store service: put superseded by a newer checkpoint");
+  }
+  tenant.parked_ticket = 0;
+  tenant.writing = true;
+}
+
+void CheckpointService::end_put(Tenant& tenant) noexcept {
+  MutexLock lk(tenant.mu);
+  tenant.writing = false;
+  tenant.cv.notify_all();
+}
+
+// ---------------------------------------------------------------- requests
+
+net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
+  WCK_TRACE_SPAN("server.put");
+  WCK_COUNTER_ADD("server.put.requests", 1);
+  const AdmissionSlot slot(*this);
+  Tenant& tenant = tenant_for(req.tenant, /*create=*/true);
+
+  begin_put(tenant);
+  try {
+    NdArray<double> array(req.shape, req.values);
+    CheckpointRegistry registry;
+    registry.add("state", &array);
+    (void)tenant.manager->write(registry, req.step);
+
+    // Report manifest sizes, not codec payload sums: the quota is
+    // enforced in manifest bytes, so these are the numbers a client can
+    // budget against.
+    const std::vector<CheckpointManager::Generation> gens = tenant.manager->generations();
+    net::PutOkResponse resp;
+    resp.step = req.step;
+    resp.stored_bytes = gens.empty() ? 0 : gens.front().size;
+    resp.total_bytes = tenant.manager->total_stored_bytes();
+    resp.generations = static_cast<std::uint32_t>(gens.size());
+    end_put(tenant);
+    WCK_COUNTER_ADD("server.put.bytes", resp.stored_bytes);
+    return resp;
+  } catch (const QuotaExceededError&) {
+    end_put(tenant);
+    WCK_COUNTER_ADD("server.put.quota_rejections", 1);
+    throw;
+  } catch (...) {
+    end_put(tenant);
+    throw;
+  }
+}
+
+net::GetOkResponse CheckpointService::get(const net::GetRequest& req) {
+  WCK_TRACE_SPAN("server.get");
+  WCK_COUNTER_ADD("server.get.requests", 1);
+  const AdmissionSlot slot(*this);
+  Tenant& tenant = tenant_for(req.tenant, /*create=*/false);
+
+  if (tenant.manager->generations().empty()) {
+    throw NotFoundError("store service: tenant \"" + req.tenant +
+                        "\" has no committed checkpoint");
+  }
+  // A default-constructed array lets the restore decide the shape (the
+  // generation is self-describing).
+  NdArray<double> array;
+  CheckpointRegistry registry;
+  registry.add("state", &array);
+  const RestoreOutcome outcome = tenant.manager->restore(registry);
+
+  net::GetOkResponse resp;
+  resp.step = outcome.step;
+  resp.source = static_cast<std::uint8_t>(outcome.source);
+  resp.shape = array.shape();
+  resp.values.assign(array.values().begin(), array.values().end());
+  return resp;
+}
+
+net::StatOkResponse CheckpointService::stat(const net::StatRequest& req) {
+  WCK_TRACE_SPAN("server.stat");
+  WCK_COUNTER_ADD("server.stat.requests", 1);
+  const AdmissionSlot slot(*this);
+
+  std::vector<Tenant*> selected;
+  std::vector<std::string> names;
+  std::size_t known = 0;
+  if (req.tenant.empty()) {
+    MutexLock lk(tenants_mu_);
+    known = tenants_.size();
+    for (auto& [name, tenant] : tenants_) {
+      names.push_back(name);
+      selected.push_back(tenant.get());
+    }
+  } else {
+    Tenant& tenant = tenant_for(req.tenant, /*create=*/false);
+    MutexLock lk(tenants_mu_);
+    known = tenants_.size();
+    names.push_back(req.tenant);
+    selected.push_back(&tenant);
+  }
+
+  net::StatOkResponse resp;
+  resp.tenants = known;
+  resp.stats.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    // The manager snapshot is taken outside tenants_mu_: generations()
+    // locks the manager's own monitor and a concurrent put may be
+    // holding it while blocked on I/O.
+    const std::vector<CheckpointManager::Generation> gens = selected[i]->manager->generations();
+    net::TenantStat s;
+    s.name = names[i];
+    s.generations = gens.size();
+    for (const CheckpointManager::Generation& g : gens) s.stored_bytes += g.size;
+    s.quota_bytes = options_.tenant_quota_bytes;
+    s.newest_step = gens.empty() ? 0 : gens.front().step;
+    resp.stats.push_back(std::move(s));
+  }
+  return resp;
+}
+
+}  // namespace wck::server

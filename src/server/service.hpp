@@ -1,0 +1,140 @@
+// CheckpointService — the multi-tenant store core behind `wckpt serve`.
+//
+// Each tenant is an isolated namespace: its own directory under the
+// service root, its own CheckpointManager (keep-K rotation, CRC
+// manifest, retry/backoff, scrub quarantine — the whole resilience
+// stack from src/ckpt) and its own byte quota. The service itself adds
+// the two policies a shared store needs on top:
+//
+//   * Admission control — a bounded count of in-flight requests,
+//     either blocking arrivals (kBlock) or rejecting the newest with a
+//     typed BusyError (kRejectNewest). Same semantics as the
+//     AsyncCheckpointWriter queue, applied at the service boundary.
+//   * Put coalescing — per tenant, at most one put runs and at most
+//     one waits. A third put supersedes the parked one (checkpoints
+//     are snapshots: the newest state is the only one worth the I/O),
+//     and the superseded caller gets a BusyError — loud, typed, never
+//     a silently dropped checkpoint.
+//
+// The service is transport-agnostic: StoreServer (server.hpp) speaks
+// the wire protocol and calls straight into these methods, and tests
+// exercise quota/coalescing logic without a socket in sight.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ckpt/codec.hpp"
+#include "ckpt/manager.hpp"
+#include "net/protocol.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace wck::server {
+
+/// What happens to a request that arrives while max_inflight requests
+/// are already executing.
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,         ///< wait for a slot (backpressure by blocking)
+  kRejectNewest,  ///< throw BusyError immediately (client retries)
+};
+
+struct CheckpointServiceOptions {
+  /// Tenant directories live directly under this root.
+  std::filesystem::path root;
+  /// Per-tenant keep-K rotation depth (CheckpointManager).
+  std::size_t keep_generations = 3;
+  /// Per-tenant byte quota over committed generations; 0 = unlimited.
+  std::uint64_t tenant_quota_bytes = 0;
+  /// Requests executing at once before admission control engages.
+  std::size_t max_inflight = 8;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Write retry/backoff, passed through to every tenant's manager.
+  RetryPolicy retry;
+};
+
+class CheckpointService {
+ public:
+  using Options = CheckpointServiceOptions;
+
+  /// The codec (and optional backend) must outlive the service; a null
+  /// backend means the process default. Creates `options.root` eagerly
+  /// so a bad path fails at startup, not mid-request.
+  CheckpointService(const Codec& codec, Options options, IoBackend* io = nullptr);
+
+  CheckpointService(const CheckpointService&) = delete;
+  CheckpointService& operator=(const CheckpointService&) = delete;
+
+  /// Commits one generation for the tenant (creating it on first use).
+  /// Throws InvalidArgumentError (bad tenant name), BusyError
+  /// (admission rejection or superseded by a newer put),
+  /// QuotaExceededError (store untouched), IoError (commit failed
+  /// after retries).
+  [[nodiscard]] net::PutOkResponse put(const net::PutRequest& req);
+
+  /// Restores the tenant's newest restorable generation through the
+  /// manager's full fallback chain. Throws NotFoundError for an
+  /// unknown/empty tenant, CorruptDataError when nothing is restorable.
+  [[nodiscard]] net::GetOkResponse get(const net::GetRequest& req);
+
+  /// Quota/generation accounting for one tenant (throws NotFoundError
+  /// when unknown) or, with an empty tenant name, for all of them.
+  [[nodiscard]] net::StatOkResponse stat(const net::StatRequest& req);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Tenant {
+    std::unique_ptr<CheckpointManager> manager;
+    Mutex mu;
+    CondVar cv;
+    bool writing WCK_GUARDED_BY(mu) = false;
+    /// Ticket of the put currently parked behind the in-flight one;
+    /// 0 = none. A newer arrival overwrites it (supersession).
+    std::uint64_t parked_ticket WCK_GUARDED_BY(mu) = 0;
+    std::uint64_t next_ticket WCK_GUARDED_BY(mu) = 1;
+  };
+
+  /// RAII admission slot: constructor blocks or throws BusyError per
+  /// the policy, destructor frees the slot.
+  class AdmissionSlot {
+   public:
+    explicit AdmissionSlot(CheckpointService& service);
+    ~AdmissionSlot();
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+   private:
+    CheckpointService& service_;
+  };
+
+  /// Looks the tenant up, creating it when `create` (put) and throwing
+  /// NotFoundError otherwise (get / named stat). Validates the name.
+  [[nodiscard]] Tenant& tenant_for(const std::string& name, bool create)
+      WCK_EXCLUDES(tenants_mu_);
+  /// Begin/end of the per-tenant coalescing window around a put.
+  void begin_put(Tenant& tenant) WCK_EXCLUDES(tenant.mu);
+  void end_put(Tenant& tenant) noexcept WCK_EXCLUDES(tenant.mu);
+
+  const Codec& codec_;
+  const Options options_;
+  IoBackend* const io_;
+
+  mutable Mutex tenants_mu_;
+  /// std::map: node-based, so Tenant addresses stay stable while the
+  /// map grows under new arrivals.
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_ WCK_GUARDED_BY(tenants_mu_);
+
+  mutable Mutex admission_mu_;
+  CondVar admission_cv_;
+  std::size_t inflight_ WCK_GUARDED_BY(admission_mu_) = 0;
+};
+
+/// True when `name` is a valid tenant name: [a-z0-9_-], 1..64 chars.
+/// The name becomes a directory component, so this is also the path
+/// traversal guard — no '/', no '.', no empty string.
+[[nodiscard]] bool valid_tenant_name(const std::string& name) noexcept;
+
+}  // namespace wck::server

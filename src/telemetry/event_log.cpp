@@ -28,6 +28,12 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kWriterUnhealthy: return "writer.unhealthy";
     case EventKind::kSoakCycle: return "soak.cycle";
     case EventKind::kSoakVerifyFailed: return "soak.verify_failed";
+    case EventKind::kQuotaRejected: return "quota.rejected";
+    case EventKind::kServerStart: return "server.start";
+    case EventKind::kServerStop: return "server.stop";
+    case EventKind::kServerConnect: return "server.connect";
+    case EventKind::kServerDisconnect: return "server.disconnect";
+    case EventKind::kServerBusy: return "server.busy";
   }
   return "unknown";
 }

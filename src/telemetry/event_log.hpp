@@ -42,6 +42,12 @@ enum class EventKind : std::uint8_t {
   kWriterUnhealthy,    ///< async writer entered fail-fast state
   kSoakCycle,          ///< soak loop finished one mutate/commit cycle
   kSoakVerifyFailed,   ///< soak loop detected state divergence
+  kQuotaRejected,      ///< write rejected: byte quota would be exceeded
+  kServerStart,        ///< checkpoint store server began listening
+  kServerStop,         ///< checkpoint store server shut down
+  kServerConnect,      ///< store server accepted a client connection
+  kServerDisconnect,   ///< store client connection closed
+  kServerBusy,         ///< admission control rejected a request (Busy)
 };
 
 /// Stable dotted name for a kind ("ckpt.commit", "fault.injected", ...).

@@ -43,4 +43,25 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Admitting the request would exceed a configured byte/generation
+/// quota. The store is untouched: quota checks run before any commit.
+class QuotaExceededError : public Error {
+ public:
+  explicit QuotaExceededError(const std::string& what) : Error(what) {}
+};
+
+/// The service is at its admission limit (bounded in-flight queue) and
+/// the backpressure policy rejected the request instead of blocking.
+/// Retriable by construction: nothing was written.
+class BusyError : public Error {
+ public:
+  explicit BusyError(const std::string& what) : Error(what) {}
+};
+
+/// The named entity (tenant, generation) does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace wck

@@ -1,0 +1,15 @@
+// Fixture: socket work routed through the net layer; member calls,
+// class-qualified names, std::bind, comments ("call connect() here"),
+// and identifiers that merely contain the tokens must not count.
+void clean(wck::net::UnixListener& listener, Signal& sig) {
+  auto stream = wck::net::UnixStream::connect_to("/tmp/s.sock");
+  auto server = wck::net::UnixListener::bind_and_listen("/tmp/s.sock");
+  auto conn = listener.accept_next();
+  sig.connect(on_ready);
+  handler->accept(visitor);
+  auto bound = std::bind(on_ready, 1);
+  log("never call socket( or bind( directly");
+  reconnect(stream);  // 'connect' inside another identifier
+  int socket_count = 0;
+  (void)socket_count;
+}

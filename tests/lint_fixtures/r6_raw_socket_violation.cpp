@@ -1,0 +1,11 @@
+// Fixture: raw socket syscalls that bypass src/net/.
+void violations(const sockaddr* addr, unsigned len) {
+  int fd = socket(1, 1, 0);
+  int fd2 = ::socket(1, 1, 0);
+  bind(fd, addr, len);
+  ::bind(fd, addr, len);
+  connect(fd, addr, len);
+  listen(fd, 8);
+  int client = accept(fd, nullptr, nullptr);
+  int client2 = ::accept4(fd, nullptr, nullptr, 0);
+}

@@ -1,0 +1,218 @@
+// End-to-end tests for the checkpoint store service over a real
+// Unix-domain socket: StoreServer + StoreClient round-trips, typed
+// error mapping across the wire, malformed-frame handling, shutdown
+// semantics, and a small multi-client concurrency smoke (the full-size
+// version lives in `wckpt soak --server`).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "core/synthetic.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wck_srv_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+/// Service + server wired into a TempDir, with the socket inside it.
+struct Harness {
+  explicit Harness(server::CheckpointService::Options opts = {})
+      : options([&] {
+          opts.root = dir.path() / "store";
+          opts.retry.sleep_between_attempts = false;
+          return opts;
+        }()),
+        service(codec, options),
+        server(service, (dir.path() / "store.sock").string()) {}
+
+  TempDir dir;
+  NullCodec codec;
+  server::CheckpointService::Options options;
+  server::CheckpointService service;
+  server::StoreServer server;
+};
+
+NdArray<double> field_for(std::uint64_t seed) {
+  return make_smooth_field(Shape{10, 14}, seed);
+}
+
+TEST(StoreServer, PingPutGetStatRoundTrip) {
+  Harness h;
+  StoreClient client = StoreClient::connect(h.server.socket_path());
+  client.ping();
+
+  const NdArray<double> state = field_for(7);
+  const net::PutOkResponse ok = client.put("alpha", 7, state);
+  EXPECT_EQ(ok.step, 7u);
+  EXPECT_EQ(ok.generations, 1u);
+  EXPECT_GT(ok.stored_bytes, 0u);
+
+  const StoreClient::GetResult got = client.get("alpha");
+  EXPECT_EQ(got.step, 7u);
+  EXPECT_EQ(got.source, RestoreSource::kPrimary);
+  ASSERT_EQ(got.array.shape(), state.shape());
+  // NullCodec end to end: the restore is bit-exact.
+  EXPECT_TRUE(std::equal(got.array.values().begin(), got.array.values().end(),
+                         state.values().begin()));
+
+  const net::StatOkResponse stat = client.stat();
+  ASSERT_EQ(stat.stats.size(), 1u);
+  EXPECT_EQ(stat.stats[0].name, "alpha");
+  EXPECT_EQ(stat.stats[0].generations, 1u);
+  EXPECT_EQ(stat.stats[0].newest_step, 7u);
+}
+
+TEST(StoreServer, TypedErrorsCrossTheWire) {
+  server::CheckpointService::Options opts;
+  opts.keep_generations = 2;
+  Harness h(opts);
+  StoreClient client = StoreClient::connect(h.server.socket_path());
+
+  EXPECT_THROW((void)client.get("nosuch"), NotFoundError);
+  EXPECT_THROW((void)client.stat("nosuch"), NotFoundError);
+  EXPECT_THROW((void)client.put("Bad Tenant!", 1, field_for(1)), InvalidArgumentError);
+  // The connection survives every typed rejection.
+  client.ping();
+}
+
+TEST(StoreServer, QuotaExceededArrivesTyped) {
+  // Probe one generation's size, then allot exactly that much.
+  std::uint64_t gen = 0;
+  {
+    Harness probe;
+    StoreClient client = StoreClient::connect(probe.server.socket_path());
+    gen = client.put("t", 1, field_for(1)).stored_bytes;
+  }
+
+  server::CheckpointService::Options opts;
+  opts.keep_generations = 2;
+  opts.tenant_quota_bytes = gen;
+  Harness h(opts);
+  StoreClient client = StoreClient::connect(h.server.socket_path());
+
+  (void)client.put("t", 1, field_for(1));
+  EXPECT_THROW((void)client.put("t", 2, field_for(2)), QuotaExceededError);
+  // The store is intact, not corrupted: step 1 still restores.
+  EXPECT_EQ(client.get("t").step, 1u);
+}
+
+TEST(StoreServer, MalformedBodyKeepsStreamMalformedFrameEndsIt) {
+  Harness h;
+  net::UnixStream stream = net::UnixStream::connect_to(h.server.socket_path());
+  net::FrameDecoder decoder;
+  const auto read_reply = [&]() -> net::AnyMessage {
+    for (;;) {
+      if (std::optional<net::Frame> f = decoder.next()) return net::decode_message(*f);
+      Bytes chunk;
+      if (stream.recv_some(chunk, 4096) == 0) throw IoError("eof");
+      decoder.feed(chunk);
+    }
+  };
+
+  // A well-framed request with an unassigned type byte: typed
+  // BadRequest reply, stream stays usable.
+  stream.send_all(net::encode_frame(0x30, Bytes{}));
+  {
+    const net::AnyMessage reply = read_reply();
+    const auto* err = std::get_if<net::ErrorResponse>(&reply);
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->code, net::ErrorCode::kBadRequest);
+  }
+  stream.send_all(net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPing),
+                                    net::encode(net::PingRequest{})));
+  EXPECT_TRUE(std::holds_alternative<net::PongResponse>(read_reply()));
+
+  // A frame with a corrupted header has no resynchronization point: the
+  // server answers BadRequest once, then hangs up.
+  Bytes bad = net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPing), Bytes{});
+  bad[0] = std::byte{0x00};
+  stream.send_all(bad);
+  {
+    const net::AnyMessage reply = read_reply();
+    const auto* err = std::get_if<net::ErrorResponse>(&reply);
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->code, net::ErrorCode::kBadRequest);
+  }
+  Bytes rest;
+  EXPECT_EQ(stream.recv_some(rest, 4096), 0u) << "server kept a poisoned stream open";
+}
+
+TEST(StoreServer, ClientShutdownStopsTheServer) {
+  Harness h;
+  {
+    StoreClient client = StoreClient::connect(h.server.socket_path());
+    (void)client.put("t", 1, field_for(1));
+    client.shutdown_server();  // acknowledged before the server acts
+  }
+  h.server.wait_for_shutdown();
+  h.server.stop();
+  EXPECT_THROW((void)StoreClient::connect(h.server.socket_path()), IoError);
+  // The data the server accepted is durable past its lifetime.
+  EXPECT_TRUE(std::filesystem::exists(h.options.root / "t" / "MANIFEST"));
+}
+
+TEST(StoreServer, ConcurrentClientsSmoke) {
+  Harness h;
+  constexpr int kClients = 4;
+  constexpr std::uint64_t kCycles = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      StoreClient client = StoreClient::connect(h.server.socket_path());
+      const std::string tenant = "rank-" + std::to_string(c);
+      for (std::uint64_t step = 1; step <= kCycles; ++step) {
+        const std::uint64_t seed = static_cast<std::uint64_t>(c) * 1000 + step;
+        (void)client.put(tenant, step, field_for(seed));
+        const StoreClient::GetResult got = client.get(tenant);
+        const NdArray<double> expect =
+            field_for(static_cast<std::uint64_t>(c) * 1000 + got.step);
+        if (!std::equal(got.array.values().begin(), got.array.values().end(),
+                        expect.values().begin())) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(h.server.connections_accepted(), static_cast<std::uint64_t>(kClients));
+
+  StoreClient client = StoreClient::connect(h.server.socket_path());
+  EXPECT_EQ(client.stat().stats.size(), static_cast<std::size_t>(kClients));
+}
+
+}  // namespace
+}  // namespace wck

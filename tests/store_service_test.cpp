@@ -1,0 +1,438 @@
+// Tests for the multi-tenant store core: CheckpointManager byte quotas
+// at their edges (exact hit, mid-batch exceed, accounting across keep-K
+// rotation and scrub quarantine) and CheckpointService policy
+// (tenant validation, typed quota rejection, admission control, put
+// coalescing) — all without a socket in sight.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "ckpt/manager.hpp"
+#include "core/synthetic.hpp"
+#include "io/io_backend.hpp"
+#include "server/service.hpp"
+#include "util/error.hpp"
+
+namespace wck {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wck_store_" + std::to_string(::getpid()) + "_" + std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+void corrupt_file(const std::filesystem::path& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5A);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+RetryPolicy instant_retry() {
+  RetryPolicy retry;
+  retry.sleep_between_attempts = false;
+  return retry;
+}
+
+/// One generation's on-disk size for the canonical single-field
+/// registry under NullCodec — deterministic, so quota edges can be hit
+/// exactly.
+std::uint64_t generation_bytes(const NullCodec& codec) {
+  TempDir probe;
+  CheckpointManager::Options opts;
+  opts.retry = instant_retry();
+  CheckpointManager mgr(probe.path(), codec, opts);
+  NdArray<double> state = make_smooth_field(Shape{16, 16}, 1);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+  (void)mgr.write(reg, 1);
+  return mgr.total_stored_bytes();
+}
+
+std::size_t checkpoint_files_in(const std::filesystem::path& dir) {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt.", 0) == 0 && name.find("quarantined") == std::string::npos) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------ manager quota edges
+
+TEST(ManagerQuota, ExactHitAcceptedOneGenerationMoreRejected) {
+  const NullCodec codec;
+  const std::uint64_t gen = generation_bytes(codec);
+  NdArray<double> state = make_smooth_field(Shape{16, 16}, 1);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+
+  TempDir dir;
+  CheckpointManager::Options opts;
+  opts.keep_generations = 3;
+  opts.retry = instant_retry();
+  opts.max_total_bytes = gen;  // room for exactly one generation
+  CheckpointManager mgr(dir.path(), codec, opts);
+
+  (void)mgr.write(reg, 1);  // exact quota hit: allowed
+  EXPECT_EQ(mgr.total_stored_bytes(), gen);
+
+  EXPECT_THROW((void)mgr.write(reg, 2), QuotaExceededError);
+  // The rejection left the store untouched: same generations, same
+  // bytes, no stray file.
+  EXPECT_EQ(mgr.generations().size(), 1u);
+  EXPECT_EQ(mgr.total_stored_bytes(), gen);
+  EXPECT_EQ(checkpoint_files_in(dir.path()), 1u);
+}
+
+TEST(ManagerQuota, OneByteShortRejectsTheFirstWrite) {
+  const NullCodec codec;
+  const std::uint64_t gen = generation_bytes(codec);
+  NdArray<double> state = make_smooth_field(Shape{16, 16}, 1);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+
+  TempDir dir;
+  CheckpointManager::Options opts;
+  opts.retry = instant_retry();
+  opts.max_total_bytes = gen - 1;
+  CheckpointManager mgr(dir.path(), codec, opts);
+
+  EXPECT_THROW((void)mgr.write(reg, 1), QuotaExceededError);
+  EXPECT_TRUE(mgr.generations().empty());
+  EXPECT_EQ(checkpoint_files_in(dir.path()), 0u);
+}
+
+TEST(ManagerQuota, AccountingFollowsKeepKRotation) {
+  const NullCodec codec;
+  const std::uint64_t gen = generation_bytes(codec);
+  NdArray<double> state = make_smooth_field(Shape{16, 16}, 1);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+
+  TempDir dir;
+  CheckpointManager::Options opts;
+  opts.keep_generations = 2;
+  opts.retry = instant_retry();
+  opts.max_total_bytes = 2 * gen;
+  CheckpointManager mgr(dir.path(), codec, opts);
+
+  // Rotation returns the evicted generation's bytes to the budget, so a
+  // quota of exactly keep_generations * size admits writes forever.
+  for (std::uint64_t step = 1; step <= 6; ++step) {
+    (void)mgr.write(reg, step);
+    EXPECT_LE(mgr.generations().size(), 2u);
+    EXPECT_LE(mgr.total_stored_bytes(), 2 * gen);
+  }
+  const auto gens = mgr.generations();
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens.front().step, 6u);
+}
+
+TEST(ManagerQuota, MidBatchExceedLeavesStoreUntouched) {
+  const NullCodec codec;
+  const std::uint64_t gen = generation_bytes(codec);
+
+  // Two fields serialize to more than one field's quota: the combined
+  // payload must be rejected up front, never half-committed.
+  NdArray<double> a = make_smooth_field(Shape{16, 16}, 1);
+  NdArray<double> b = make_smooth_field(Shape{16, 16}, 2);
+  CheckpointRegistry both;
+  both.add("state", &a);
+  both.add("extra", &b);
+
+  TempDir dir;
+  CheckpointManager::Options opts;
+  opts.retry = instant_retry();
+  opts.max_total_bytes = gen + gen / 2;
+  CheckpointManager mgr(dir.path(), codec, opts);
+
+  EXPECT_THROW((void)mgr.write(both, 1), QuotaExceededError);
+  EXPECT_TRUE(mgr.generations().empty());
+  EXPECT_EQ(checkpoint_files_in(dir.path()), 0u);
+
+  // The single-field payload fits the same budget.
+  CheckpointRegistry single;
+  single.add("state", &a);
+  (void)mgr.write(single, 2);
+  EXPECT_EQ(mgr.generations().size(), 1u);
+}
+
+TEST(ManagerQuota, ScrubQuarantineReturnsBytesToBudget) {
+  const NullCodec codec;
+  const std::uint64_t gen = generation_bytes(codec);
+  NdArray<double> state = make_smooth_field(Shape{16, 16}, 1);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+
+  TempDir dir;
+  CheckpointManager::Options opts;
+  opts.keep_generations = 4;  // > quota in generations: quota binds first
+  opts.retry = instant_retry();
+  opts.max_total_bytes = 3 * gen;
+  CheckpointManager mgr(dir.path(), codec, opts);
+
+  for (std::uint64_t step = 1; step <= 3; ++step) (void)mgr.write(reg, step);
+  EXPECT_EQ(mgr.total_stored_bytes(), 3 * gen);
+  EXPECT_THROW((void)mgr.write(reg, 4), QuotaExceededError);
+
+  // Quarantining a corrupt generation must return its bytes.
+  corrupt_file(dir.path() / "ckpt.2.wck", 40);
+  const ScrubReport report = mgr.scrub();
+  EXPECT_EQ(report.checked, 3u);
+  EXPECT_EQ(report.corrupt, 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(report.quarantined.front()));
+  EXPECT_EQ(mgr.total_stored_bytes(), 2 * gen);
+
+  (void)mgr.write(reg, 4);  // fits again
+  EXPECT_EQ(mgr.generations().size(), 3u);
+  EXPECT_EQ(mgr.total_stored_bytes(), 3 * gen);
+}
+
+// -------------------------------------------------- service policies
+
+server::CheckpointService::Options service_options(const std::filesystem::path& root) {
+  server::CheckpointService::Options opts;
+  opts.root = root;
+  opts.keep_generations = 2;
+  opts.retry = instant_retry();
+  return opts;
+}
+
+net::PutRequest put_request(const std::string& tenant, std::uint64_t step) {
+  const NdArray<double> field = make_smooth_field(Shape{12, 12}, step);
+  net::PutRequest req;
+  req.tenant = tenant;
+  req.step = step;
+  req.shape = field.shape();
+  req.values.assign(field.values().begin(), field.values().end());
+  return req;
+}
+
+TEST(StoreService, TenantNameValidation) {
+  EXPECT_TRUE(server::valid_tenant_name("rank-03"));
+  EXPECT_TRUE(server::valid_tenant_name("a"));
+  EXPECT_TRUE(server::valid_tenant_name("x_9-z"));
+  EXPECT_FALSE(server::valid_tenant_name(""));
+  EXPECT_FALSE(server::valid_tenant_name("UPPER"));
+  EXPECT_FALSE(server::valid_tenant_name("a/b"));
+  EXPECT_FALSE(server::valid_tenant_name(".."));
+  EXPECT_FALSE(server::valid_tenant_name("a.b"));
+  EXPECT_FALSE(server::valid_tenant_name(std::string(65, 'a')));
+
+  const NullCodec codec;
+  TempDir dir;
+  server::CheckpointService service(codec, service_options(dir.path()));
+  EXPECT_THROW((void)service.put(put_request("../escape", 1)), InvalidArgumentError);
+  EXPECT_THROW((void)service.get(net::GetRequest{"No Such"}), InvalidArgumentError);
+}
+
+TEST(StoreService, PutGetStatRoundTrip) {
+  const NullCodec codec;
+  TempDir dir;
+  server::CheckpointService service(codec, service_options(dir.path()));
+
+  const net::PutOkResponse ok1 = service.put(put_request("alpha", 1));
+  EXPECT_EQ(ok1.step, 1u);
+  EXPECT_GT(ok1.stored_bytes, 0u);
+  const net::PutOkResponse ok2 = service.put(put_request("alpha", 2));
+  EXPECT_EQ(ok2.generations, 2u);
+  (void)service.put(put_request("beta", 5));
+
+  const net::GetOkResponse got = service.get(net::GetRequest{"alpha"});
+  EXPECT_EQ(got.step, 2u);
+  EXPECT_EQ(got.source, static_cast<std::uint8_t>(RestoreSource::kPrimary));
+  EXPECT_EQ(got.values, put_request("alpha", 2).values);  // NullCodec: bit-exact
+
+  const net::StatOkResponse one = service.stat(net::StatRequest{"alpha"});
+  ASSERT_EQ(one.stats.size(), 1u);
+  EXPECT_EQ(one.tenants, 2u);
+  EXPECT_EQ(one.stats[0].generations, 2u);
+  EXPECT_EQ(one.stats[0].newest_step, 2u);
+  EXPECT_EQ(one.stats[0].stored_bytes, ok2.total_bytes);
+
+  const net::StatOkResponse all = service.stat(net::StatRequest{});
+  ASSERT_EQ(all.stats.size(), 2u);  // map order: alpha, beta
+  EXPECT_EQ(all.stats[0].name, "alpha");
+  EXPECT_EQ(all.stats[1].name, "beta");
+
+  EXPECT_THROW((void)service.get(net::GetRequest{"nosuch"}), NotFoundError);
+  EXPECT_THROW((void)service.stat(net::StatRequest{"nosuch"}), NotFoundError);
+}
+
+TEST(StoreService, QuotaRejectionIsTypedAndLeavesTenantIntact) {
+  const NullCodec codec;
+  TempDir dir;
+
+  std::uint64_t gen = 0;
+  {
+    server::CheckpointService probe(codec, service_options(dir.path() / "probe"));
+    gen = probe.put(put_request("t", 1)).stored_bytes;
+  }
+
+  auto opts = service_options(dir.path() / "real");
+  opts.tenant_quota_bytes = gen;  // one generation exactly
+  server::CheckpointService service(codec, opts);
+
+  (void)service.put(put_request("t", 1));
+  EXPECT_THROW((void)service.put(put_request("t", 2)), QuotaExceededError);
+
+  const net::StatOkResponse stat = service.stat(net::StatRequest{"t"});
+  EXPECT_EQ(stat.stats[0].generations, 1u);
+  EXPECT_EQ(stat.stats[0].stored_bytes, gen);
+  EXPECT_EQ(stat.stats[0].quota_bytes, gen);
+  const net::GetOkResponse got = service.get(net::GetRequest{"t"});
+  EXPECT_EQ(got.step, 1u);  // the rejected put never replaced anything
+}
+
+/// Delegates to the POSIX backend, but the next `gate_next_writes(n)`
+/// write_file calls block until release_all() — a deterministic way to
+/// hold a request in flight.
+class GatedBackend final : public IoBackend {
+ public:
+  void gate_next_writes(int n) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    gated_ = n;
+  }
+  void wait_until_blocked(int n) {
+    std::unique_lock<std::mutex> lk(mu_);
+    entered_cv_.wait(lk, [&] { return blocked_ >= n; });
+  }
+  void release_all() {
+    const std::lock_guard<std::mutex> lk(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+  Bytes read_file(const std::filesystem::path& path) override {
+    return posix_backend().read_file(path);
+  }
+  void write_file(const std::filesystem::path& path,
+                  std::span<const std::byte> data) override {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (gated_ > 0 && !released_) {
+        --gated_;
+        ++blocked_;
+        entered_cv_.notify_all();
+        release_cv_.wait(lk, [&] { return released_; });
+      }
+    }
+    posix_backend().write_file(path, data);
+  }
+  void fsync_file(const std::filesystem::path& path) override {
+    posix_backend().fsync_file(path);
+  }
+  void fsync_dir(const std::filesystem::path& dir) override {
+    posix_backend().fsync_dir(dir);
+  }
+  void rename_file(const std::filesystem::path& from,
+                   const std::filesystem::path& to) override {
+    posix_backend().rename_file(from, to);
+  }
+  bool remove_file(const std::filesystem::path& path) override {
+    return posix_backend().remove_file(path);
+  }
+  bool exists(const std::filesystem::path& path) override {
+    return posix_backend().exists(path);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  int gated_ = 0;
+  int blocked_ = 0;
+  bool released_ = false;
+};
+
+TEST(StoreService, AdmissionRejectNewestWhileSlotsAreHeld) {
+  const NullCodec codec;
+  TempDir dir;
+  GatedBackend io;
+  auto opts = service_options(dir.path());
+  opts.max_inflight = 1;
+  opts.admission = server::AdmissionPolicy::kRejectNewest;
+  server::CheckpointService service(codec, opts, &io);
+
+  io.gate_next_writes(1);
+  std::thread holder([&] { (void)service.put(put_request("a", 1)); });
+  io.wait_until_blocked(1);  // the put owns the only admission slot
+
+  EXPECT_THROW((void)service.stat(net::StatRequest{}), BusyError);
+  EXPECT_THROW((void)service.put(put_request("b", 1)), BusyError);
+
+  io.release_all();
+  holder.join();
+  // Slot released: requests are admitted again.
+  EXPECT_EQ(service.stat(net::StatRequest{"a"}).stats[0].generations, 1u);
+}
+
+TEST(StoreService, ConcurrentPutsOnOneTenantCoalesceWithTypedOutcomes) {
+  const NullCodec codec;
+  TempDir dir;
+  GatedBackend io;
+  server::CheckpointService service(codec, service_options(dir.path()), &io);
+
+  io.gate_next_writes(1);
+  std::atomic<int> ok{0};
+  std::atomic<int> busy{0};
+  const auto try_put = [&](std::uint64_t step) {
+    try {
+      (void)service.put(put_request("shared", step));
+      ++ok;
+    } catch (const BusyError&) {
+      ++busy;  // superseded by a newer snapshot — loud, typed
+    }
+  };
+
+  std::thread t1(try_put, 1);
+  io.wait_until_blocked(1);  // step-1 put is mid-write
+  std::thread t2(try_put, 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread t3(try_put, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  io.release_all();
+  t1.join();
+  t2.join();
+  t3.join();
+
+  // The in-flight put and the final parked put commit; at most one
+  // waiter was superseded. Nothing is ever silently dropped.
+  EXPECT_EQ(ok.load() + busy.load(), 3);
+  EXPECT_GE(ok.load(), 2);
+  EXPECT_LE(busy.load(), 1);
+
+  const net::GetOkResponse got = service.get(net::GetRequest{"shared"});
+  EXPECT_EQ(got.values, put_request("shared", got.step).values);
+}
+
+}  // namespace
+}  // namespace wck

@@ -114,6 +114,23 @@ TEST(WckLintGetenv, AcceptsEnvCacheReads) {
   EXPECT_TRUE(findings.empty()) << format(findings.front());
 }
 
+TEST(WckLintRawSocket, FlagsSyscallsOutsideNetLayer) {
+  const std::string text = read_fixture("r6_raw_socket_violation.cpp");
+  const auto findings = scan_file("src/server/fx.cpp", text);
+  EXPECT_EQ(of_rule(findings, "raw-socket").size(), 8u);
+  // The rule also guards tools/ and bench/ (unlike R2): a CLI opening a
+  // socket behind the net layer's back is the same bypass.
+  EXPECT_EQ(of_rule(scan_file("tools/fx.cpp", text), "raw-socket").size(), 8u);
+  // src/net/ is the sanctioned home.
+  EXPECT_TRUE(of_rule(scan_file("src/net/socket.cpp", text), "raw-socket").empty());
+}
+
+TEST(WckLintRawSocket, AcceptsNetLayerApiAndLookalikes) {
+  const auto findings =
+      scan_file("src/server/fx.cpp", read_fixture("r6_raw_socket_clean.cpp"));
+  EXPECT_TRUE(findings.empty()) << format(findings.front());
+}
+
 // The gate the `lint` target and CI enforce, as a unit test: the live
 // tree must produce no finding that is not in the committed baseline.
 TEST(WckLintTree, LiveTreeIsBaselineClean) {

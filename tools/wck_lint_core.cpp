@@ -338,6 +338,47 @@ void rule_getenv(const std::string& rel, const Scanned& sc,
   });
 }
 
+/// R6 raw-socket: socket syscalls outside src/net/. Everything above the
+/// net layer talks frames/messages through UnixStream/UnixListener, so
+/// connection teardown, EINTR handling, and lint-visible I/O confinement
+/// all live in one place (mirroring R2's src/io/ contract).
+void rule_raw_socket(const std::string& rel, const Scanned& sc,
+                     std::vector<Finding>& out) {
+  if (starts_with(rel, "src/net/")) return;
+  constexpr std::array<std::string_view, 6> kCalls = {"socket", "bind",    "connect",
+                                                      "accept", "accept4", "listen"};
+  for (const std::string_view name : kCalls) {
+    for_each_token(sc.blank, name, [&](std::size_t pos) {
+      const std::size_t open = skip_spaces(sc.blank, pos + name.size());
+      if (open >= sc.blank.size() || sc.blank[open] != '(') return;
+      // The syscall is a free function: bare `connect(...)` or the
+      // global-scope `::connect(...)`. Member calls (sig.connect(...))
+      // and class-qualified names (std::bind, UnixStream::connect_to)
+      // are someone else's connect.
+      if (pos >= 2 && sc.blank[pos - 1] == ':' && sc.blank[pos - 2] == ':') {
+        if (pos >= 3 && is_ident(sc.blank[pos - 3])) return;  // A::name(...)
+      } else {
+        const std::size_t before = prev_sig(sc.blank, pos);
+        // Member calls (x.connect), other qualifications, and
+        // declarations (`StoreClient connect(...)` — preceded by an
+        // identifier) are not the syscall. Favors false negatives
+        // (`return connect(...)`) over flagging every method named like
+        // one, per the scanner's philosophy.
+        if (before != std::string::npos &&
+            (sc.blank[before] == '.' || sc.blank[before] == '>' ||
+             sc.blank[before] == ':' || is_ident(sc.blank[before]))) {
+          return;
+        }
+      }
+      out.push_back({rel, line_of(sc, pos),
+                     "raw socket call " + std::string(name) +
+                         "() outside src/net/; use UnixStream/UnixListener "
+                         "(src/net/socket.hpp)",
+                     "raw-socket"});
+    });
+  }
+}
+
 }  // namespace
 
 std::string format(const Finding& f) {
@@ -353,6 +394,7 @@ std::vector<Finding> scan_file(const std::string& rel_path, std::string_view tex
   rule_naked_mutex(rel_path, sc, out);
   rule_metric_name(rel_path, sc, out);
   rule_getenv(rel_path, sc, out);
+  rule_raw_socket(rel_path, sc, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
   });

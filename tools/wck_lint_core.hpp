@@ -24,6 +24,10 @@
 //   R5 getenv           std::getenv only inside src/util/env.hpp — every
 //                       other read goes through the race-free wck::env
 //                       cache.
+//   R6 raw-socket       socket()/bind()/connect()/accept()/listen() only
+//                       inside src/net/ — the rest of the tree speaks
+//                       frames and messages through UnixStream/
+//                       UnixListener (src/net/socket.hpp).
 //
 // The scanner is a token-level pass over comment/string-blanked text —
 // deliberately not a real C++ parser. It favors false negatives over

@@ -55,9 +55,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckpt/manager.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "core/compressor.hpp"
 #include "core/synthetic.hpp"
 #include "io/fault_injection.hpp"
@@ -71,24 +74,36 @@
 namespace wck::tool {
 namespace {
 
+constexpr const char kUsageText[] =
+    "usage: wckpt <command> [--key=value ...]\n"
+    "  gen        --shape=AxBxC --out=FILE [--seed=N] [--kind=temperature]\n"
+    "  compress   --in=FILE --shape=AxBxC --out=FILE [--quantizer=spike|simple]\n"
+    "             [--n=128] [--d=64] [--levels=1] [--entropy=deflate|gzip-file|none]\n"
+    "             [--threads=N] [--block-size=BYTES]\n"
+    "  decompress --in=FILE --out=FILE\n"
+    "  info       --in=FILE\n"
+    "  verify     --in=FILE --original=FILE [--max-mean-rel=PCT]\n"
+    "  roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]\n"
+    "  analyze    --in=COMPRESSED --original=FILE [--d=64] [--name=VAR] [--out=FILE]\n"
+    "  soak       --dir=DIR [--cycles=1000] [--shape=32x32] [--keep=3]\n"
+    "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
+    "             [--seed=N] [--verify-every=1] [--scrub-every=0] [--threads=N]\n"
+    "             [--server --clients=N --tenants=N --quota=BYTES\n"
+    "              --max-inflight=N --admission=block|reject]\n"
+    "  serve      --socket=PATH --root=DIR [--keep=3] [--quota=BYTES]\n"
+    "             [--max-inflight=8] [--admission=block|reject]\n"
+    "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
+    "  put        --socket=PATH --tenant=NAME --step=N\n"
+    "             (--in=FILE --shape=AxBxC | --shape=AxBxC [--seed=N])\n"
+    "  get        --socket=PATH --tenant=NAME [--out=FILE]\n"
+    "  stat       --socket=PATH [--tenant=NAME]\n"
+    "  shutdown   --socket=PATH\n"
+    "common:      [--json] [--telemetry=FILE] [--trace=FILE] [--events=FILE]\n"
+    "             [--expose=DIR[,MS]]\n";
+
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
-  std::fprintf(stderr,
-               "usage: wckpt <gen|compress|decompress|info|verify|roundtrip> [--key=value ...]\n"
-               "  gen        --shape=AxBxC --out=FILE [--seed=N] [--kind=temperature]\n"
-               "  compress   --in=FILE --shape=AxBxC --out=FILE [--quantizer=spike|simple]\n"
-               "             [--n=128] [--d=64] [--levels=1] [--entropy=deflate|gzip-file|none]\n"
-               "             [--threads=N] [--block-size=BYTES]\n"
-               "  decompress --in=FILE --out=FILE\n"
-               "  info       --in=FILE\n"
-               "  verify     --in=FILE --original=FILE [--max-mean-rel=PCT]\n"
-               "  roundtrip  --in=FILE --shape=AxBxC [compress flags] [--out=FILE]\n"
-               "  analyze    --in=COMPRESSED --original=FILE [--d=64] [--name=VAR] [--out=FILE]\n"
-               "  soak       --dir=DIR [--cycles=1000] [--shape=32x32] [--keep=3]\n"
-               "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
-               "             [--seed=N] [--verify-every=1] [--scrub-every=0] [--threads=N]\n"
-               "common:      [--json] [--telemetry=FILE] [--trace=FILE] [--events=FILE]\n"
-               "             [--expose=DIR[,MS]]\n");
+  std::fputs(kUsageText, stderr);
   std::exit(2);
 }
 
@@ -209,10 +224,29 @@ void report_params_from_flags(const std::map<std::string, std::string>& flags,
                               telemetry::RunReport& report) {
   for (const char* key : {"shape", "quantizer", "n", "d", "levels", "entropy", "threads",
                           "block-size", "in", "out", "original", "kind", "seed", "dir", "keep",
-                          "verify-every", "scrub-every"}) {
+                          "verify-every", "scrub-every", "socket", "root", "tenant", "step",
+                          "quota", "max-inflight", "admission", "clients", "tenants", "cycles"}) {
     const auto it = flags.find(key);
     if (it != flags.end()) report.params[key] = it->second;
   }
+}
+
+/// The checkpoint-codec chooser shared by soak and serve: any registry
+/// codec works behind the manager, the store service, and the soak
+/// verifier, because all three only see encode()/decode().
+std::unique_ptr<Codec> make_codec(const std::string& name,
+                                  const std::map<std::string, std::string>& flags) {
+  if (name == "null") return std::make_unique<NullCodec>();
+  if (name == "gzip") return std::make_unique<GzipCodec>();
+  if (name == "wavelet") {
+    CompressionParams p;
+    p.quantizer.divisions = 128;
+    p.threads =
+        static_cast<int>(std::strtol(get_or(flags, "threads", "0").c_str(), nullptr, 10));
+    return std::make_unique<WaveletLossyCodec>(p);
+  }
+  if (name == "fpc") return std::make_unique<FpcCodec>();
+  usage(("unknown codec: " + name).c_str());
 }
 
 void fill_error_summary(const ErrorStats& err, telemetry::RunReport& report) {
@@ -462,7 +496,10 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
 /// parity tier: documented degradation), or it fails loudly. A restore
 /// that "succeeds" with different bytes is silent data loss and fails
 /// the run.
+int cmd_soak_server(const std::map<std::string, std::string>& flags);
+
 int cmd_soak(const std::map<std::string, std::string>& flags) {
+  if (flags.count("server") != 0) return cmd_soak_server(flags);
   const std::filesystem::path dir = require(flags, "dir");
   const auto cycles =
       static_cast<std::uint64_t>(std::strtoll(get_or(flags, "cycles", "1000").c_str(), nullptr, 10));
@@ -477,22 +514,7 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
       std::strtoll(get_or(flags, "scrub-every", "0").c_str(), nullptr, 10));
 
   const std::string codec_name = get_or(flags, "codec", "null");
-  std::unique_ptr<Codec> codec;
-  if (codec_name == "null") {
-    codec = std::make_unique<NullCodec>();
-  } else if (codec_name == "gzip") {
-    codec = std::make_unique<GzipCodec>();
-  } else if (codec_name == "wavelet") {
-    CompressionParams p;
-    p.quantizer.divisions = 128;
-    p.threads =
-        static_cast<int>(std::strtol(get_or(flags, "threads", "0").c_str(), nullptr, 10));
-    codec = std::make_unique<WaveletLossyCodec>(p);
-  } else if (codec_name == "fpc") {
-    codec = std::make_unique<FpcCodec>();
-  } else {
-    usage(("unknown codec: " + codec_name).c_str());
-  }
+  const std::unique_ptr<Codec> codec = make_codec(codec_name, flags);
 
   const std::string plan_spec = get_or(flags, "fault-plan", "");
   const FaultPlan plan =
@@ -662,6 +684,327 @@ int cmd_soak(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Shared by `serve` and `soak --server`: store-service knobs from flags.
+server::CheckpointService::Options service_options_from_flags(
+    const std::map<std::string, std::string>& flags, const std::filesystem::path& root) {
+  server::CheckpointService::Options opts;
+  opts.root = root;
+  opts.keep_generations = static_cast<std::size_t>(
+      std::strtoll(get_or(flags, "keep", "3").c_str(), nullptr, 10));
+  opts.tenant_quota_bytes = static_cast<std::uint64_t>(
+      std::strtoll(get_or(flags, "quota", "0").c_str(), nullptr, 10));
+  opts.max_inflight = static_cast<std::size_t>(
+      std::strtoll(get_or(flags, "max-inflight", "8").c_str(), nullptr, 10));
+  const std::string admission = get_or(flags, "admission", "block");
+  if (admission == "block") {
+    opts.admission = server::AdmissionPolicy::kBlock;
+  } else if (admission == "reject") {
+    opts.admission = server::AdmissionPolicy::kRejectNewest;
+  } else {
+    usage(("unknown admission policy: " + admission).c_str());
+  }
+  opts.retry.sleep_between_attempts = false;  // local store: retry immediately
+  return opts;
+}
+
+/// `wckpt serve` — run the multi-tenant checkpoint store on a Unix
+/// socket until a client sends Shutdown (wckpt's other store
+/// subcommands, or any StoreClient, can do so).
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const std::string socket_path = require(flags, "socket");
+  const std::filesystem::path root = require(flags, "root");
+  const std::string codec_name = get_or(flags, "codec", "null");
+  const std::unique_ptr<Codec> codec = make_codec(codec_name, flags);
+
+  const std::string plan_spec = get_or(flags, "fault-plan", "");
+  const FaultPlan plan =
+      plan_spec.empty() ? FaultPlan::from_env() : FaultPlan::parse(plan_spec);
+  FaultInjectingBackend fault_io(plan, posix_backend());
+  IoBackend* io = plan.empty() ? nullptr : &fault_io;
+
+  server::CheckpointService service(*codec, service_options_from_flags(flags, root), io);
+  server::StoreServer server(service, socket_path);
+  std::fprintf(stderr,
+               "wckpt serve: listening on %s (root %s, codec %s, keep %zu, quota %llu)\n",
+               socket_path.c_str(), root.string().c_str(), codec_name.c_str(),
+               service.options().keep_generations,
+               static_cast<unsigned long long>(service.options().tenant_quota_bytes));
+  server.wait_for_shutdown();
+  server.stop();
+  std::fprintf(stderr, "wckpt serve: shut down after %llu connections\n",
+               static_cast<unsigned long long>(server.connections_accepted()));
+
+  telemetry::RunReport report;
+  report.tool = "wckpt serve";
+  report_params_from_flags(flags, report);
+  finish_run(flags, report);
+  return 0;
+}
+
+int cmd_put(const std::map<std::string, std::string>& flags) {
+  const Shape shape = parse_shape(require(flags, "shape"));
+  const auto step = static_cast<std::uint64_t>(
+      std::strtoll(get_or(flags, "step", "1").c_str(), nullptr, 10));
+  const auto seed =
+      static_cast<std::uint64_t>(std::strtoll(get_or(flags, "seed", "2015").c_str(), nullptr, 10));
+  const NdArray<double> array = flags.count("in") != 0
+                                    ? read_raw_array(require(flags, "in"), shape)
+                                    : make_smooth_field(shape, seed);
+
+  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  const net::PutOkResponse resp = client.put(require(flags, "tenant"), step, array);
+  std::printf("put: step=%llu stored_bytes=%llu tenant_bytes=%llu generations=%u\n",
+              static_cast<unsigned long long>(resp.step),
+              static_cast<unsigned long long>(resp.stored_bytes),
+              static_cast<unsigned long long>(resp.total_bytes), resp.generations);
+  return 0;
+}
+
+int cmd_get(const std::map<std::string, std::string>& flags) {
+  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  const StoreClient::GetResult got = client.get(require(flags, "tenant"));
+  std::printf("get: step=%llu source=%s shape=%s\n",
+              static_cast<unsigned long long>(got.step), restore_source_name(got.source),
+              got.array.shape().to_string().c_str());
+  const auto out = flags.find("out");
+  if (out != flags.end()) write_file(out->second, std::as_bytes(got.array.values()));
+  return 0;
+}
+
+int cmd_shutdown(const std::map<std::string, std::string>& flags) {
+  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  client.shutdown_server();
+  std::printf("shutdown: acknowledged\n");
+  return 0;
+}
+
+int cmd_stat(const std::map<std::string, std::string>& flags) {
+  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  const net::StatOkResponse resp = client.stat(get_or(flags, "tenant", ""));
+  std::printf("stat: %llu tenants\n", static_cast<unsigned long long>(resp.tenants));
+  for (const net::TenantStat& s : resp.stats) {
+    std::printf("  %-20s generations=%llu bytes=%llu quota=%llu newest_step=%llu\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.generations),
+                static_cast<unsigned long long>(s.stored_bytes),
+                static_cast<unsigned long long>(s.quota_bytes),
+                static_cast<unsigned long long>(s.newest_step));
+  }
+  return 0;
+}
+
+/// `wckpt soak --server` — the store service's proving ground: an
+/// in-process StoreServer plus N client threads hammering put/get over
+/// real sockets (optionally under a fault plan and a tight quota).
+///
+/// The oracle is regeneration, not history: tenant t's state at step s
+/// is a pure function of (seed, t, s), so any client can verify any
+/// restored generation bit-for-bit against the codec's deterministic
+/// round-trip of that state — including generations written by *other*
+/// clients of a shared tenant. Typed QuotaExceeded/Busy/Io rejections
+/// are counted (they are the contract under pressure); a restore that
+/// reports success with wrong bytes is a silent mismatch and fails the
+/// run.
+int cmd_soak_server(const std::map<std::string, std::string>& flags) {
+  const std::filesystem::path dir = require(flags, "dir");
+  const auto cycles = static_cast<std::uint64_t>(
+      std::strtoll(get_or(flags, "cycles", "50").c_str(), nullptr, 10));
+  const auto clients = static_cast<std::size_t>(
+      std::strtoll(get_or(flags, "clients", "8").c_str(), nullptr, 10));
+  const auto tenants = static_cast<std::size_t>(std::strtoll(
+      get_or(flags, "tenants", std::to_string(clients)).c_str(), nullptr, 10));
+  const Shape shape = parse_shape(get_or(flags, "shape", "16x16"));
+  const auto seed =
+      static_cast<std::uint64_t>(std::strtoll(get_or(flags, "seed", "2015").c_str(), nullptr, 10));
+  if (cycles == 0 || clients == 0 || tenants == 0) {
+    usage("soak --server needs --cycles, --clients, --tenants all >= 1");
+  }
+
+  const std::string codec_name = get_or(flags, "codec", "null");
+  const std::unique_ptr<Codec> codec = make_codec(codec_name, flags);
+
+  const std::string plan_spec = get_or(flags, "fault-plan", "");
+  const FaultPlan plan =
+      plan_spec.empty() ? FaultPlan::from_env() : FaultPlan::parse(plan_spec);
+  FaultInjectingBackend fault_io(plan, posix_backend());
+  IoBackend* io = plan.empty() ? nullptr : &fault_io;
+
+  std::filesystem::create_directories(dir);
+  const std::string socket_path = get_or(flags, "socket", (dir / "wckpt.sock").string());
+  server::CheckpointService service(
+      *codec, service_options_from_flags(flags, dir / "tenants"), io);
+  server::StoreServer server(service, socket_path);
+
+  /// Deterministic per-(tenant, step) state: the verification oracle.
+  const auto tenant_state = [&](std::size_t tenant_idx, std::uint64_t step) {
+    const std::uint64_t mix = seed ^ ((tenant_idx + 1) * 0xA24BAED4963EE407ull) ^
+                              (step * 0x9E3779B97F4A7C15ull);
+    return make_smooth_field(shape, mix);
+  };
+
+  struct ClientStats {
+    std::uint64_t puts_ok = 0;
+    std::uint64_t quota_rejected = 0;
+    std::uint64_t busy_rejected = 0;
+    std::uint64_t io_failures = 0;
+    std::uint64_t gets_ok = 0;
+    std::uint64_t not_found = 0;
+    std::uint64_t fallback_restores = 0;
+    std::uint64_t parity_restores = 0;
+    std::uint64_t restore_failures = 0;
+    std::uint64_t silent_mismatches = 0;
+    std::uint64_t aborts = 0;  ///< client thread died (connect/protocol)
+  };
+  std::vector<ClientStats> stats(clients);
+
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t i = 0; i < clients; ++i) {
+    workers.emplace_back([&, i] {
+      ClientStats& st = stats[i];
+      const std::size_t tenant_idx = i % tenants;
+      const std::string tenant = "t" + std::to_string(tenant_idx);
+      try {
+        StoreClient client = StoreClient::connect(socket_path);
+        for (std::uint64_t cycle = 1; cycle <= cycles; ++cycle) {
+          try {
+            (void)client.put(tenant, cycle, tenant_state(tenant_idx, cycle));
+            ++st.puts_ok;
+          } catch (const QuotaExceededError&) {
+            ++st.quota_rejected;
+          } catch (const BusyError&) {
+            ++st.busy_rejected;
+          } catch (const IoError&) {
+            ++st.io_failures;
+          }
+          try {
+            const StoreClient::GetResult got = client.get(tenant);
+            ++st.gets_ok;
+            if (got.source == RestoreSource::kOlderGeneration) ++st.fallback_restores;
+            if (got.source == RestoreSource::kParity) ++st.parity_restores;
+            const NdArray<double> expected =
+                codec->decode(codec->encode(tenant_state(tenant_idx, got.step)));
+            if (expected.size() != got.array.size() ||
+                std::memcmp(expected.values().data(), got.array.values().data(),
+                            expected.size() * sizeof(double)) != 0) {
+              ++st.silent_mismatches;
+              WCK_EVENT(kSoakVerifyFailed, got.step,
+                        tenant + " restored with wrong bytes (" +
+                            restore_source_name(got.source) + ")");
+              std::fprintf(stderr,
+                           "soak --server: SILENT MISMATCH — tenant %s step %llu (%s) "
+                           "restored with wrong bytes\n",
+                           tenant.c_str(), static_cast<unsigned long long>(got.step),
+                           restore_source_name(got.source));
+            }
+          } catch (const NotFoundError&) {
+            ++st.not_found;  // legal: e.g. every put so far quota-rejected
+          } catch (const BusyError&) {
+            ++st.busy_rejected;
+          } catch (const Error&) {
+            ++st.restore_failures;  // loud failure, never silent corruption
+          }
+        }
+        client.close();
+      } catch (const std::exception& e) {
+        ++st.aborts;
+        std::fprintf(stderr, "soak --server: client %zu aborted: %s\n", i, e.what());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  ClientStats total;
+  for (const ClientStats& st : stats) {
+    total.puts_ok += st.puts_ok;
+    total.quota_rejected += st.quota_rejected;
+    total.busy_rejected += st.busy_rejected;
+    total.io_failures += st.io_failures;
+    total.gets_ok += st.gets_ok;
+    total.not_found += st.not_found;
+    total.fallback_restores += st.fallback_restores;
+    total.parity_restores += st.parity_restores;
+    total.restore_failures += st.restore_failures;
+    total.silent_mismatches += st.silent_mismatches;
+    total.aborts += st.aborts;
+  }
+
+  // Final accounting pass over a fresh connection, then shut the server
+  // down through the protocol (the ShutdownOk handshake is part of what
+  // the soak proves).
+  std::uint64_t reported_tenants = 0;
+  try {
+    StoreClient client = StoreClient::connect(socket_path);
+    const net::StatOkResponse stat = client.stat();
+    reported_tenants = stat.tenants;
+    client.shutdown_server();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "soak --server: final stat/shutdown failed: %s\n", e.what());
+  }
+  server.wait_for_shutdown();
+  server.stop();
+
+  WCK_COUNTER_ADD("soak.server.puts", total.puts_ok);
+  WCK_COUNTER_ADD("soak.server.quota_rejections", total.quota_rejected);
+  WCK_COUNTER_ADD("soak.server.busy_rejections", total.busy_rejected);
+  WCK_COUNTER_ADD("soak.server.io_failures", total.io_failures);
+  WCK_COUNTER_ADD("soak.server.gets", total.gets_ok);
+  WCK_COUNTER_ADD("soak.server.not_found", total.not_found);
+  WCK_COUNTER_ADD("soak.server.fallback_restores", total.fallback_restores);
+  WCK_COUNTER_ADD("soak.server.parity_restores", total.parity_restores);
+  WCK_COUNTER_ADD("soak.server.restore_failures", total.restore_failures);
+  WCK_COUNTER_ADD("soak.server.silent_mismatches", total.silent_mismatches);
+  WCK_COUNTER_ADD("soak.server.client_aborts", total.aborts);
+  WCK_COUNTER_ADD("soak.server.faults_injected", fault_io.fault_count());
+
+  telemetry::RunReport report;
+  report.tool = "wckpt soak --server";
+  report_params_from_flags(flags, report);
+  report.params["codec"] = codec_name;
+  report.params["fault_plan"] =
+      plan_spec.empty() ? env::get("WCK_FAULT_PLAN").value_or("") : plan_spec;
+  finish_run(flags, report);
+
+  const bool failed = total.silent_mismatches > 0 || total.puts_ok == 0 || total.aborts > 0;
+  if (failed && telemetry::enabled()) {
+    const std::filesystem::path recorder = dir / "flight-recorder.jsonl";
+    try {
+      telemetry::EventLog::global().dump_to_file(recorder.string());
+      std::fprintf(stderr, "soak --server: flight recorder dumped to %s\n",
+                   recorder.string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "soak --server: flight recorder dump failed: %s\n", e.what());
+    }
+  }
+
+  std::fprintf(stderr,
+               "soak --server: %zu clients x %llu cycles over %zu tenants (%llu known to "
+               "server): %llu puts (%llu quota-rejected, %llu busy, %llu io), %llu gets "
+               "(%llu not-found, %llu fallback, %llu parity, %llu failed), %llu faults, "
+               "%llu client aborts, %llu silent mismatches\n",
+               clients, static_cast<unsigned long long>(cycles), tenants,
+               static_cast<unsigned long long>(reported_tenants),
+               static_cast<unsigned long long>(total.puts_ok),
+               static_cast<unsigned long long>(total.quota_rejected),
+               static_cast<unsigned long long>(total.busy_rejected),
+               static_cast<unsigned long long>(total.io_failures),
+               static_cast<unsigned long long>(total.gets_ok),
+               static_cast<unsigned long long>(total.not_found),
+               static_cast<unsigned long long>(total.fallback_restores),
+               static_cast<unsigned long long>(total.parity_restores),
+               static_cast<unsigned long long>(total.restore_failures),
+               static_cast<unsigned long long>(fault_io.fault_count()),
+               static_cast<unsigned long long>(total.aborts),
+               static_cast<unsigned long long>(total.silent_mismatches));
+
+  if (total.silent_mismatches > 0) return 1;
+  if (total.aborts > 0) return 1;
+  if (total.puts_ok == 0) {
+    std::fprintf(stderr, "soak --server: no put ever committed — nothing was demonstrated\n");
+    return 1;
+  }
+  return 0;
+}
+
 int dispatch(const std::string& cmd, const std::map<std::string, std::string>& flags) {
   if (cmd == "gen") return cmd_gen(flags);
   if (cmd == "compress") return cmd_compress(flags);
@@ -671,12 +1014,21 @@ int dispatch(const std::string& cmd, const std::map<std::string, std::string>& f
   if (cmd == "roundtrip") return cmd_roundtrip(flags);
   if (cmd == "analyze") return cmd_analyze(flags);
   if (cmd == "soak") return cmd_soak(flags);
+  if (cmd == "serve") return cmd_serve(flags);
+  if (cmd == "put") return cmd_put(flags);
+  if (cmd == "get") return cmd_get(flags);
+  if (cmd == "stat") return cmd_stat(flags);
+  if (cmd == "shutdown") return cmd_shutdown(flags);
   usage(("unknown command: " + cmd).c_str());
 }
 
 int run(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::fputs(kUsageText, stdout);  // asked-for help is success, not an error
+    return 0;
+  }
   const auto flags = parse_flags(argc, argv);
 
   // --expose=DIR[,MS]: background metrics/event exposition for the

@@ -34,6 +34,8 @@
 #include "deflate/parallel.hpp"
 #include "encode/payload.hpp"
 #include "fpc/fpc.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
 #include "util/error.hpp"
 #include "util/mutate.hpp"
 #include "util/rng.hpp"
@@ -145,6 +147,69 @@ std::vector<CorpusEntry> build_corpus() {
     ChunkedParams cp;
     corpus.push_back({"chunked", chunked_compress(field, cp).data,
                       [](const Bytes& b) { (void)chunked_decompress(b); }});
+  }
+
+  // Store-service wire frames: mutants hit the frame header (magic,
+  // version, length, CRC) and the message body decoders. The one-shot
+  // decode_frame + decode_message pair is exactly what the server runs
+  // per request, so "typed errors only" here is the service's
+  // malformed-client guarantee.
+  const auto decode_wire = [](const Bytes& b) {
+    const net::Frame frame = net::decode_frame(b);
+    (void)net::decode_message(frame);
+  };
+  {
+    net::PutRequest put;
+    put.tenant = "fuzz-tenant";
+    put.step = 42;
+    put.shape = Shape{8, 4};
+    put.values.assign(put.shape.size(), 1.5);
+    corpus.push_back({"net-put",
+                      net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPut),
+                                        net::encode(put)),
+                      decode_wire});
+  }
+  {
+    net::StatOkResponse stat;
+    stat.tenants = 3;
+    for (int i = 0; i < 3; ++i) {
+      net::TenantStat s;
+      s.name = "t" + std::to_string(i);
+      s.generations = 2;
+      s.stored_bytes = 4096;
+      s.quota_bytes = 65536;
+      s.newest_step = 17;
+      stat.stats.push_back(std::move(s));
+    }
+    corpus.push_back({"net-stat-ok",
+                      net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kStatOk),
+                                        net::encode(stat)),
+                      decode_wire});
+  }
+  {
+    net::GetOkResponse get;
+    get.step = 9;
+    get.source = 1;
+    get.shape = Shape{4, 4, 2};
+    get.values.assign(get.shape.size(), -2.25);
+    // The incremental decoder sees the same mutants, byte-dribbled, so
+    // its header-first validation and buffering logic get coverage the
+    // one-shot path cannot give.
+    corpus.push_back({"net-get-ok-streamed",
+                      net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kGetOk),
+                                        net::encode(get)),
+                      [](const Bytes& b) {
+                        net::FrameDecoder decoder;
+                        std::size_t off = 0;
+                        while (off < b.size()) {
+                          const std::size_t n = std::min<std::size_t>(7, b.size() - off);
+                          decoder.feed(std::span<const std::byte>(b).subspan(off, n));
+                          off += n;
+                          while (const std::optional<net::Frame> f = decoder.next()) {
+                            (void)net::decode_message(*f);
+                          }
+                        }
+                      }});
   }
   return corpus;
 }
