@@ -62,6 +62,31 @@ CheckpointManager::CheckpointManager(std::filesystem::path dir, const Codec& cod
   std::filesystem::create_directories(dir_);
   MutexLock lk(mu_);
   load_manifest();
+  sweep_stale_tmp_files();
+}
+
+void CheckpointManager::sweep_stale_tmp_files() {
+  // atomic_write_durable stages every commit as `<target>.tmp.<pid>.<seq>`
+  // and removes the staging file on both success and failure — so any
+  // `*.tmp.*` file found at open time is debris from a process that
+  // died mid-commit. None of them are referenced by the manifest;
+  // removing them reclaims space and keeps crash-kill soaks from
+  // accreting garbage across restarts.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") == std::string::npos) continue;
+    try {
+      if (io().remove_file(entry.path())) {
+        ++tmp_swept_;
+        WCK_EVENT(kTmpSwept, 0, name);
+      }
+    } catch (const IoError&) {
+      // Best effort: an unremovable stale temp is annoying, not fatal.
+      WCK_COUNTER_ADD("ckpt.tmp.sweep_failures", 1);
+    }
+  }
+  if (tmp_swept_ > 0) WCK_COUNTER_ADD("ckpt.tmp.swept", tmp_swept_);
 }
 
 IoBackend& CheckpointManager::io() const noexcept {
@@ -150,28 +175,24 @@ void CheckpointManager::commit_manifest() {
 
 void CheckpointManager::commit_with_retry(const std::filesystem::path& path,
                                           const Bytes& data) {
-  const RetryPolicy& retry = options_.retry;
-  double backoff = retry.initial_backoff_seconds;
-  for (int attempt = 1;; ++attempt) {
+  Backoff backoff(options_.retry);
+  for (;;) {
     try {
       atomic_write_durable(io(), path, data);
       return;
     } catch (const IoError&) {
-      if (attempt >= retry.max_attempts) {
+      if (!backoff.try_again()) {
         WCK_COUNTER_ADD("ckpt.write.giveups", 1);
         WCK_EVENT(kCkptGiveup, 0,
-                  path.filename().string() + " after " + std::to_string(attempt) +
-                      " attempts");
+                  path.filename().string() + " after " +
+                      std::to_string(backoff.failures()) + " attempts");
         throw;
       }
       WCK_COUNTER_ADD("ckpt.write.retries", 1);
       WCK_EVENT(kCkptRetry, 0,
-                path.filename().string() + " attempt " + std::to_string(attempt) + "/" +
-                    std::to_string(retry.max_attempts));
-      if (retry.sleep_between_attempts) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      }
-      backoff = std::min(backoff * retry.backoff_multiplier, retry.max_backoff_seconds);
+                path.filename().string() + " attempt " +
+                    std::to_string(backoff.failures()) + "/" +
+                    std::to_string(options_.retry.max_attempts));
     }
   }
 }

@@ -38,18 +38,15 @@
 #include "ckpt/codec.hpp"
 #include "io/io_backend.hpp"
 #include "redundancy/xor_parity.hpp"
+#include "util/backoff.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace wck {
 
 /// Capped exponential backoff for retriable (IoError) write failures.
-struct RetryPolicy {
-  int max_attempts = 4;                ///< total tries (1 = no retry)
-  double initial_backoff_seconds = 0.002;
-  double backoff_multiplier = 2.0;
-  double max_backoff_seconds = 0.1;
-  bool sleep_between_attempts = true;  ///< false keeps tests instant
-};
+/// The ladder itself lives in util/backoff.hpp so the StoreClient's
+/// retry layer and the manager share one cadence definition.
+using RetryPolicy = BackoffPolicy;
 
 /// Where a successful restore actually came from.
 enum class RestoreSource : std::uint8_t {
@@ -143,6 +140,11 @@ class CheckpointManager {
   /// value: a reference into the live vector could be invalidated (and
   /// raced) by a concurrent write()/scrub().
   [[nodiscard]] std::vector<Generation> generations() const WCK_EXCLUDES(mu_);
+  /// Stale `*.tmp.*` files (commits torn by a crash) removed by the
+  /// constructor's sweep. They were never part of the manifest, so
+  /// deleting them is always safe — but a crashed process would
+  /// otherwise leak them forever.
+  [[nodiscard]] std::size_t tmp_files_swept() const noexcept { return tmp_swept_; }
   /// Sum of the committed generation sizes per the manifest — the value
   /// the max_total_bytes quota is enforced against.
   [[nodiscard]] std::uint64_t total_stored_bytes() const WCK_EXCLUDES(mu_);
@@ -150,6 +152,7 @@ class CheckpointManager {
 
  private:
   [[nodiscard]] IoBackend& io() const noexcept;
+  void sweep_stale_tmp_files() WCK_REQUIRES(mu_);
   void load_manifest() WCK_REQUIRES(mu_);
   void commit_manifest() WCK_REQUIRES(mu_);
   void commit_with_retry(const std::filesystem::path& path, const Bytes& data);
@@ -170,6 +173,7 @@ class CheckpointManager {
   InMemoryCheckpointStore* parity_store_ WCK_GUARDED_BY(mu_) = nullptr;
   std::size_t parity_rank_ WCK_GUARDED_BY(mu_) = 0;
   std::uint64_t quarantine_seq_ WCK_GUARDED_BY(mu_) = 0;
+  std::size_t tmp_swept_ = 0;  ///< set once in the constructor
 };
 
 }  // namespace wck

@@ -70,6 +70,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kCorrupt: return "corrupt";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
   }
   return "unknown";
 }
@@ -83,6 +84,7 @@ Bytes encode(const PutRequest& m) {
   ByteWriter w;
   w.str(m.tenant);
   w.u64(m.step);
+  w.u64(m.request_id);
   put_shape(w, m.shape);
   put_values(w, m.shape, m.values);
   return w.take();
@@ -106,6 +108,8 @@ Bytes encode(const PutOkResponse& m) {
   w.u64(m.stored_bytes);
   w.u64(m.total_bytes);
   w.u32(m.generations);
+  w.u64(m.request_id);
+  w.u8(m.deduplicated ? 1 : 0);
   return w.take();
 }
 
@@ -162,6 +166,7 @@ AnyMessage decode_message(const Frame& frame) {
       PutRequest m;
       m.tenant = r.str();
       m.step = r.u64();
+      m.request_id = r.u64();
       m.shape = get_shape(r);
       m.values = get_values(r, m.shape);
       expect_exhausted(r, "put");
@@ -185,6 +190,12 @@ AnyMessage decode_message(const Frame& frame) {
       m.stored_bytes = r.u64();
       m.total_bytes = r.u64();
       m.generations = r.u32();
+      m.request_id = r.u64();
+      const std::uint8_t dedup = r.u8();
+      if (dedup > 1) {
+        throw FormatError("net message: put-ok dedup flag " + std::to_string(dedup));
+      }
+      m.deduplicated = dedup == 1;
       expect_exhausted(r, "put-ok");
       return m;
     }
@@ -222,7 +233,7 @@ AnyMessage decode_message(const Frame& frame) {
     case MessageType::kError: {
       ErrorResponse m;
       const std::uint8_t code = r.u8();
-      if (code < 1 || code > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+      if (code < 1 || code > static_cast<std::uint8_t>(ErrorCode::kTimeout)) {
         throw FormatError("net message: unknown error code " + std::to_string(code));
       }
       m.code = static_cast<ErrorCode>(code);

@@ -54,6 +54,7 @@ enum class ErrorCode : std::uint8_t {
   kCorrupt = 5,        ///< nothing restorable (every fallback exhausted)
   kIo = 6,             ///< server-side I/O failure after retries
   kInternal = 7,       ///< unexpected server error
+  kTimeout = 8,        ///< connection deadline expired (slow sender/reader)
 };
 
 [[nodiscard]] const char* error_code_name(ErrorCode code) noexcept;
@@ -65,6 +66,12 @@ struct PingRequest {};
 struct PutRequest {
   std::string tenant;
   std::uint64_t step = 0;
+  /// Client-generated idempotency token, echoed back in PutOkResponse.
+  /// A retry after a lost response resends the same id; the server
+  /// remembers the id that committed each (tenant, step) and answers a
+  /// duplicate with the original outcome instead of re-committing.
+  /// 0 = no token (never deduplicated) — the pre-retry wire behaviour.
+  std::uint64_t request_id = 0;
   Shape shape = Shape{1};
   std::vector<double> values;  ///< shape.size() doubles
 };
@@ -88,6 +95,11 @@ struct PutOkResponse {
   std::uint64_t stored_bytes = 0;   ///< encoded size of this generation
   std::uint64_t total_bytes = 0;    ///< tenant bytes after commit+rotation
   std::uint32_t generations = 0;    ///< tenant generations after rotation
+  std::uint64_t request_id = 0;     ///< echo of PutRequest.request_id
+  /// True when this reply reports an *earlier* commit of the same
+  /// request_id (the client's retry of a put whose response was lost)
+  /// rather than a fresh commit.
+  bool deduplicated = false;
 };
 
 struct GetOkResponse {

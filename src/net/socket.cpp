@@ -6,7 +6,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
@@ -17,6 +20,30 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
+}
+
+/// Polls `fd` for `events` within `timeout_ms` (-1 = forever). Returns
+/// the revents on readiness; throws TimeoutError on expiry. Retries
+/// EINTR against the original deadline so signal storms cannot extend
+/// the wait.
+short poll_or_timeout(int fd, short events, int timeout_ms, const char* what) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n > 0) return pfd.revents;
+    if (n == 0) {
+      throw TimeoutError(std::string(what) + " timed out after " +
+                         std::to_string(timeout_ms) + "ms");
+    }
+    if (errno != EINTR) throw_errno(what);
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(left.count(), 0));
+    }
+  }
 }
 
 [[nodiscard]] sockaddr_un make_addr(const std::string& path) {
@@ -46,30 +73,54 @@ UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
   return *this;
 }
 
-UnixStream UnixStream::connect_to(const std::string& path) {
+UnixStream UnixStream::connect_to(const std::string& path, int timeout_ms) {
   const sockaddr_un addr = make_addr(path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // Non-blocking connect + poll when a deadline is set: an AF_UNIX
+  // connect blocks only while the server's backlog is full, which is
+  // exactly the wedged-server case the deadline exists for.
+  const int flags = timeout_ms >= 0 ? SOCK_NONBLOCK : 0;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | flags, 0);
   if (fd < 0) throw_errno("socket");
+  UnixStream stream(fd);  // owns the fd through every exit below
   for (;;) {
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) break;
     if (errno == EINTR) continue;
-    const int err = errno;
-    ::close(fd);
-    errno = err;
+    if (timeout_ms >= 0 && (errno == EAGAIN || errno == EINPROGRESS)) {
+      poll_or_timeout(fd, POLLOUT, timeout_ms, "connect");
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) throw_errno("getsockopt");
+      if (err != 0) {
+        errno = err;
+        throw_errno("connect " + path);
+      }
+      break;
+    }
     throw_errno("connect " + path);
   }
-  return UnixStream(fd);
+  if (flags != 0) {
+    const int fl = ::fcntl(fd, F_GETFL);
+    if (fl < 0 || ::fcntl(fd, F_SETFL, fl & ~O_NONBLOCK) != 0) throw_errno("fcntl");
+  }
+  return stream;
 }
 
-void UnixStream::send_all(std::span<const std::byte> data) {
+void UnixStream::send_all(std::span<const std::byte> data, int timeout_ms) {
   if (fd_ < 0) throw IoError("send on closed stream");
   const auto* p = data.data();
   std::size_t left = data.size();
   while (left > 0) {
     // MSG_NOSIGNAL: a vanished peer is a typed IoError, not SIGPIPE.
-    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    // MSG_DONTWAIT under a deadline: wait for buffer space in poll
+    // (which can time out), never in the kernel's blocking send.
+    const int flags = MSG_NOSIGNAL | (timeout_ms >= 0 ? MSG_DONTWAIT : 0);
+    const ssize_t n = ::send(fd_, p, left, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (timeout_ms >= 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        poll_or_timeout(fd_, POLLOUT, timeout_ms, "send");
+        continue;
+      }
       throw_errno("send");
     }
     p += n;
@@ -77,8 +128,14 @@ void UnixStream::send_all(std::span<const std::byte> data) {
   }
 }
 
-std::size_t UnixStream::recv_some(Bytes& out, std::size_t max_bytes) {
+std::size_t UnixStream::recv_some(Bytes& out, std::size_t max_bytes, int timeout_ms) {
   if (fd_ < 0) throw IoError("recv on closed stream");
+  if (timeout_ms >= 0) {
+    const short revents = poll_or_timeout(fd_, POLLIN, timeout_ms, "recv");
+    // POLLHUP/POLLERR fall through to recv(), which reports EOF or the
+    // precise errno — poll only decides *whether* to wait longer.
+    (void)revents;
+  }
   std::byte chunk[64 * 1024];
   const std::size_t want = std::min(max_bytes, sizeof(chunk));
   for (;;) {
@@ -98,6 +155,10 @@ std::size_t UnixStream::recv_some(Bytes& out, std::size_t max_bytes) {
 
 void UnixStream::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void UnixStream::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
 void UnixStream::close() noexcept {

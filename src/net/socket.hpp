@@ -31,22 +31,36 @@ class UnixStream {
   UnixStream(const UnixStream&) = delete;
   UnixStream& operator=(const UnixStream&) = delete;
 
-  /// Connects to the listener at `path`. Throws IoError.
-  [[nodiscard]] static UnixStream connect_to(const std::string& path);
+  /// Connects to the listener at `path`. A non-negative `timeout_ms`
+  /// bounds the wait (a full backlog on a wedged server otherwise
+  /// blocks forever) and expiry throws TimeoutError; -1 waits without
+  /// limit. Throws IoError on other failures.
+  [[nodiscard]] static UnixStream connect_to(const std::string& path, int timeout_ms = -1);
 
-  /// Sends the whole buffer (handles short writes / EINTR). Throws
-  /// IoError on a closed or failing peer.
-  void send_all(std::span<const std::byte> data);
+  /// Sends the whole buffer (handles short writes / EINTR). A
+  /// non-negative `timeout_ms` bounds the wait for *each* round of
+  /// socket-buffer space — a peer that stops draining trips
+  /// TimeoutError instead of wedging the sender. Throws IoError on a
+  /// closed or failing peer.
+  void send_all(std::span<const std::byte> data, int timeout_ms = -1);
 
   /// Receives up to `max_bytes` into `out` (appending). Returns the
-  /// number of bytes received; 0 means orderly EOF. Throws IoError.
-  std::size_t recv_some(Bytes& out, std::size_t max_bytes);
+  /// number of bytes received; 0 means orderly EOF. A non-negative
+  /// `timeout_ms` bounds the wait for the first byte; expiry throws
+  /// TimeoutError (nothing consumed). Throws IoError otherwise.
+  std::size_t recv_some(Bytes& out, std::size_t max_bytes, int timeout_ms = -1);
 
   /// Disallows further sends and receives; any thread blocked in
   /// recv_some() on this stream wakes with EOF. Safe to call while
   /// another thread uses the stream (the fd stays open until
   /// destruction, so there is no fd-reuse race).
   void shutdown_both() noexcept;
+
+  /// Disallows further receives only: a thread blocked in recv_some()
+  /// wakes with EOF, but queued outbound data still flushes to the
+  /// peer. This is the graceful-drain primitive — the server stops
+  /// listening for new requests while in-flight replies depart intact.
+  void shutdown_read() noexcept;
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
   void close() noexcept;

@@ -1,7 +1,9 @@
 #include "server/client.hpp"
 
+#include <chrono>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -17,6 +19,7 @@ namespace {
     case net::ErrorCode::kBadRequest: throw InvalidArgumentError(what);
     case net::ErrorCode::kCorrupt: throw CorruptDataError(what);
     case net::ErrorCode::kIo: throw IoError(what);
+    case net::ErrorCode::kTimeout: throw TimeoutError(what);
     case net::ErrorCode::kInternal: break;
   }
   throw Error(what);
@@ -24,23 +27,93 @@ namespace {
 
 }  // namespace
 
-StoreClient StoreClient::connect(const std::string& socket_path) {
-  return StoreClient(net::UnixStream::connect_to(socket_path));
+StoreClient::StoreClient(std::string socket_path, Options options)
+    : socket_path_(std::move(socket_path)),
+      options_(options),
+      id_rng_(options.seed),
+      jitter_seed_(options.seed) {
+  if (options_.seed == 0) {
+    // No seed given: derive one that differs between clients even when
+    // they start in the same instant (the address breaks the tie), so
+    // two processes retrying the same (tenant, step) cannot generate
+    // colliding request ids and false-deduplicate each other.
+    const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+    const auto self = reinterpret_cast<std::uintptr_t>(this);
+    SplitMix64 mix(static_cast<std::uint64_t>(now) ^ static_cast<std::uint64_t>(self));
+    jitter_seed_ = mix.next();
+    id_rng_ = SplitMix64(mix.next());
+  }
 }
 
-net::AnyMessage StoreClient::round_trip(net::MessageType type, const Bytes& body) {
-  stream_.send_all(net::encode_frame(static_cast<std::uint8_t>(type), body));
+StoreClient StoreClient::connect(const std::string& socket_path, Options options) {
+  StoreClient client(socket_path, options);
+  Backoff backoff(client.options_.retry, client.jitter_seed_);
   for (;;) {
-    if (std::optional<net::Frame> frame = decoder_.next()) {
-      net::AnyMessage reply = net::decode_message(*frame);
-      if (const auto* err = std::get_if<net::ErrorResponse>(&reply)) rethrow(*err);
-      return reply;
+    try {
+      client.ensure_connected();
+      return client;
+    } catch (const IoError& e) {
+      if (!backoff.try_again()) {
+        WCK_COUNTER_ADD("client.retry.giveups", 1);
+        throw;
+      }
+      ++client.retries_;
+      WCK_COUNTER_ADD("client.retry.connects", 1);
+      WCK_EVENT(kClientRetry, 0, std::string("connect: ") + e.what());
+    }
+  }
+}
+
+void StoreClient::ensure_connected() {
+  if (stream_.valid()) return;
+  stream_ = net::UnixStream::connect_to(socket_path_, options_.timeout_ms);
+  // A fresh byte stream must never inherit buffered bytes or poisoning
+  // from the previous connection's decoder.
+  decoder_ = net::FrameDecoder();
+}
+
+net::AnyMessage StoreClient::round_trip_once(const Bytes& frame) {
+  stream_.send_all(frame, options_.timeout_ms);
+  for (;;) {
+    if (std::optional<net::Frame> reply = decoder_.next()) {
+      return net::decode_message(*reply);
     }
     Bytes chunk;
-    if (stream_.recv_some(chunk, 64 * 1024) == 0) {
+    if (stream_.recv_some(chunk, 64 * 1024, options_.timeout_ms) == 0) {
       throw IoError("store server: connection closed mid-reply");
     }
     decoder_.feed(chunk);
+  }
+}
+
+net::AnyMessage StoreClient::round_trip(net::MessageType type, const Bytes& body,
+                                        bool retriable) {
+  const Bytes frame = net::encode_frame(static_cast<std::uint8_t>(type), body);
+  Backoff backoff(options_.retry, jitter_seed_);
+  for (;;) {
+    net::AnyMessage reply;
+    try {
+      ensure_connected();
+      reply = round_trip_once(frame);
+    } catch (const IoError& e) {
+      // Transport failure (includes TimeoutError): the connection's
+      // state is unknown — drop it and, budget permitting, reconnect
+      // and resend. Put resends are safe: the request_id makes a
+      // second commit a dedup replay.
+      stream_.close();
+      if (!retriable || !backoff.try_again()) {
+        WCK_COUNTER_ADD("client.retry.giveups", 1);
+        throw;
+      }
+      ++retries_;
+      WCK_COUNTER_ADD("client.retry.requests", 1);
+      WCK_EVENT(kClientRetry, 0, std::string("request: ") + e.what());
+      continue;
+    }
+    // The server answered. Its decision — including an error — is
+    // final; only the transport is ever retried.
+    if (const auto* err = std::get_if<net::ErrorResponse>(&reply)) rethrow(*err);
+    return reply;
   }
 }
 
@@ -57,11 +130,22 @@ net::PutOkResponse StoreClient::put(const std::string& tenant, std::uint64_t ste
   net::PutRequest req;
   req.tenant = tenant;
   req.step = step;
+  // 0 is the "no token" sentinel on the wire; skip it.
+  do {
+    req.request_id = id_rng_.next();
+  } while (req.request_id == 0);
   req.shape = array.shape();
   req.values.assign(array.values().begin(), array.values().end());
   net::AnyMessage reply = round_trip(net::MessageType::kPut, net::encode(req));
-  if (auto* ok = std::get_if<net::PutOkResponse>(&reply)) return *ok;
-  throw FormatError("store server: unexpected reply to put");
+  auto* ok = std::get_if<net::PutOkResponse>(&reply);
+  if (ok == nullptr) throw FormatError("store server: unexpected reply to put");
+  if (ok->request_id != 0 && ok->request_id != req.request_id) {
+    throw FormatError("store server: put-ok echoes request id " +
+                      std::to_string(ok->request_id) + ", sent " +
+                      std::to_string(req.request_id));
+  }
+  if (ok->deduplicated) WCK_COUNTER_ADD("client.retry.deduplicated_puts", 1);
+  return *ok;
 }
 
 StoreClient::GetResult StoreClient::get(const std::string& tenant) {
@@ -89,8 +173,8 @@ net::StatOkResponse StoreClient::stat(const std::string& tenant) {
 }
 
 void StoreClient::shutdown_server() {
-  const net::AnyMessage reply =
-      round_trip(net::MessageType::kShutdown, net::encode(net::ShutdownRequest{}));
+  const net::AnyMessage reply = round_trip(
+      net::MessageType::kShutdown, net::encode(net::ShutdownRequest{}), /*retriable=*/false);
   if (!std::holds_alternative<net::ShutdownOkResponse>(reply)) {
     throw FormatError("store server: unexpected reply to shutdown");
   }

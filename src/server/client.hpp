@@ -6,6 +6,19 @@
 // code handles a remote quota rejection exactly like a local one. Not
 // thread-safe: one StoreClient per client thread (connections are
 // cheap — it's a local socket).
+//
+// Resilience (StoreClientOptions):
+//   * Deadlines — connect, each request send, and each reply wait run
+//     under timeout_ms even when retry is disabled, so a silent server
+//     surfaces as a typed TimeoutError instead of a hang.
+//   * Retry — transport failures (IoError, TimeoutError) reconnect and
+//     resend on the shared capped-exponential Backoff ladder
+//     (util/backoff.hpp). Server *decisions* (Busy, QuotaExceeded,
+//     NotFound, BadRequest) are never retried: the server answered.
+//   * Idempotent puts — every put carries a client-generated
+//     request_id; when a retry resends a put whose response was lost,
+//     the server recognizes the id and replays the original outcome
+//     (PutOkResponse.deduplicated) instead of committing twice.
 #pragma once
 
 #include <cstdint>
@@ -16,13 +29,32 @@
 #include "net/frame.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
 
 namespace wck {
 
+struct StoreClientOptions {
+  /// Deadline (ms) on connect, each send, and each wait for reply
+  /// bytes; expiry throws TimeoutError. Negative = no deadline.
+  int timeout_ms = 30'000;
+  /// Reconnect-and-resend schedule for transport failures. The default
+  /// (max_attempts = 1) disables retry — deadlines still apply.
+  BackoffPolicy retry = BackoffPolicy{.max_attempts = 1};
+  /// Seeds retry jitter AND the put request_id stream. 0 derives a
+  /// per-client seed (clock ⊕ address) so two clients retrying the
+  /// same (tenant, step) cannot collide on request ids.
+  std::uint64_t seed = 0;
+};
+
 class StoreClient {
  public:
-  /// Connects to a StoreServer's socket. Throws IoError.
-  [[nodiscard]] static StoreClient connect(const std::string& socket_path);
+  using Options = StoreClientOptions;
+
+  /// Connects to a StoreServer's socket, retrying per options.retry.
+  /// Throws IoError (TimeoutError past the connect deadline).
+  [[nodiscard]] static StoreClient connect(const std::string& socket_path,
+                                           Options options = {});
 
   /// Liveness round-trip.
   void ping();
@@ -42,21 +74,38 @@ class StoreClient {
   /// Accounting for one tenant, or all of them when `tenant` is empty.
   [[nodiscard]] net::StatOkResponse stat(const std::string& tenant = std::string());
 
-  /// Asks the server to shut down (acknowledged before it does).
+  /// Asks the server to shut down (acknowledged before it does). Never
+  /// retried: a lost ack usually means the server is already gone.
   void shutdown_server();
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  /// Transport retries performed over this client's lifetime.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
 
   void close() noexcept { stream_.close(); }
 
  private:
-  explicit StoreClient(net::UnixStream stream) : stream_(std::move(stream)) {}
+  StoreClient(std::string socket_path, Options options);
 
-  /// Sends one request frame and blocks for the reply frame. An
-  /// ErrorResponse is rethrown as its typed wck error; an unexpected
-  /// reply type or mid-reply EOF throws FormatError/IoError.
-  [[nodiscard]] net::AnyMessage round_trip(net::MessageType type, const Bytes& body);
+  /// (Re)establishes the stream when down; always resets the decoder
+  /// with it — a fresh byte stream must never inherit half a frame.
+  void ensure_connected();
+  /// One send + reply on the current stream. Server errors are decoded
+  /// but NOT rethrown here (the retry loop must see them as answers).
+  [[nodiscard]] net::AnyMessage round_trip_once(const Bytes& frame);
+  /// Full request: connect if needed, send, await reply, retrying
+  /// transport failures per options_.retry. `retriable` = false makes
+  /// it single-shot (shutdown).
+  [[nodiscard]] net::AnyMessage round_trip(net::MessageType type, const Bytes& body,
+                                           bool retriable = true);
 
+  const std::string socket_path_;
+  const Options options_;
   net::UnixStream stream_;
   net::FrameDecoder decoder_;
+  SplitMix64 id_rng_;  ///< put request_id stream
+  std::uint64_t jitter_seed_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace wck

@@ -1,6 +1,8 @@
 #include "server/server.hpp"
 
+#include <chrono>
 #include <optional>
+#include <string>
 #include <utility>
 #include <variant>
 
@@ -30,9 +32,11 @@ using net::MessageType;
 
 }  // namespace
 
-StoreServer::StoreServer(CheckpointService& service, const std::string& socket_path)
+StoreServer::StoreServer(CheckpointService& service, const std::string& socket_path,
+                         Options options)
     : service_(service),
       socket_path_(socket_path),
+      options_(options),
       listener_(net::UnixListener::bind_and_listen(socket_path)) {
   WCK_EVENT(kServerStart, 0, socket_path_);
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -43,6 +47,14 @@ StoreServer::~StoreServer() { stop(); }
 void StoreServer::wait_for_shutdown() {
   MutexLock lk(mu_);
   shutdown_cv_.wait(lk, [this] {
+    mu_.assert_held();
+    return shutdown_requested_;
+  });
+}
+
+bool StoreServer::wait_for_shutdown_for(int timeout_ms) {
+  MutexLock lk(mu_);
+  return shutdown_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [this] {
     mu_.assert_held();
     return shutdown_requested_;
   });
@@ -59,6 +71,11 @@ std::uint64_t StoreServer::connections_accepted() const {
   return accepted_;
 }
 
+std::uint64_t StoreServer::connections_idle_reaped() const {
+  MutexLock lk(mu_);
+  return idle_reaped_;
+}
+
 void StoreServer::stop() {
   {
     MutexLock lk(mu_);
@@ -71,15 +88,53 @@ void StoreServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
 
   std::vector<std::unique_ptr<Connection>> to_join;
+  std::size_t draining = 0;
+  bool forced = false;
   {
     MutexLock lk(mu_);
+    // Graceful drain: half-close every connection. A reader parked
+    // between requests wakes with EOF and exits; a handler mid-request
+    // finishes, its reply still departs (the write side stays open),
+    // and the next read sees EOF.
     for (const std::unique_ptr<Connection>& conn : connections_) {
-      conn->stream.shutdown_both();  // wakes a blocked recv with EOF
+      if (!conn->done) ++draining;
+      conn->stream.shutdown_read();
+    }
+    if (draining > 0) {
+      WCK_EVENT(kServerDrain, 0, "begin: " + std::to_string(draining) + " connections");
+      const auto budget = std::chrono::milliseconds(
+          options_.drain_timeout_ms < 0 ? 0 : options_.drain_timeout_ms);
+      const bool all_done =
+          options_.drain_timeout_ms < 0 ||
+          drain_cv_.wait_for(lk, budget, [this] {
+            mu_.assert_held();
+            for (const std::unique_ptr<Connection>& conn : connections_) {
+              if (!conn->done) return false;
+            }
+            return true;
+          });
+      if (!all_done) {
+        // Drain budget spent: force the stragglers. Their in-flight
+        // work is abandoned mid-reply — the client's retry layer owns
+        // it from here.
+        forced = true;
+        for (const std::unique_ptr<Connection>& conn : connections_) {
+          if (!conn->done) conn->stream.shutdown_both();
+        }
+      }
     }
     to_join.swap(connections_);
   }
   for (const std::unique_ptr<Connection>& conn : to_join) {
     if (conn->thread.joinable()) conn->thread.join();
+  }
+  if (draining > 0) {
+    if (forced) {
+      WCK_COUNTER_ADD("server.drain.forced", 1);
+    } else {
+      WCK_COUNTER_ADD("server.drain.clean", 1);
+    }
+    WCK_EVENT(kServerDrain, 0, forced ? "forced" : "clean");
   }
 }
 
@@ -124,26 +179,54 @@ void StoreServer::handle_connection(Connection* conn) {
   try {
     while (!close_connection) {
       Bytes chunk;
-      if (conn->stream.recv_some(chunk, 64 * 1024) == 0) break;  // EOF
+      // Two deadlines, chosen by where the stream stands: bytes already
+      // buffered mean a frame is in flight (a stall now is a slow-loris
+      // sender — tell it and hang up), an empty buffer means the peer
+      // is between requests (a stall is mere idleness — reap quietly).
+      const bool mid_frame = decoder.buffered() > 0;
+      try {
+        const int timeout_ms = mid_frame ? options_.read_timeout_ms : options_.idle_timeout_ms;
+        if (conn->stream.recv_some(chunk, 64 * 1024, timeout_ms) == 0) break;  // EOF
+      } catch (const TimeoutError& e) {
+        if (mid_frame) {
+          WCK_COUNTER_ADD("server.timeout.reads", 1);
+          WCK_EVENT(kServerTimeout, 0, std::string("mid-frame: ") + e.what());
+          conn->stream.send_all(error_reply(ErrorCode::kTimeout, e.what()),
+                                options_.write_timeout_ms);
+        } else {
+          WCK_COUNTER_ADD("server.timeout.idle_reaped", 1);
+          WCK_EVENT(kServerTimeout, 0, "idle connection reaped");
+          MutexLock lk(mu_);
+          ++idle_reaped_;
+        }
+        break;
+      }
       decoder.feed(chunk);
       while (!close_connection) {
         const std::optional<net::Frame> frame = decoder.next();
         if (!frame) break;
-        conn->stream.send_all(handle_frame(*frame, close_connection));
+        conn->stream.send_all(handle_frame(*frame, close_connection),
+                              options_.write_timeout_ms);
       }
     }
   } catch (const FormatError& e) {
     // A broken frame stream (bad magic/length/CRC) has no resync point:
     // report and hang up.
     try {
-      conn->stream.send_all(error_reply(ErrorCode::kBadRequest, e.what()));
+      conn->stream.send_all(error_reply(ErrorCode::kBadRequest, e.what()),
+                            options_.write_timeout_ms);
     } catch (const Error&) {
     }
   } catch (const CorruptDataError& e) {
     try {
-      conn->stream.send_all(error_reply(ErrorCode::kCorrupt, e.what()));
+      conn->stream.send_all(error_reply(ErrorCode::kCorrupt, e.what()),
+                            options_.write_timeout_ms);
     } catch (const Error&) {
     }
+  } catch (const TimeoutError& e) {
+    // A reply send that timed out (peer not draining): record and drop.
+    WCK_COUNTER_ADD("server.timeout.writes", 1);
+    WCK_EVENT(kServerTimeout, 0, std::string("write: ") + e.what());
   } catch (const Error&) {
     // Socket failure (peer vanished mid-reply): nothing left to tell it.
   }
@@ -151,6 +234,7 @@ void StoreServer::handle_connection(Connection* conn) {
   WCK_EVENT(kServerDisconnect, 0, "");
   MutexLock lk(mu_);
   conn->done = true;
+  drain_cv_.notify_all();
 }
 
 Bytes StoreServer::handle_frame(const net::Frame& frame, bool& close_connection) {

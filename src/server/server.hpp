@@ -12,6 +12,15 @@
 // Shutdown has two triggers with one path: stop() from the owner, or a
 // ShutdownRequest from a client (acknowledged first, then the flag is
 // raised). wait_for_shutdown() lets `wckpt serve` park on the flag.
+//
+// Every connection runs under deadlines (Options): a peer that stalls
+// mid-frame gets a typed kTimeout error and is hung up on (slow-loris
+// guard); a peer that simply goes quiet is reaped after idle_timeout —
+// so one wedged client can never pin a connection thread forever. And
+// stop() drains gracefully: it half-closes every connection
+// (shutdown_read), which wakes idle readers with EOF while letting
+// in-flight requests finish and their replies depart, escalating to a
+// hard shutdown_both only when the drain deadline expires.
 #pragma once
 
 #include <cstdint>
@@ -26,11 +35,32 @@
 
 namespace wck::server {
 
+/// Per-connection deadlines and the drain budget. All in milliseconds;
+/// a negative value disables that deadline.
+struct StoreServerOptions {
+  /// Max wait for more bytes once a frame has started arriving. A
+  /// sender that stalls mid-frame is told (kTimeout) and disconnected —
+  /// the stream has no resync point anyway.
+  int read_timeout_ms = 30'000;
+  /// Max wait for the first byte of the next request. An idle
+  /// connection past this is reaped quietly: no request is in flight,
+  /// so no reply is owed.
+  int idle_timeout_ms = 120'000;
+  /// Bound on each reply send (a peer that stops draining its socket).
+  int write_timeout_ms = 30'000;
+  /// How long stop() lets in-flight requests finish before forcing
+  /// connections closed.
+  int drain_timeout_ms = 5'000;
+};
+
 class StoreServer {
  public:
+  using Options = StoreServerOptions;
+
   /// Binds `socket_path` and starts the accept loop. The service must
   /// outlive the server. Throws IoError when the path cannot be bound.
-  StoreServer(CheckpointService& service, const std::string& socket_path);
+  StoreServer(CheckpointService& service, const std::string& socket_path,
+              Options options = {});
   ~StoreServer();
 
   StoreServer(const StoreServer&) = delete;
@@ -39,13 +69,23 @@ class StoreServer {
   /// Blocks until stop() runs or a client sends ShutdownRequest.
   void wait_for_shutdown() WCK_EXCLUDES(mu_);
 
-  /// Stops accepting, wakes every connection (shutdown_both), joins all
-  /// threads, unlinks the socket path. Idempotent.
+  /// Bounded wait_for_shutdown: true when shutdown was requested within
+  /// `timeout_ms`. Lets a signal-driven owner (wckpt serve under
+  /// SIGTERM) poll the flag without parking forever.
+  [[nodiscard]] bool wait_for_shutdown_for(int timeout_ms) WCK_EXCLUDES(mu_);
+
+  /// Stops accepting and drains: every connection is half-closed
+  /// (shutdown_read — idle readers wake with EOF, in-flight replies
+  /// still depart), stragglers past drain_timeout_ms are forced closed,
+  /// all threads joined, the socket path unlinked. Idempotent.
   void stop() WCK_EXCLUDES(mu_);
 
   [[nodiscard]] const std::string& socket_path() const noexcept { return socket_path_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
   /// Connections accepted over the server's lifetime.
   [[nodiscard]] std::uint64_t connections_accepted() const WCK_EXCLUDES(mu_);
+  /// Connections reaped for idling past idle_timeout_ms.
+  [[nodiscard]] std::uint64_t connections_idle_reaped() const WCK_EXCLUDES(mu_);
 
  private:
   struct Connection {
@@ -64,14 +104,17 @@ class StoreServer {
 
   CheckpointService& service_;
   const std::string socket_path_;
+  const Options options_;
   net::UnixListener listener_;
   std::thread accept_thread_;
 
   mutable Mutex mu_;
   CondVar shutdown_cv_;
+  CondVar drain_cv_;  ///< notified as each connection handler exits
   bool stopping_ WCK_GUARDED_BY(mu_) = false;
   bool shutdown_requested_ WCK_GUARDED_BY(mu_) = false;
   std::uint64_t accepted_ WCK_GUARDED_BY(mu_) = 0;
+  std::uint64_t idle_reaped_ WCK_GUARDED_BY(mu_) = 0;
   std::vector<std::unique_ptr<Connection>> connections_ WCK_GUARDED_BY(mu_);
 };
 

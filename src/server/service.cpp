@@ -27,6 +27,42 @@ CheckpointService::CheckpointService(const Codec& codec, Options options, IoBack
     throw InvalidArgumentError("CheckpointService: max_inflight must be >= 1");
   }
   std::filesystem::create_directories(options_.root);
+  recover_from_disk();
+}
+
+// ---------------------------------------------------------------- recovery
+
+void CheckpointService::recover_from_disk() {
+  WCK_TRACE_SPAN("server.recovery");
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(options_.root, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    // Only names a put could have created are tenants; anything else
+    // under the root (operator files, quarantine debris moved by hand)
+    // is left alone.
+    if (!valid_tenant_name(name)) continue;
+    Tenant* tenant = nullptr;
+    {
+      MutexLock lk(tenants_mu_);
+      tenant = &create_tenant(name);
+    }
+    // Scrub outside tenants_mu_: it reads every generation end to end.
+    const ScrubReport scrub = tenant->manager->scrub();
+    const std::size_t generations = tenant->manager->generations().size();
+    recovery_.tenants += 1;
+    recovery_.generations += generations;
+    recovery_.tmp_swept += tenant->manager->tmp_files_swept();
+    recovery_.quarantined += scrub.quarantined.size();
+    WCK_EVENT(kServerRecovery, 0,
+              name + ": " + std::to_string(generations) + " generations, " +
+                  std::to_string(tenant->manager->tmp_files_swept()) + " tmp swept, " +
+                  std::to_string(scrub.quarantined.size()) + " quarantined");
+  }
+  WCK_COUNTER_ADD("server.recovery.tenants", recovery_.tenants);
+  WCK_COUNTER_ADD("server.recovery.generations", recovery_.generations);
+  WCK_COUNTER_ADD("server.recovery.tmp_swept", recovery_.tmp_swept);
+  WCK_COUNTER_ADD("server.recovery.quarantined", recovery_.quarantined);
 }
 
 // --------------------------------------------------------------- admission
@@ -70,7 +106,10 @@ CheckpointService::Tenant& CheckpointService::tenant_for(const std::string& name
   const auto it = tenants_.find(name);
   if (it != tenants_.end()) return *it->second;
   if (!create) throw NotFoundError("store service: unknown tenant \"" + name + "\"");
+  return create_tenant(name);
+}
 
+CheckpointService::Tenant& CheckpointService::create_tenant(const std::string& name) {
   auto tenant = std::make_unique<Tenant>();
   CheckpointManager::Options mgr;
   mgr.keep_generations = options_.keep_generations;
@@ -83,6 +122,31 @@ CheckpointService::Tenant& CheckpointService::tenant_for(const std::string& name
   WCK_COUNTER_ADD("server.tenants.created", 1);
   WCK_GAUGE_SET("server.tenants", static_cast<double>(tenants_.size()));
   return ref;
+}
+
+// ------------------------------------------------------------ idempotency
+
+std::optional<net::PutOkResponse> CheckpointService::find_completed(
+    Tenant& tenant, const net::PutRequest& req) {
+  if (req.request_id == 0) return std::nullopt;
+  MutexLock lk(tenant.mu);
+  const auto it = tenant.completed.find(req.step);
+  if (it == tenant.completed.end() || it->second.request_id != req.request_id) {
+    return std::nullopt;
+  }
+  net::PutOkResponse resp = it->second.resp;
+  resp.deduplicated = true;
+  return resp;
+}
+
+void CheckpointService::remember_completed(Tenant& tenant, const net::PutRequest& req,
+                                           const net::PutOkResponse& resp) {
+  if (req.request_id == 0) return;
+  MutexLock lk(tenant.mu);
+  tenant.completed[req.step] = CompletedPut{req.request_id, resp};
+  while (tenant.completed.size() > kCompletedPutsKept) {
+    tenant.completed.erase(tenant.completed.begin());
+  }
 }
 
 void CheckpointService::begin_put(Tenant& tenant) {
@@ -123,7 +187,34 @@ net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
   const AdmissionSlot slot(*this);
   Tenant& tenant = tenant_for(req.tenant, /*create=*/true);
 
-  begin_put(tenant);
+  // Dedup fast path: a retry of an already-committed put (same step,
+  // same request_id — its response was lost in transit) is answered
+  // from the ledger without touching the store again.
+  if (auto dup = find_completed(tenant, req)) {
+    WCK_COUNTER_ADD("server.put.deduplicated", 1);
+    return *dup;
+  }
+
+  try {
+    begin_put(tenant);
+  } catch (const BusyError&) {
+    // Superseded while parked — but if this request's own original
+    // committed in the meantime, "superseded" would be a lie: the
+    // caller's checkpoint IS durable. Report the original outcome.
+    if (auto dup = find_completed(tenant, req)) {
+      WCK_COUNTER_ADD("server.put.deduplicated", 1);
+      return *dup;
+    }
+    throw;
+  }
+  // Same race, other exit: the put that just released the window may
+  // have been this request's original.
+  if (auto dup = find_completed(tenant, req)) {
+    end_put(tenant);
+    WCK_COUNTER_ADD("server.put.deduplicated", 1);
+    return *dup;
+  }
+
   try {
     NdArray<double> array(req.shape, req.values);
     CheckpointRegistry registry;
@@ -139,6 +230,8 @@ net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
     resp.stored_bytes = gens.empty() ? 0 : gens.front().size;
     resp.total_bytes = tenant.manager->total_stored_bytes();
     resp.generations = static_cast<std::uint32_t>(gens.size());
+    resp.request_id = req.request_id;
+    remember_completed(tenant, req, resp);
     end_put(tenant);
     WCK_COUNTER_ADD("server.put.bytes", resp.stored_bytes);
     return resp;

@@ -25,6 +25,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "ckpt/codec.hpp"
@@ -55,13 +56,28 @@ struct CheckpointServiceOptions {
   RetryPolicy retry;
 };
 
+/// What the constructor's crash-recovery scan found under the root.
+struct RecoveryReport {
+  std::size_t tenants = 0;      ///< namespaces rebuilt from on-disk manifests
+  std::size_t generations = 0;  ///< committed generations re-adopted
+  std::size_t tmp_swept = 0;    ///< stale commit temp files removed
+  std::size_t quarantined = 0;  ///< unreadable generations quarantined by scrub
+};
+
 class CheckpointService {
  public:
   using Options = CheckpointServiceOptions;
 
   /// The codec (and optional backend) must outlive the service; a null
   /// backend means the process default. Creates `options.root` eagerly
-  /// so a bad path fails at startup, not mid-request.
+  /// so a bad path fails at startup, not mid-request, then runs crash
+  /// recovery: every directory under the root whose name is a valid
+  /// tenant name is re-adopted (manifest load rebuilds the quota
+  /// ledger), stale commit temp files are swept, and unreadable
+  /// generations are quarantined by a scrub pass — so a SIGKILL'd
+  /// server restarts into exactly the state its durable commits
+  /// describe, instead of rediscovering tenants only when a put
+  /// happens to recreate them.
   CheckpointService(const Codec& codec, Options options, IoBackend* io = nullptr);
 
   CheckpointService(const CheckpointService&) = delete;
@@ -85,7 +101,22 @@ class CheckpointService {
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
+  /// What startup recovery found. Set once in the constructor.
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept { return recovery_; }
+
  private:
+  /// Newest committed outcome per step, remembered so a client retry of
+  /// a put whose response was lost (same request_id) is answered with
+  /// the original result instead of re-committed.
+  struct CompletedPut {
+    std::uint64_t request_id = 0;
+    net::PutOkResponse resp;
+  };
+  /// Committed steps remembered per tenant for put deduplication. Small
+  /// and bounded: a retry arrives within a round-trip of its original,
+  /// not a thousand steps later.
+  static constexpr std::size_t kCompletedPutsKept = 128;
+
   struct Tenant {
     std::unique_ptr<CheckpointManager> manager;
     Mutex mu;
@@ -95,6 +126,8 @@ class CheckpointService {
     /// 0 = none. A newer arrival overwrites it (supersession).
     std::uint64_t parked_ticket WCK_GUARDED_BY(mu) = 0;
     std::uint64_t next_ticket WCK_GUARDED_BY(mu) = 1;
+    /// Dedup ledger keyed by step; pruned to kCompletedPutsKept.
+    std::map<std::uint64_t, CompletedPut> completed WCK_GUARDED_BY(mu);
   };
 
   /// RAII admission slot: constructor blocks or throws BusyError per
@@ -114,6 +147,16 @@ class CheckpointService {
   /// NotFoundError otherwise (get / named stat). Validates the name.
   [[nodiscard]] Tenant& tenant_for(const std::string& name, bool create)
       WCK_EXCLUDES(tenants_mu_);
+  /// Instantiates a tenant (manager construction loads its manifest).
+  [[nodiscard]] Tenant& create_tenant(const std::string& name) WCK_REQUIRES(tenants_mu_);
+  /// Constructor-only: re-adopts on-disk tenants and scrubs them.
+  void recover_from_disk() WCK_EXCLUDES(tenants_mu_);
+  /// The dedup ledger entry matching this request, if its commit
+  /// already happened; refreshes nothing — the reply is the original.
+  [[nodiscard]] std::optional<net::PutOkResponse> find_completed(
+      Tenant& tenant, const net::PutRequest& req) WCK_EXCLUDES(tenant.mu);
+  void remember_completed(Tenant& tenant, const net::PutRequest& req,
+                          const net::PutOkResponse& resp) WCK_EXCLUDES(tenant.mu);
   /// Begin/end of the per-tenant coalescing window around a put.
   void begin_put(Tenant& tenant) WCK_EXCLUDES(tenant.mu);
   void end_put(Tenant& tenant) noexcept WCK_EXCLUDES(tenant.mu);
@@ -121,6 +164,7 @@ class CheckpointService {
   const Codec& codec_;
   const Options options_;
   IoBackend* const io_;
+  RecoveryReport recovery_;  ///< written once by the constructor
 
   mutable Mutex tenants_mu_;
   /// std::map: node-based, so Tenant addresses stay stable while the

@@ -34,6 +34,11 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kServerConnect: return "server.connect";
     case EventKind::kServerDisconnect: return "server.disconnect";
     case EventKind::kServerBusy: return "server.busy";
+    case EventKind::kTmpSwept: return "ckpt.tmp_swept";
+    case EventKind::kServerRecovery: return "server.recovery";
+    case EventKind::kServerTimeout: return "server.timeout";
+    case EventKind::kServerDrain: return "server.drain";
+    case EventKind::kClientRetry: return "client.retry";
   }
   return "unknown";
 }

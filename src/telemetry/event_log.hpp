@@ -48,6 +48,11 @@ enum class EventKind : std::uint8_t {
   kServerConnect,      ///< store server accepted a client connection
   kServerDisconnect,   ///< store client connection closed
   kServerBusy,         ///< admission control rejected a request (Busy)
+  kTmpSwept,           ///< stale commit temp file removed at open
+  kServerRecovery,     ///< store service rebuilt a tenant at startup
+  kServerTimeout,      ///< connection deadline expired (idle/read/write)
+  kServerDrain,        ///< graceful drain started / finished
+  kClientRetry,        ///< store client retried a connect or request
 };
 
 /// Stable dotted name for a kind ("ckpt.commit", "fault.injected", ...).

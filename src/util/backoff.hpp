@@ -1,0 +1,84 @@
+// Capped exponential backoff with optional jitter — the one retry
+// cadence shared by every layer that re-attempts failed work: the
+// CheckpointManager's durable commits, the StoreClient's connect and
+// request retries, and any future transport. Extracted from the
+// manager so client and server cannot drift apart in retry semantics.
+//
+// The policy is pure data (BackoffPolicy); Backoff is the per-operation
+// cursor over it. Delays are deterministic for a given (policy, seed):
+// jitter draws from the library's seeded Xoshiro generator, never from
+// global randomness, so a soak run's retry schedule is replayable.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace wck {
+
+/// Retry schedule for transient failures. max_attempts counts every
+/// try, including the first (1 = no retry). A jitter_fraction of j
+/// scales each delay by a uniform factor in [1-j, 1+j] — decorrelating
+/// clients that all lost the same server at the same instant.
+struct BackoffPolicy {
+  int max_attempts = 4;                ///< total tries (1 = no retry)
+  double initial_backoff_seconds = 0.002;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.1;
+  bool sleep_between_attempts = true;  ///< false keeps tests instant
+  double jitter_fraction = 0.0;        ///< 0 = deterministic ladder
+};
+
+/// One operation's walk along a BackoffPolicy ladder.
+///
+///   Backoff backoff(policy, seed);
+///   for (;;) {
+///     try { return do_the_thing(); }
+///     catch (const IoError&) {
+///       if (!backoff.try_again()) throw;   // budget exhausted
+///     }
+///   }
+///
+/// try_again() consumes one retry: it returns false once the attempt
+/// budget is spent, otherwise sleeps the next (jittered, capped) delay
+/// when the policy asks for real sleeps and returns true.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy, std::uint64_t jitter_seed = 0) noexcept
+      : policy_(policy), rng_(jitter_seed), next_delay_(policy.initial_backoff_seconds) {}
+
+  /// Attempts started so far (the first call to try_again() means
+  /// attempt 1 failed).
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+
+  /// The delay the next retry would sleep, in seconds (pre-jitter).
+  [[nodiscard]] double next_delay_seconds() const noexcept { return next_delay_; }
+
+  /// Consumes one retry from the budget. Returns false when attempts
+  /// are exhausted (the caller should rethrow/give up); otherwise
+  /// advances the ladder, sleeps if the policy says so, returns true.
+  [[nodiscard]] bool try_again() {
+    ++failures_;
+    if (failures_ >= policy_.max_attempts) return false;
+    double delay = next_delay_;
+    const double j = std::clamp(policy_.jitter_fraction, 0.0, 1.0);
+    if (j > 0.0) delay *= rng_.uniform(1.0 - j, 1.0 + j);
+    if (policy_.sleep_between_attempts && delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+    next_delay_ = std::min(next_delay_ * policy_.backoff_multiplier,
+                           policy_.max_backoff_seconds);
+    return true;
+  }
+
+ private:
+  const BackoffPolicy policy_;
+  Xoshiro256 rng_;
+  double next_delay_;
+  int failures_ = 0;
+};
+
+}  // namespace wck

@@ -43,6 +43,16 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// An I/O operation did not complete within its deadline (socket
+/// read/write/connect past its timeout, a drain that expired). Derives
+/// from IoError so callers that only distinguish "I/O trouble" keep
+/// working; callers that care (retry layers, connection reapers) catch
+/// the subclass.
+class TimeoutError : public IoError {
+ public:
+  explicit TimeoutError(const std::string& what) : IoError(what) {}
+};
+
 /// Admitting the request would exceed a configured byte/generation
 /// quota. The store is untouched: quota checks run before any commit.
 class QuotaExceededError : public Error {

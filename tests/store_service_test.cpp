@@ -84,6 +84,36 @@ std::size_t checkpoint_files_in(const std::filesystem::path& dir) {
   return n;
 }
 
+// ----------------------------------------------- manager crash sweep
+
+TEST(ManagerRecovery, StaleTmpFilesSweptOnOpen) {
+  const NullCodec codec;
+  TempDir dir;
+  CheckpointManager::Options opts;
+  opts.retry = instant_retry();
+  NdArray<double> state = make_smooth_field(Shape{16, 16}, 1);
+  CheckpointRegistry reg;
+  reg.add("state", &state);
+  {
+    CheckpointManager mgr(dir.path(), codec, opts);
+    (void)mgr.write(reg, 1);
+    EXPECT_EQ(mgr.tmp_files_swept(), 0u);  // clean commits leave no debris
+  }
+
+  // A process SIGKILL'd mid-commit leaves atomic_write_durable's staging
+  // files behind; the next open must sweep them.
+  { std::ofstream f(dir.path() / "ckpt.2.wck.tmp.1234.7"); f << "half a checkpoint"; }
+  { std::ofstream f(dir.path() / "MANIFEST.tmp.1234.8"); f << "half a manifest"; }
+
+  CheckpointManager mgr(dir.path(), codec, opts);
+  EXPECT_EQ(mgr.tmp_files_swept(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(dir.path() / "ckpt.2.wck.tmp.1234.7"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() / "MANIFEST.tmp.1234.8"));
+  // The committed generation is untouched by the sweep.
+  ASSERT_EQ(mgr.generations().size(), 1u);
+  EXPECT_EQ(mgr.generations().front().step, 1u);
+}
+
 // ------------------------------------------------ manager quota edges
 
 TEST(ManagerQuota, ExactHitAcceptedOneGenerationMoreRejected) {
@@ -310,6 +340,124 @@ TEST(StoreService, QuotaRejectionIsTypedAndLeavesTenantIntact) {
   EXPECT_EQ(stat.stats[0].quota_bytes, gen);
   const net::GetOkResponse got = service.get(net::GetRequest{"t"});
   EXPECT_EQ(got.step, 1u);  // the rejected put never replaced anything
+}
+
+TEST(StoreService, RecoveryRebuildsTenantsFromDisk) {
+  const NullCodec codec;
+  TempDir dir;
+  const std::filesystem::path root = dir.path() / "store";
+  std::uint64_t alpha_bytes = 0;
+  {
+    server::CheckpointService service(codec, service_options(root));
+    // A fresh root recovers nothing.
+    EXPECT_EQ(service.recovery().tenants, 0u);
+    (void)service.put(put_request("alpha", 1));
+    alpha_bytes = service.put(put_request("alpha", 2)).total_bytes;
+    (void)service.put(put_request("beta", 5));
+    (void)service.put(put_request("beta", 6));
+  }  // "crash": the service is gone, only the disk remains
+
+  // Crash debris, one unreadable generation, and a directory no put
+  // could have created.
+  { std::ofstream f(root / "alpha" / "ckpt.3.wck.tmp.99.1"); f << "torn"; }
+  corrupt_file(root / "beta" / "ckpt.6.wck", 40);
+  std::filesystem::create_directories(root / "Not A Tenant");
+
+  server::CheckpointService service(codec, service_options(root));
+  const server::RecoveryReport& rec = service.recovery();
+  EXPECT_EQ(rec.tenants, 2u);       // alpha, beta; the invalid name was ignored
+  EXPECT_EQ(rec.generations, 3u);   // alpha's two + beta's surviving one
+  EXPECT_EQ(rec.tmp_swept, 1u);
+  EXPECT_EQ(rec.quarantined, 1u);   // beta's corrupted step 6
+
+  // The namespaces are live before any put: restores and accounting
+  // come straight from the rebuilt ledgers.
+  const net::GetOkResponse alpha = service.get(net::GetRequest{"alpha"});
+  EXPECT_EQ(alpha.step, 2u);
+  EXPECT_EQ(alpha.values, put_request("alpha", 2).values);
+  const net::GetOkResponse beta = service.get(net::GetRequest{"beta"});
+  EXPECT_EQ(beta.step, 5u);  // step 6 was quarantined, step 5 restores
+
+  const net::StatOkResponse stat = service.stat(net::StatRequest{});
+  EXPECT_EQ(stat.tenants, 2u);
+  ASSERT_EQ(stat.stats.size(), 2u);
+  EXPECT_EQ(stat.stats[0].name, "alpha");
+  EXPECT_EQ(stat.stats[0].generations, 2u);
+  EXPECT_EQ(stat.stats[0].newest_step, 2u);
+  EXPECT_EQ(stat.stats[0].stored_bytes, alpha_bytes);  // ledger rebuilt exactly
+  EXPECT_EQ(stat.stats[1].generations, 1u);
+
+  // The recovered store accepts new work as if it never went down.
+  (void)service.put(put_request("alpha", 3));
+  EXPECT_EQ(service.get(net::GetRequest{"alpha"}).step, 3u);
+}
+
+TEST(StoreService, RecoveredQuotaLedgerStillBinds) {
+  const NullCodec codec;
+  TempDir dir;
+
+  std::uint64_t gen = 0;
+  {
+    server::CheckpointService probe(codec, service_options(dir.path() / "probe"));
+    gen = probe.put(put_request("t", 1)).stored_bytes;
+  }
+
+  auto opts = service_options(dir.path() / "real");
+  opts.tenant_quota_bytes = 2 * gen;
+  {
+    server::CheckpointService service(codec, opts);
+    (void)service.put(put_request("t", 1));
+    (void)service.put(put_request("t", 2));
+  }
+
+  // After restart the rebuilt ledger must enforce the same budget: the
+  // quota was full before the crash, so it is full after it.
+  server::CheckpointService service(codec, opts);
+  EXPECT_EQ(service.recovery().generations, 2u);
+  auto big = put_request("t", 3);
+  big.shape = Shape{24, 24};  // larger than one rotation slot frees
+  const NdArray<double> field = make_smooth_field(big.shape, 3);
+  big.values.assign(field.values().begin(), field.values().end());
+  EXPECT_THROW((void)service.put(big), QuotaExceededError);
+  EXPECT_EQ(service.stat(net::StatRequest{"t"}).stats[0].stored_bytes, 2 * gen);
+}
+
+TEST(StoreService, DuplicatePutRequestIdReplaysWithoutRecommit) {
+  const NullCodec codec;
+  TempDir dir;
+  server::CheckpointService service(codec, service_options(dir.path()));
+
+  net::PutRequest req = put_request("t", 1);
+  req.request_id = 42;
+  const net::PutOkResponse first = service.put(req);
+  EXPECT_FALSE(first.deduplicated);
+  EXPECT_EQ(first.request_id, 42u);
+
+  // The same bytes again — a client retry whose first response was
+  // lost. The original outcome is replayed, nothing is re-committed.
+  const net::PutOkResponse replay = service.put(req);
+  EXPECT_TRUE(replay.deduplicated);
+  EXPECT_EQ(replay.step, first.step);
+  EXPECT_EQ(replay.generations, first.generations);
+  EXPECT_EQ(replay.stored_bytes, first.stored_bytes);
+  EXPECT_EQ(replay.total_bytes, first.total_bytes);
+  const net::StatOkResponse stat = service.stat(net::StatRequest{"t"});
+  EXPECT_EQ(stat.stats[0].generations, 1u);
+  EXPECT_EQ(stat.stats[0].stored_bytes, first.stored_bytes);
+
+  // A different request_id on the same step is a different client's
+  // write, not a replay: it commits.
+  net::PutRequest other = put_request("t", 1);
+  other.request_id = 43;
+  const net::PutOkResponse fresh = service.put(other);
+  EXPECT_FALSE(fresh.deduplicated);
+  EXPECT_EQ(fresh.request_id, 43u);
+
+  // request_id 0 is the "no token" sentinel (pre-retry clients): never
+  // remembered, never deduplicated.
+  net::PutRequest untagged = put_request("t", 2);
+  EXPECT_FALSE(service.put(untagged).deduplicated);
+  EXPECT_FALSE(service.put(untagged).deduplicated);
 }
 
 /// Delegates to the POSIX backend, but the next `gate_next_writes(n)`

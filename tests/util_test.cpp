@@ -4,6 +4,7 @@
 #include <cstring>
 #include <random>
 
+#include "util/backoff.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
 #include "util/checksum.hpp"
@@ -313,6 +314,74 @@ TEST(ScopedStageTimer, MeasuresScope) {
     for (int i = 0; i < 100000; ++i) x = x + 1.0;
   }
   EXPECT_GT(t.get("work"), 0.0);
+}
+
+TEST(Backoff, LadderDoublesAndCaps) {
+  BackoffPolicy policy;
+  policy.max_attempts = 100;  // the ladder, not the budget, under test
+  policy.initial_backoff_seconds = 0.002;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.012;
+  policy.sleep_between_attempts = false;
+  Backoff backoff(policy);
+
+  EXPECT_DOUBLE_EQ(backoff.next_delay_seconds(), 0.002);
+  ASSERT_TRUE(backoff.try_again());
+  EXPECT_DOUBLE_EQ(backoff.next_delay_seconds(), 0.004);
+  ASSERT_TRUE(backoff.try_again());
+  EXPECT_DOUBLE_EQ(backoff.next_delay_seconds(), 0.008);
+  ASSERT_TRUE(backoff.try_again());
+  EXPECT_DOUBLE_EQ(backoff.next_delay_seconds(), 0.012);  // capped
+  ASSERT_TRUE(backoff.try_again());
+  EXPECT_DOUBLE_EQ(backoff.next_delay_seconds(), 0.012);  // stays capped
+  EXPECT_EQ(backoff.failures(), 4);
+}
+
+TEST(Backoff, BudgetCountsEveryAttempt) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  policy.sleep_between_attempts = false;
+  Backoff backoff(policy);
+
+  // max_attempts = 3 means: first try, then two retries.
+  EXPECT_TRUE(backoff.try_again());
+  EXPECT_TRUE(backoff.try_again());
+  EXPECT_FALSE(backoff.try_again());
+  EXPECT_FALSE(backoff.try_again());  // exhausted stays exhausted
+}
+
+TEST(Backoff, SingleAttemptPolicyNeverRetries) {
+  BackoffPolicy policy;
+  policy.max_attempts = 1;
+  policy.sleep_between_attempts = false;
+  Backoff backoff(policy);
+  EXPECT_FALSE(backoff.try_again());
+}
+
+TEST(Backoff, JitterIsDeterministicForSeed) {
+  // Two cursors with the same (policy, seed) must walk identical
+  // schedules — a soak's retry cadence is replayable.
+  BackoffPolicy policy;
+  policy.max_attempts = 10;
+  policy.jitter_fraction = 0.25;
+  policy.sleep_between_attempts = false;
+  Backoff a(policy, 42);
+  Backoff b(policy, 42);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.try_again(), b.try_again());
+    EXPECT_DOUBLE_EQ(a.next_delay_seconds(), b.next_delay_seconds());
+  }
+}
+
+TEST(Backoff, SleepsRoughlyTheConfiguredDelay) {
+  BackoffPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_seconds = 0.02;
+  Backoff backoff(policy);
+  WallTimer timer;
+  ASSERT_TRUE(backoff.try_again());  // sleeps ~20ms
+  // Generous lower bound only: schedulers overshoot, never undershoot.
+  EXPECT_GE(timer.seconds(), 0.015);
 }
 
 }  // namespace

@@ -47,13 +47,20 @@
 //
 // Both the text and --json paths render the same RunReport aggregate,
 // so they can never disagree about the numbers.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,10 +96,19 @@ constexpr const char kUsageText[] =
     "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
     "             [--seed=N] [--verify-every=1] [--scrub-every=0] [--threads=N]\n"
     "             [--server --clients=N --tenants=N --quota=BYTES\n"
-    "              --max-inflight=N --admission=block|reject]\n"
+    "              --max-inflight=N --admission=block|reject\n"
+    "              --kill-every=CYCLES --client-retries=N --client-timeout-ms=MS]\n"
+    "             --kill-every > 0 runs the server as a child process and\n"
+    "             SIGKILLs + restarts it every CYCLES completed client\n"
+    "             cycles, checking startup recovery and the quota ledger\n"
+    "             (stat vs a local manifest scan) after each restart.\n"
     "  serve      --socket=PATH --root=DIR [--keep=3] [--quota=BYTES]\n"
     "             [--max-inflight=8] [--admission=block|reject]\n"
     "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
+    "             [--read-timeout-ms=30000] [--idle-timeout-ms=120000]\n"
+    "             [--write-timeout-ms=30000] [--drain-timeout-ms=5000]\n"
+    "             SIGTERM/SIGINT drain gracefully: in-flight requests\n"
+    "             finish, telemetry flushes, then the process exits 0.\n"
     "  put        --socket=PATH --tenant=NAME --step=N\n"
     "             (--in=FILE --shape=AxBxC | --shape=AxBxC [--seed=N])\n"
     "  get        --socket=PATH --tenant=NAME [--out=FILE]\n"
@@ -707,6 +723,44 @@ server::CheckpointService::Options service_options_from_flags(
   return opts;
 }
 
+/// Shared by `serve` and `soak --server`: connection deadlines.
+server::StoreServer::Options server_options_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  server::StoreServer::Options opts;
+  opts.read_timeout_ms = static_cast<int>(
+      std::strtol(get_or(flags, "read-timeout-ms", "30000").c_str(), nullptr, 10));
+  opts.idle_timeout_ms = static_cast<int>(
+      std::strtol(get_or(flags, "idle-timeout-ms", "120000").c_str(), nullptr, 10));
+  opts.write_timeout_ms = static_cast<int>(
+      std::strtol(get_or(flags, "write-timeout-ms", "30000").c_str(), nullptr, 10));
+  opts.drain_timeout_ms = static_cast<int>(
+      std::strtol(get_or(flags, "drain-timeout-ms", "5000").c_str(), nullptr, 10));
+  return opts;
+}
+
+/// Client deadlines + retry for the soak's workers and the store
+/// subcommands. Retry is opt-in (--client-retries > 0 extra attempts).
+StoreClientOptions client_options_from_flags(const std::map<std::string, std::string>& flags,
+                                             std::uint64_t seed) {
+  StoreClientOptions opts;
+  opts.timeout_ms = static_cast<int>(
+      std::strtol(get_or(flags, "client-timeout-ms", "30000").c_str(), nullptr, 10));
+  const int retries = static_cast<int>(
+      std::strtol(get_or(flags, "client-retries", "0").c_str(), nullptr, 10));
+  opts.retry.max_attempts = 1 + std::max(retries, 0);
+  opts.retry.initial_backoff_seconds = 0.01;
+  opts.retry.max_backoff_seconds = 0.5;
+  opts.retry.jitter_fraction = 0.2;  // decorrelate clients that lost the same server
+  opts.seed = seed;
+  return opts;
+}
+
+/// Set by the SIGTERM/SIGINT handler; the serve loop polls it. A
+/// volatile sig_atomic_t store is all a signal handler may safely do.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void handle_stop_signal(int sig) { g_stop_signal = sig; }
+
 /// `wckpt serve` — run the multi-tenant checkpoint store on a Unix
 /// socket until a client sends Shutdown (wckpt's other store
 /// subcommands, or any StoreClient, can do so).
@@ -723,13 +777,34 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   IoBackend* io = plan.empty() ? nullptr : &fault_io;
 
   server::CheckpointService service(*codec, service_options_from_flags(flags, root), io);
-  server::StoreServer server(service, socket_path);
+  const server::RecoveryReport& rec = service.recovery();
+  if (rec.tenants > 0) {
+    std::fprintf(stderr,
+                 "wckpt serve: recovered %zu tenants (%zu generations, %zu tmp files "
+                 "swept, %zu quarantined)\n",
+                 rec.tenants, rec.generations, rec.tmp_swept, rec.quarantined);
+  }
+  server::StoreServer server(service, socket_path, server_options_from_flags(flags));
   std::fprintf(stderr,
                "wckpt serve: listening on %s (root %s, codec %s, keep %zu, quota %llu)\n",
                socket_path.c_str(), root.string().c_str(), codec_name.c_str(),
                service.options().keep_generations,
                static_cast<unsigned long long>(service.options().tenant_quota_bytes));
-  server.wait_for_shutdown();
+
+  // Park until a client asks for shutdown or the operator signals.
+  // Either way the exit path is the same graceful drain: stop() lets
+  // in-flight requests finish before forcing anything, and telemetry
+  // flushes below before the process exits.
+  g_stop_signal = 0;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  while (!server.wait_for_shutdown_for(100)) {
+    if (g_stop_signal != 0) {
+      std::fprintf(stderr, "wckpt serve: signal %d — draining\n",
+                   static_cast<int>(g_stop_signal));
+      break;
+    }
+  }
   server.stop();
   std::fprintf(stderr, "wckpt serve: shut down after %llu connections\n",
                static_cast<unsigned long long>(server.connections_accepted()));
@@ -792,9 +867,109 @@ int cmd_stat(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// One tenant's quota ledger recomputed straight from its on-disk
+/// MANIFEST — the ground truth a crash-restarted server must agree
+/// with. Tenants whose directory exists but holds no readable manifest
+/// count as empty (a first write that never committed).
+struct TenantLedger {
+  std::uint64_t generations = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t newest_step = 0;
+};
+
+std::map<std::string, TenantLedger> scan_ledgers(const std::filesystem::path& root) {
+  std::map<std::string, TenantLedger> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    TenantLedger ledger;
+    std::ifstream f(entry.path() / "MANIFEST");
+    std::string line;
+    if (f && std::getline(f, line) && line == "wck-manifest v1") {
+      while (std::getline(f, line)) {
+        if (line.empty()) continue;
+        std::istringstream ls(line);
+        std::uint64_t step = 0;
+        std::uint64_t size = 0;
+        std::string crc;
+        std::string file;
+        if (!(ls >> step >> crc >> size >> file)) continue;
+        ++ledger.generations;
+        ledger.bytes += size;
+        ledger.newest_step = std::max(ledger.newest_step, step);
+      }
+    }
+    out[entry.path().filename().string()] = ledger;
+  }
+  return out;
+}
+
+/// Forks + execs this binary as `wckpt serve` on the given socket/root
+/// (the process the reaper SIGKILLs). Throws IoError when fork fails.
+pid_t spawn_server_process(const std::map<std::string, std::string>& flags,
+                           const std::string& socket_path, const std::filesystem::path& root,
+                           const std::filesystem::path& dir, std::uint64_t generation) {
+  std::vector<std::string> args = {
+      "wckpt",
+      "serve",
+      "--socket=" + socket_path,
+      "--root=" + root.string(),
+      "--codec=" + get_or(flags, "codec", "null"),
+      "--keep=" + get_or(flags, "keep", "3"),
+      "--quota=" + get_or(flags, "quota", "0"),
+      "--max-inflight=" + get_or(flags, "max-inflight", "8"),
+      "--admission=" + get_or(flags, "admission", "block"),
+      "--events=" + (dir / ("server-events." + std::to_string(generation) + ".jsonl")).string(),
+  };
+  const std::string plan = get_or(flags, "fault-plan", "");
+  if (!plan.empty()) args.push_back("--fault-plan=" + plan);
+  const pid_t pid = ::fork();
+  if (pid < 0) throw IoError(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv("/proc/self/exe", argv.data());
+    std::perror("wckpt soak --server: execv /proc/self/exe");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Blocks until the spawned server answers a ping (its recovery scan
+/// runs before the socket binds, so a pong implies recovery finished).
+void wait_for_server_ready(const std::string& socket_path) {
+  StoreClientOptions opts;
+  opts.timeout_ms = 2000;
+  opts.retry.max_attempts = 200;  // ~10 s at the 50 ms cap below
+  opts.retry.initial_backoff_seconds = 0.01;
+  opts.retry.max_backoff_seconds = 0.05;
+  opts.seed = 1;  // determinism over decorrelation: one waiter, no thundering herd
+  StoreClient client = StoreClient::connect(socket_path, opts);
+  client.ping();
+}
+
+/// Pauses the soak's worker threads at cycle boundaries while the
+/// reaper kills/restarts the server, so the post-restart ledger check
+/// compares a quiescent store. Plain std primitives: tools are outside
+/// the src/ lock-annotation regime.
+struct KillGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool paused = false;
+  std::size_t parked = 0;
+  std::size_t active = 0;  ///< workers still running (not yet finished)
+};
+
 /// `wckpt soak --server` — the store service's proving ground: an
 /// in-process StoreServer plus N client threads hammering put/get over
 /// real sockets (optionally under a fault plan and a tight quota).
+/// With --kill-every=C the server instead runs as a child process that
+/// the soak SIGKILLs and restarts every C completed client cycles,
+/// proving startup recovery: after each restart the quota ledger the
+/// server reports (stat) must equal one recomputed from the on-disk
+/// manifests, and every restore must still verify bit-for-bit.
 ///
 /// The oracle is regeneration, not history: tenant t's state at step s
 /// is a pure function of (seed, t, s), so any client can verify any
@@ -818,6 +993,9 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
   if (cycles == 0 || clients == 0 || tenants == 0) {
     usage("soak --server needs --cycles, --clients, --tenants all >= 1");
   }
+  const auto kill_every = static_cast<std::uint64_t>(
+      std::strtoll(get_or(flags, "kill-every", "0").c_str(), nullptr, 10));
+  const bool reaper = kill_every > 0;
 
   const std::string codec_name = get_or(flags, "codec", "null");
   const std::unique_ptr<Codec> codec = make_codec(codec_name, flags);
@@ -829,10 +1007,25 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
   IoBackend* io = plan.empty() ? nullptr : &fault_io;
 
   std::filesystem::create_directories(dir);
+  const std::filesystem::path tenants_root = dir / "tenants";
   const std::string socket_path = get_or(flags, "socket", (dir / "wckpt.sock").string());
-  server::CheckpointService service(
-      *codec, service_options_from_flags(flags, dir / "tenants"), io);
-  server::StoreServer server(service, socket_path);
+
+  // In-process server (default), or a child `wckpt serve` the reaper
+  // can SIGKILL (--kill-every). The child inherits the fault plan via
+  // its own --fault-plan flag; the in-parent fault_io stays idle then.
+  std::unique_ptr<server::CheckpointService> service;
+  std::unique_ptr<server::StoreServer> server;
+  pid_t child = -1;
+  std::uint64_t server_generation = 0;
+  if (reaper) {
+    child = spawn_server_process(flags, socket_path, tenants_root, dir, server_generation++);
+    wait_for_server_ready(socket_path);
+  } else {
+    service = std::make_unique<server::CheckpointService>(
+        *codec, service_options_from_flags(flags, tenants_root), io);
+    server = std::make_unique<server::StoreServer>(*service, socket_path,
+                                                   server_options_from_flags(flags));
+  }
 
   /// Deterministic per-(tenant, step) state: the verification oracle.
   const auto tenant_state = [&](std::size_t tenant_idx, std::uint64_t step) {
@@ -856,6 +1049,17 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
   };
   std::vector<ClientStats> stats(clients);
 
+  // Reaper-mode workers retry by default: transport failures during a
+  // kill window are the exercise, not a test failure.
+  std::map<std::string, std::string> client_flags = flags;
+  if (reaper && client_flags.count("client-retries") == 0) {
+    client_flags["client-retries"] = "8";
+  }
+
+  KillGate gate;
+  gate.active = clients;
+  std::atomic<std::uint64_t> progress{0};  ///< completed cycles, all workers
+
   std::vector<std::thread> workers;
   workers.reserve(clients);
   for (std::size_t i = 0; i < clients; ++i) {
@@ -864,8 +1068,21 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
       const std::size_t tenant_idx = i % tenants;
       const std::string tenant = "t" + std::to_string(tenant_idx);
       try {
-        StoreClient client = StoreClient::connect(socket_path);
+        StoreClient client = StoreClient::connect(
+            socket_path,
+            client_options_from_flags(client_flags,
+                                      seed ^ ((i + 1) * 0x9E3779B97F4A7C15ull)));
         for (std::uint64_t cycle = 1; cycle <= cycles; ++cycle) {
+          {
+            // Cycle boundary: park while the reaper swaps the server.
+            std::unique_lock<std::mutex> lk(gate.mu);
+            if (gate.paused) {
+              ++gate.parked;
+              gate.cv.notify_all();
+              gate.cv.wait(lk, [&gate] { return !gate.paused; });
+              --gate.parked;
+            }
+          }
           try {
             (void)client.put(tenant, cycle, tenant_state(tenant_idx, cycle));
             ++st.puts_ok;
@@ -903,13 +1120,104 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
           } catch (const Error&) {
             ++st.restore_failures;  // loud failure, never silent corruption
           }
+          progress.fetch_add(1, std::memory_order_relaxed);
         }
         client.close();
       } catch (const std::exception& e) {
         ++st.aborts;
         std::fprintf(stderr, "soak --server: client %zu aborted: %s\n", i, e.what());
       }
+      std::lock_guard<std::mutex> lk(gate.mu);
+      --gate.active;
+      gate.cv.notify_all();
     });
+  }
+
+  // The reaper: every kill_every completed cycles, park all workers at
+  // their cycle boundary, SIGKILL the server, restart it, and check
+  // that the recovered quota ledger (stat) equals one recomputed from
+  // the on-disk manifests — byte for byte, step for step.
+  std::uint64_t kills = 0;
+  std::uint64_t ledger_mismatches = 0;
+  if (reaper) {
+    std::uint64_t next_kill = kill_every;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(gate.mu);
+        if (gate.active == 0) break;
+      }
+      if (progress.load(std::memory_order_relaxed) < next_kill) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      {
+        std::unique_lock<std::mutex> lk(gate.mu);
+        gate.paused = true;
+        gate.cv.wait(lk, [&gate] { return gate.parked == gate.active; });
+        if (gate.active == 0) {
+          gate.paused = false;
+          gate.cv.notify_all();
+          break;
+        }
+      }
+
+      ::kill(child, SIGKILL);
+      int status = 0;
+      ::waitpid(child, &status, 0);
+      ++kills;
+      WCK_COUNTER_ADD("soak.server.kills", 1);
+
+      child = spawn_server_process(flags, socket_path, tenants_root, dir, server_generation++);
+      try {
+        wait_for_server_ready(socket_path);
+        // The store is quiescent (workers parked, server idle), so the
+        // disk scan and the server's stat describe the same instant.
+        const std::map<std::string, TenantLedger> disk = scan_ledgers(tenants_root);
+        StoreClient verifier = StoreClient::connect(socket_path);
+        const net::StatOkResponse stat = verifier.stat();
+        std::map<std::string, net::TenantStat> reported;
+        for (const net::TenantStat& s : stat.stats) reported[s.name] = s;
+        for (const auto& [name, ledger] : disk) {
+          const auto it = reported.find(name);
+          const bool missing = it == reported.end();
+          if (missing || it->second.generations != ledger.generations ||
+              it->second.stored_bytes != ledger.bytes ||
+              it->second.newest_step != ledger.newest_step) {
+            ++ledger_mismatches;
+            std::fprintf(
+                stderr,
+                "soak --server: LEDGER MISMATCH after restart %llu — tenant %s disk "
+                "(%llu gens, %llu bytes, step %llu) vs reported (%llu gens, %llu bytes, "
+                "step %llu)\n",
+                static_cast<unsigned long long>(kills), name.c_str(),
+                static_cast<unsigned long long>(ledger.generations),
+                static_cast<unsigned long long>(ledger.bytes),
+                static_cast<unsigned long long>(ledger.newest_step),
+                static_cast<unsigned long long>(missing ? 0 : it->second.generations),
+                static_cast<unsigned long long>(missing ? 0 : it->second.stored_bytes),
+                static_cast<unsigned long long>(missing ? 0 : it->second.newest_step));
+          }
+        }
+        if (stat.tenants < disk.size()) {
+          ++ledger_mismatches;
+          std::fprintf(stderr,
+                       "soak --server: LEDGER MISMATCH after restart %llu — server knows "
+                       "%llu tenants, disk holds %zu\n",
+                       static_cast<unsigned long long>(kills),
+                       static_cast<unsigned long long>(stat.tenants), disk.size());
+        }
+      } catch (const std::exception& e) {
+        ++ledger_mismatches;
+        std::fprintf(stderr, "soak --server: post-restart check failed: %s\n", e.what());
+      }
+
+      {
+        std::lock_guard<std::mutex> lk(gate.mu);
+        gate.paused = false;
+        gate.cv.notify_all();
+      }
+      next_kill = progress.load(std::memory_order_relaxed) + kill_every;
+    }
   }
   for (std::thread& t : workers) t.join();
 
@@ -940,8 +1248,27 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
   } catch (const Error& e) {
     std::fprintf(stderr, "soak --server: final stat/shutdown failed: %s\n", e.what());
   }
-  server.wait_for_shutdown();
-  server.stop();
+  if (reaper) {
+    // The protocol shutdown above makes the child's serve loop drain
+    // and exit; give it a few seconds, then force the issue.
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 500; ++i) {
+      const pid_t got = ::waitpid(child, &status, WNOHANG);
+      if (got == child || got < 0) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) {
+      ::kill(child, SIGKILL);
+      ::waitpid(child, &status, 0);
+    }
+  } else {
+    server->wait_for_shutdown();
+    server->stop();
+  }
 
   WCK_COUNTER_ADD("soak.server.puts", total.puts_ok);
   WCK_COUNTER_ADD("soak.server.quota_rejections", total.quota_rejected);
@@ -955,6 +1282,7 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
   WCK_COUNTER_ADD("soak.server.silent_mismatches", total.silent_mismatches);
   WCK_COUNTER_ADD("soak.server.client_aborts", total.aborts);
   WCK_COUNTER_ADD("soak.server.faults_injected", fault_io.fault_count());
+  WCK_COUNTER_ADD("soak.server.ledger_mismatches", ledger_mismatches);
 
   telemetry::RunReport report;
   report.tool = "wckpt soak --server";
@@ -962,9 +1290,11 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
   report.params["codec"] = codec_name;
   report.params["fault_plan"] =
       plan_spec.empty() ? env::get("WCK_FAULT_PLAN").value_or("") : plan_spec;
+  report.params["kill_every"] = std::to_string(kill_every);
   finish_run(flags, report);
 
-  const bool failed = total.silent_mismatches > 0 || total.puts_ok == 0 || total.aborts > 0;
+  const bool failed = total.silent_mismatches > 0 || total.puts_ok == 0 ||
+                      total.aborts > 0 || ledger_mismatches > 0;
   if (failed && telemetry::enabled()) {
     const std::filesystem::path recorder = dir / "flight-recorder.jsonl";
     try {
@@ -980,7 +1310,8 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
                "soak --server: %zu clients x %llu cycles over %zu tenants (%llu known to "
                "server): %llu puts (%llu quota-rejected, %llu busy, %llu io), %llu gets "
                "(%llu not-found, %llu fallback, %llu parity, %llu failed), %llu faults, "
-               "%llu client aborts, %llu silent mismatches\n",
+               "%llu client aborts, %llu silent mismatches, %llu kills, %llu ledger "
+               "mismatches\n",
                clients, static_cast<unsigned long long>(cycles), tenants,
                static_cast<unsigned long long>(reported_tenants),
                static_cast<unsigned long long>(total.puts_ok),
@@ -994,9 +1325,16 @@ int cmd_soak_server(const std::map<std::string, std::string>& flags) {
                static_cast<unsigned long long>(total.restore_failures),
                static_cast<unsigned long long>(fault_io.fault_count()),
                static_cast<unsigned long long>(total.aborts),
-               static_cast<unsigned long long>(total.silent_mismatches));
+               static_cast<unsigned long long>(total.silent_mismatches),
+               static_cast<unsigned long long>(kills),
+               static_cast<unsigned long long>(ledger_mismatches));
 
   if (total.silent_mismatches > 0) return 1;
+  if (ledger_mismatches > 0) return 1;
+  if (reaper && kills == 0) {
+    std::fprintf(stderr, "soak --server: --kill-every set but no kill ever fired\n");
+    return 1;
+  }
   if (total.aborts > 0) return 1;
   if (total.puts_ok == 0) {
     std::fprintf(stderr, "soak --server: no put ever committed — nothing was demonstrated\n");

@@ -162,11 +162,25 @@ std::vector<CorpusEntry> build_corpus() {
     net::PutRequest put;
     put.tenant = "fuzz-tenant";
     put.step = 42;
+    put.request_id = 0x1122334455667788ull;  // exercise the idempotency token bytes
     put.shape = Shape{8, 4};
     put.values.assign(put.shape.size(), 1.5);
     corpus.push_back({"net-put",
                       net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPut),
                                         net::encode(put)),
+                      decode_wire});
+  }
+  {
+    net::PutOkResponse ok;
+    ok.step = 42;
+    ok.generations = 3;
+    ok.stored_bytes = 8192;
+    ok.total_bytes = 24576;
+    ok.request_id = 0x8877665544332211ull;
+    ok.deduplicated = true;
+    corpus.push_back({"net-put-ok",
+                      net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPutOk),
+                                        net::encode(ok)),
                       decode_wire});
   }
   {
@@ -208,6 +222,62 @@ std::vector<CorpusEntry> build_corpus() {
                           while (const std::optional<net::Frame> f = decoder.next()) {
                             (void)net::decode_message(*f);
                           }
+                        }
+                      }});
+  }
+  {
+    // A frame cut off mid-body: the incremental decoder must park it as
+    // pending (or reject the header) without reading past the end.
+    net::PingRequest ping;
+    Bytes whole = net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPing),
+                                    net::encode(ping));
+    net::GetRequest get;
+    get.tenant = "fuzz-tenant";
+    Bytes cut = net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kGet),
+                                  net::encode(get));
+    cut.resize(cut.size() - cut.size() / 3);
+    Bytes truncated = whole;
+    truncated.insert(truncated.end(), cut.begin(), cut.end());
+    corpus.push_back({"net-truncated-frame", std::move(truncated), [](const Bytes& b) {
+                        net::FrameDecoder decoder;
+                        decoder.feed(b);
+                        while (const std::optional<net::Frame> f = decoder.next()) {
+                          (void)net::decode_message(*f);
+                        }
+                      }});
+  }
+  {
+    // Garbage bytes, then "reconnect": the first decoder poisons on the
+    // junk (typed FormatError, swallowed — the client would hang up),
+    // and a fresh decoder takes the rest of the bytes as a new
+    // connection. This is exactly StoreClient::ensure_connected's
+    // contract: a reconnect never inherits buffered bytes or poisoning.
+    Bytes garbage(48);
+    Xoshiro256 junk(77);
+    for (std::byte& byte : garbage) byte = static_cast<std::byte>(junk.bounded(256));
+    garbage[0] = std::byte{0xFF};  // never a valid magic byte
+    const Bytes pong = net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPong),
+                                         net::encode(net::PongResponse{}));
+    Bytes both = garbage;
+    both.insert(both.end(), pong.begin(), pong.end());
+    corpus.push_back({"net-garbage-then-reconnect", std::move(both), [](const Bytes& b) {
+                        const std::size_t split = std::min<std::size_t>(48, b.size());
+                        const auto bytes = std::span<const std::byte>(b);
+                        {
+                          net::FrameDecoder first;
+                          try {
+                            first.feed(bytes.subspan(0, split));
+                            while (const std::optional<net::Frame> f = first.next()) {
+                              (void)net::decode_message(*f);
+                            }
+                          } catch (const Error&) {
+                            // Poisoned stream: the client drops the connection.
+                          }
+                        }
+                        net::FrameDecoder fresh;  // the reconnect
+                        fresh.feed(bytes.subspan(split));
+                        while (const std::optional<net::Frame> f = fresh.next()) {
+                          (void)net::decode_message(*f);
                         }
                       }});
   }
