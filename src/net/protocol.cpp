@@ -57,7 +57,43 @@ void expect_exhausted(const ByteReader& r, const char* what) {
   }
 }
 
+/// Appends the request's trace context as a 24-byte suffix — or nothing
+/// when the context is all-zero, keeping the encoding byte-identical to
+/// the pre-trace wire format (what an old or telemetry-off peer sends).
+void put_trace(ByteWriter& w, const TraceContext& trace) {
+  if (trace.zero()) return;
+  w.u64(trace.trace_id);
+  w.u64(trace.span_id);
+  w.u64(trace.parent_span_id);
+}
+
+constexpr std::size_t kTraceSuffixBytes = 3 * sizeof(std::uint64_t);
+
+/// Reads the optional trailing trace context: absent (reader exhausted)
+/// decodes as the zero context; anything between 1 and 23 bytes is a
+/// truncated suffix and rejected, as are bytes *after* a full suffix.
+[[nodiscard]] TraceContext get_trace(ByteReader& r, const char* what) {
+  if (r.exhausted()) return TraceContext{};
+  if (r.remaining() < kTraceSuffixBytes) {
+    throw FormatError(std::string("net message: truncated trace context after ") + what);
+  }
+  TraceContext trace;
+  trace.trace_id = r.u64();
+  trace.span_id = r.u64();
+  trace.parent_span_id = r.u64();
+  expect_exhausted(r, what);
+  return trace;
+}
+
 [[nodiscard]] Bytes empty_body() { return Bytes{}; }
+
+/// A request whose only payload is its optional trace suffix.
+[[nodiscard]] Bytes trace_only_body(const TraceContext& trace) {
+  if (trace.zero()) return empty_body();
+  ByteWriter w;
+  put_trace(w, trace);
+  return w.take();
+}
 
 }  // namespace
 
@@ -75,8 +111,8 @@ const char* error_code_name(ErrorCode code) noexcept {
   return "unknown";
 }
 
-Bytes encode(const PingRequest&) { return empty_body(); }
-Bytes encode(const ShutdownRequest&) { return empty_body(); }
+Bytes encode(const PingRequest& m) { return trace_only_body(m.trace); }
+Bytes encode(const ShutdownRequest& m) { return trace_only_body(m.trace); }
 Bytes encode(const PongResponse&) { return empty_body(); }
 Bytes encode(const ShutdownOkResponse&) { return empty_body(); }
 
@@ -87,18 +123,21 @@ Bytes encode(const PutRequest& m) {
   w.u64(m.request_id);
   put_shape(w, m.shape);
   put_values(w, m.shape, m.values);
+  put_trace(w, m.trace);
   return w.take();
 }
 
 Bytes encode(const GetRequest& m) {
   ByteWriter w;
   w.str(m.tenant);
+  put_trace(w, m.trace);
   return w.take();
 }
 
 Bytes encode(const StatRequest& m) {
   ByteWriter w;
   w.str(m.tenant);
+  put_trace(w, m.trace);
   return w.take();
 }
 
@@ -133,6 +172,15 @@ Bytes encode(const StatOkResponse& m) {
     w.u64(s.quota_bytes);
     w.u64(s.newest_step);
   }
+  // Health block: one record per entry, *after* all base entries, so a
+  // pre-health client's decoder fails loudly (trailing bytes) instead of
+  // misparsing, and a pre-health server's reply (no block) decodes here
+  // with default health.
+  for (const TenantStat& s : m.stats) {
+    w.u64(s.quarantined);
+    w.u64(s.scrub_age_ms);
+    w.str(s.last_error);
+  }
   return w.take();
 }
 
@@ -147,12 +195,14 @@ AnyMessage decode_message(const Frame& frame) {
   ByteReader r{std::span<const std::byte>(frame.payload)};
   switch (static_cast<MessageType>(frame.type)) {
     case MessageType::kPing: {
-      expect_exhausted(r, "ping");
-      return PingRequest{};
+      PingRequest m;
+      m.trace = get_trace(r, "ping");
+      return m;
     }
     case MessageType::kShutdown: {
-      expect_exhausted(r, "shutdown");
-      return ShutdownRequest{};
+      ShutdownRequest m;
+      m.trace = get_trace(r, "shutdown");
+      return m;
     }
     case MessageType::kPong: {
       expect_exhausted(r, "pong");
@@ -169,19 +219,19 @@ AnyMessage decode_message(const Frame& frame) {
       m.request_id = r.u64();
       m.shape = get_shape(r);
       m.values = get_values(r, m.shape);
-      expect_exhausted(r, "put");
+      m.trace = get_trace(r, "put");
       return m;
     }
     case MessageType::kGet: {
       GetRequest m;
       m.tenant = r.str();
-      expect_exhausted(r, "get");
+      m.trace = get_trace(r, "get");
       return m;
     }
     case MessageType::kStat: {
       StatRequest m;
       m.tenant = r.str();
-      expect_exhausted(r, "stat");
+      m.trace = get_trace(r, "stat");
       return m;
     }
     case MessageType::kPutOk: {
@@ -226,6 +276,15 @@ AnyMessage decode_message(const Frame& frame) {
         s.quota_bytes = r.u64();
         s.newest_step = r.u64();
         m.stats.push_back(std::move(s));
+      }
+      // Optional trailing health block (absent in pre-health replies:
+      // the entries above decode with TenantStat's defaults).
+      if (!r.exhausted()) {
+        for (TenantStat& s : m.stats) {
+          s.quarantined = r.u64();
+          s.scrub_age_ms = r.u64();
+          s.last_error = r.str();
+        }
       }
       expect_exhausted(r, "stat-ok");
       return m;

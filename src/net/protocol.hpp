@@ -24,9 +24,17 @@
 
 #include "ndarray/shape.hpp"
 #include "net/frame.hpp"
+#include "telemetry/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace wck::net {
+
+/// Distributed-trace identity carried by every request. On the wire it
+/// is an optional 24-byte suffix: a fully-zero context encodes as
+/// *absent* (byte-identical to the pre-trace format), and an absent
+/// suffix decodes as the zero context — so old peers and telemetry-off
+/// processes interoperate in both directions.
+using telemetry::TraceContext;
 
 /// Frame type byte. Requests are < 0x40, responses >= 0x40. Stable wire
 /// values: append, never renumber.
@@ -61,7 +69,9 @@ enum class ErrorCode : std::uint8_t {
 
 // ------------------------------------------------------------- requests
 
-struct PingRequest {};
+struct PingRequest {
+  TraceContext trace = {};
+};
 
 struct PutRequest {
   std::string tenant;
@@ -71,20 +81,27 @@ struct PutRequest {
   /// remembers the id that committed each (tenant, step) and answers a
   /// duplicate with the original outcome instead of re-committing.
   /// 0 = no token (never deduplicated) — the pre-retry wire behaviour.
+  /// Unlike the trace context, the id survives telemetry-off: dedup is
+  /// a correctness feature, tracing an observability one.
   std::uint64_t request_id = 0;
   Shape shape = Shape{1};
   std::vector<double> values;  ///< shape.size() doubles
+  TraceContext trace = {};
 };
 
 struct GetRequest {
   std::string tenant;
+  TraceContext trace = {};
 };
 
 struct StatRequest {
   std::string tenant;  ///< empty = server-wide (all tenants)
+  TraceContext trace = {};
 };
 
-struct ShutdownRequest {};
+struct ShutdownRequest {
+  TraceContext trace = {};
+};
 
 // ------------------------------------------------------------ responses
 
@@ -110,11 +127,21 @@ struct GetOkResponse {
 };
 
 struct TenantStat {
+  /// scrub_age_ms value meaning "this tenant has never been scrubbed"
+  /// (tenants created by a put after startup, or pre-health servers).
+  static constexpr std::uint64_t kNeverScrubbed = ~std::uint64_t{0};
+
   std::string name;
   std::uint64_t generations = 0;
   std::uint64_t stored_bytes = 0;
   std::uint64_t quota_bytes = 0;  ///< 0 = unlimited
   std::uint64_t newest_step = 0;  ///< 0 when no generation exists
+  // Health fields. On the wire they form a trailing per-tenant block
+  // after all base entries, so a stat-ok from a pre-health server
+  // decodes with the defaults below.
+  std::uint64_t quarantined = 0;           ///< generations quarantined by scrub
+  std::uint64_t scrub_age_ms = kNeverScrubbed;  ///< ms since last scrub
+  std::string last_error;                  ///< ErrorCode-style kind; "" = none
 };
 
 struct StatOkResponse {

@@ -1,6 +1,7 @@
 #include "server/client.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
@@ -31,6 +32,7 @@ StoreClient::StoreClient(std::string socket_path, Options options)
     : socket_path_(std::move(socket_path)),
       options_(options),
       id_rng_(options.seed),
+      trace_rng_(options.seed ^ 0x7E4AD1C9F3B2605Bull),
       jitter_seed_(options.seed) {
   if (options_.seed == 0) {
     // No seed given: derive one that differs between clients even when
@@ -42,6 +44,7 @@ StoreClient::StoreClient(std::string socket_path, Options options)
     SplitMix64 mix(static_cast<std::uint64_t>(now) ^ static_cast<std::uint64_t>(self));
     jitter_seed_ = mix.next();
     id_rng_ = SplitMix64(mix.next());
+    trace_rng_ = SplitMix64(mix.next());
   }
 }
 
@@ -76,6 +79,7 @@ net::AnyMessage StoreClient::round_trip_once(const Bytes& frame) {
   stream_.send_all(frame, options_.timeout_ms);
   for (;;) {
     if (std::optional<net::Frame> reply = decoder_.next()) {
+      last_reply_bytes_ = reply->payload.size() + net::kFrameHeaderBytes;
       return net::decode_message(*reply);
     }
     Bytes chunk;
@@ -117,9 +121,82 @@ net::AnyMessage StoreClient::round_trip(net::MessageType type, const Bytes& body
   }
 }
 
+telemetry::TraceContext StoreClient::make_trace_context() {
+  if (!telemetry::enabled()) return {};
+  telemetry::TraceContext ctx;
+  // 0 is the "no trace" sentinel on the wire; skip it in both streams.
+  do {
+    ctx.trace_id = trace_rng_.next();
+  } while (ctx.trace_id == 0);
+  do {
+    ctx.span_id = trace_rng_.next();
+  } while (ctx.span_id == 0);
+  return ctx;  // parent_span_id = 0: the client RPC span is the root
+}
+
+net::AnyMessage StoreClient::traced_round_trip(net::MessageType type, const char* span_name,
+                                               const char* type_name,
+                                               const std::string& tenant, std::uint64_t step,
+                                               const telemetry::TraceContext& ctx,
+                                               const Bytes& body, bool retriable) {
+  if (!telemetry::enabled()) return round_trip(type, body, retriable);
+  const std::uint64_t retries_before = retries_;
+  const double start_us = telemetry::Tracer::global().now_us();
+  const std::size_t request_bytes = body.size() + net::kFrameHeaderBytes;
+  telemetry::TraceSpan span(span_name, ctx);
+  try {
+    net::AnyMessage reply = round_trip(type, body, retriable);
+    note_slow_rpc(type_name, tenant, step, ctx, start_us, request_bytes, last_reply_bytes_,
+                  retries_before, /*error=*/false);
+    return reply;
+  } catch (...) {
+    note_slow_rpc(type_name, tenant, step, ctx, start_us, request_bytes, 0, retries_before,
+                  /*error=*/true);
+    throw;
+  }
+}
+
+void StoreClient::note_slow_rpc(const char* type_name, const std::string& tenant,
+                                std::uint64_t step, const telemetry::TraceContext& ctx,
+                                double start_us, std::size_t request_bytes,
+                                std::size_t reply_bytes, std::uint64_t retries_before,
+                                bool error) noexcept {
+  if (!telemetry::enabled() || options_.slow_request_ms < 0) return;
+  const double ms = (telemetry::Tracer::global().now_us() - start_us) / 1e3;
+  if (ms < static_cast<double>(options_.slow_request_ms)) return;
+  try {
+    char ms_buf[32];
+    std::snprintf(ms_buf, sizeof ms_buf, "%.3f", ms);
+    // The detail is itself a JSON object, string-encoded inside the
+    // event line; consumers json-parse the "detail" field again.
+    std::string detail = "{\"tenant\":\"";
+    detail += tenant;
+    detail += "\",\"type\":\"";
+    detail += type_name;
+    detail += "\",\"trace_id\":\"";
+    detail += telemetry::trace_id_hex(ctx.trace_id);
+    detail += "\",\"ms\":";
+    detail += ms_buf;
+    detail += ",\"req_bytes\":";
+    detail += std::to_string(request_bytes);
+    detail += ",\"resp_bytes\":";
+    detail += std::to_string(reply_bytes);
+    detail += ",\"retries\":";
+    detail += std::to_string(retries_ - retries_before);
+    detail += ",\"error\":";
+    detail += error ? "true" : "false";
+    detail += "}";
+    WCK_EVENT(kClientSlowRequest, step, std::move(detail));
+  } catch (...) {
+    // Slow-request logging is best-effort; never mask the RPC outcome.
+  }
+}
+
 void StoreClient::ping() {
-  const net::AnyMessage reply =
-      round_trip(net::MessageType::kPing, net::encode(net::PingRequest{}));
+  net::PingRequest req;
+  req.trace = make_trace_context();
+  const net::AnyMessage reply = traced_round_trip(
+      net::MessageType::kPing, "client.rpc.ping", "ping", {}, 0, req.trace, net::encode(req));
   if (!std::holds_alternative<net::PongResponse>(reply)) {
     throw FormatError("store server: unexpected reply to ping");
   }
@@ -136,7 +213,10 @@ net::PutOkResponse StoreClient::put(const std::string& tenant, std::uint64_t ste
   } while (req.request_id == 0);
   req.shape = array.shape();
   req.values.assign(array.values().begin(), array.values().end());
-  net::AnyMessage reply = round_trip(net::MessageType::kPut, net::encode(req));
+  req.trace = make_trace_context();
+  net::AnyMessage reply =
+      traced_round_trip(net::MessageType::kPut, "client.rpc.put", "put", tenant, step,
+                        req.trace, net::encode(req));
   auto* ok = std::get_if<net::PutOkResponse>(&reply);
   if (ok == nullptr) throw FormatError("store server: unexpected reply to put");
   if (ok->request_id != 0 && ok->request_id != req.request_id) {
@@ -151,7 +231,9 @@ net::PutOkResponse StoreClient::put(const std::string& tenant, std::uint64_t ste
 StoreClient::GetResult StoreClient::get(const std::string& tenant) {
   net::GetRequest req;
   req.tenant = tenant;
-  net::AnyMessage reply = round_trip(net::MessageType::kGet, net::encode(req));
+  req.trace = make_trace_context();
+  net::AnyMessage reply = traced_round_trip(net::MessageType::kGet, "client.rpc.get", "get",
+                                            tenant, 0, req.trace, net::encode(req));
   auto* ok = std::get_if<net::GetOkResponse>(&reply);
   if (ok == nullptr) throw FormatError("store server: unexpected reply to get");
   if (ok->source > static_cast<std::uint8_t>(RestoreSource::kParity)) {
@@ -167,14 +249,19 @@ StoreClient::GetResult StoreClient::get(const std::string& tenant) {
 net::StatOkResponse StoreClient::stat(const std::string& tenant) {
   net::StatRequest req;
   req.tenant = tenant;
-  net::AnyMessage reply = round_trip(net::MessageType::kStat, net::encode(req));
+  req.trace = make_trace_context();
+  net::AnyMessage reply = traced_round_trip(net::MessageType::kStat, "client.rpc.stat",
+                                            "stat", tenant, 0, req.trace, net::encode(req));
   if (auto* ok = std::get_if<net::StatOkResponse>(&reply)) return std::move(*ok);
   throw FormatError("store server: unexpected reply to stat");
 }
 
 void StoreClient::shutdown_server() {
-  const net::AnyMessage reply = round_trip(
-      net::MessageType::kShutdown, net::encode(net::ShutdownRequest{}), /*retriable=*/false);
+  net::ShutdownRequest req;
+  req.trace = make_trace_context();
+  const net::AnyMessage reply =
+      traced_round_trip(net::MessageType::kShutdown, "client.rpc.shutdown", "shutdown", {}, 0,
+                        req.trace, net::encode(req), /*retriable=*/false);
   if (!std::holds_alternative<net::ShutdownOkResponse>(reply)) {
     throw FormatError("store server: unexpected reply to shutdown");
   }

@@ -29,6 +29,7 @@
 #include "net/frame.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "telemetry/trace.hpp"
 #include "util/backoff.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +46,11 @@ struct StoreClientOptions {
   /// per-client seed (clock ⊕ address) so two clients retrying the
   /// same (tenant, step) cannot collide on request ids.
   std::uint64_t seed = 0;
+  /// Client-side slow-request threshold: any RPC taking at least this
+  /// many ms records a structured client.slow_request event (tenant,
+  /// type, trace_id, duration, byte sizes, transport retries). 0 logs
+  /// every RPC; negative disables. Requires telemetry to be enabled.
+  int slow_request_ms = 1'000;
 };
 
 class StoreClient {
@@ -98,14 +104,35 @@ class StoreClient {
   /// it single-shot (shutdown).
   [[nodiscard]] net::AnyMessage round_trip(net::MessageType type, const Bytes& body,
                                            bool retriable = true);
+  /// round_trip wrapped in a "client.rpc.<type>" boundary span carrying
+  /// `ctx` plus the client-side slow-request log. With telemetry off it
+  /// is exactly round_trip (no span, no allocations).
+  [[nodiscard]] net::AnyMessage traced_round_trip(net::MessageType type,
+                                                  const char* span_name,
+                                                  const char* type_name,
+                                                  const std::string& tenant,
+                                                  std::uint64_t step,
+                                                  const telemetry::TraceContext& ctx,
+                                                  const Bytes& body, bool retriable = true);
+  /// Fresh per-RPC trace context (client span becomes the trace root);
+  /// zero when telemetry is disabled, which encodes as absent on the
+  /// wire.
+  [[nodiscard]] telemetry::TraceContext make_trace_context();
+  void note_slow_rpc(const char* type_name, const std::string& tenant, std::uint64_t step,
+                     const telemetry::TraceContext& ctx, double start_us,
+                     std::size_t request_bytes, std::size_t reply_bytes,
+                     std::uint64_t retries_before, bool error) noexcept;
 
   const std::string socket_path_;
   const Options options_;
   net::UnixStream stream_;
   net::FrameDecoder decoder_;
-  SplitMix64 id_rng_;  ///< put request_id stream
+  SplitMix64 id_rng_;     ///< put request_id stream
+  SplitMix64 trace_rng_;  ///< trace/span id stream, distinct so tracing
+                          ///< never perturbs the request_id sequence
   std::uint64_t jitter_seed_ = 0;
   std::uint64_t retries_ = 0;
+  std::size_t last_reply_bytes_ = 0;  ///< wire size of the newest reply frame
 };
 
 }  // namespace wck

@@ -7,6 +7,8 @@
 #include <variant>
 
 #include "net/frame.hpp"
+#include "server/observe.hpp"
+#include "telemetry/exposition.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -28,6 +30,12 @@ using net::MessageType;
   resp.code = code;
   resp.message = message;
   return encode_reply(MessageType::kError, net::encode(resp));
+}
+
+/// True when an encoded reply frame carries an ErrorResponse (the frame
+/// type byte sits right after magic+version in the header).
+[[nodiscard]] bool reply_is_error(const Bytes& reply) noexcept {
+  return reply.size() > 5 && reply[5] == static_cast<std::byte>(MessageType::kError);
 }
 
 }  // namespace
@@ -77,9 +85,13 @@ std::uint64_t StoreServer::connections_idle_reaped() const {
 }
 
 void StoreServer::stop() {
+  bool first_stop = false;
   {
     MutexLock lk(mu_);
-    if (!stopping_) WCK_EVENT(kServerStop, 0, socket_path_);
+    if (!stopping_) {
+      first_stop = true;
+      WCK_EVENT(kServerStop, 0, socket_path_);
+    }
     stopping_ = true;
     shutdown_requested_ = true;
     shutdown_cv_.notify_all();
@@ -135,6 +147,12 @@ void StoreServer::stop() {
       WCK_COUNTER_ADD("server.drain.clean", 1);
     }
     WCK_EVENT(kServerDrain, 0, forced ? "forced" : "clean");
+  }
+  // Final exposition dump *after* the drain so the snapshot covers the
+  // last requests; without this a SIGTERM'd server loses its final
+  // --expose interval (and the slow-request log with it).
+  if (first_stop && !options_.drain_snapshot_dir.empty()) {
+    telemetry::write_exposition_snapshot(options_.drain_snapshot_dir);
   }
 }
 
@@ -247,6 +265,16 @@ Bytes StoreServer::handle_frame(const net::Frame& frame, bool& close_connection)
     return error_reply(ErrorCode::kBadRequest, e.what());
   }
 
+  // The scope opens the server-side boundary span (continuing the
+  // client's wire trace context) and, on finish, records the per-RPC
+  // histograms and the slow-request log entry.
+  ServerRpcScope rpc(message, frame.payload.size(), options_.slow_request_ms);
+  Bytes reply = dispatch_request(message, close_connection);
+  rpc.finish(reply.size(), reply_is_error(reply));
+  return reply;
+}
+
+Bytes StoreServer::dispatch_request(const AnyMessage& message, bool& close_connection) {
   try {
     if (std::holds_alternative<net::PingRequest>(message)) {
       return encode_reply(MessageType::kPong, net::encode(net::PongResponse{}));

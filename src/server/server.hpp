@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -51,6 +52,16 @@ struct StoreServerOptions {
   /// How long stop() lets in-flight requests finish before forcing
   /// connections closed.
   int drain_timeout_ms = 5'000;
+  /// Slow-request threshold: any RPC taking at least this many ms is
+  /// recorded in the flight recorder as a structured server.slow_request
+  /// event (tenant, type, trace_id, duration, byte sizes). 0 logs every
+  /// RPC (useful in CI); negative disables the log.
+  int slow_request_ms = 1'000;
+  /// When non-empty, stop() writes a final exposition snapshot
+  /// (metrics.prom, events.jsonl, slow-requests.jsonl) here after the
+  /// drain completes, so a SIGTERM'd server does not lose its last
+  /// --expose interval. Typically the same directory as --expose.
+  std::filesystem::path drain_snapshot_dir;
 };
 
 class StoreServer {
@@ -98,6 +109,10 @@ class StoreServer {
   void handle_connection(Connection* conn);
   /// Decodes + dispatches one request frame; returns the encoded reply.
   [[nodiscard]] Bytes handle_frame(const net::Frame& frame, bool& close_connection);
+  /// The dispatch half of handle_frame: service call -> encoded reply,
+  /// with every typed error mapped to an ErrorResponse.
+  [[nodiscard]] Bytes dispatch_request(const net::AnyMessage& message,
+                                       bool& close_connection);
   /// Joins and drops connections whose handlers have exited.
   void reap_finished() WCK_REQUIRES(mu_);
   void request_shutdown() WCK_EXCLUDES(mu_);

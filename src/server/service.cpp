@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hpp"
+#include "server/observe.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -49,6 +50,12 @@ void CheckpointService::recover_from_disk() {
     }
     // Scrub outside tenants_mu_: it reads every generation end to end.
     const ScrubReport scrub = tenant->manager->scrub();
+    {
+      MutexLock lk(tenant->mu);
+      tenant->quarantined += scrub.quarantined.size();
+      tenant->scrubbed = true;
+      tenant->last_scrub = std::chrono::steady_clock::now();
+    }
     const std::size_t generations = tenant->manager->generations().size();
     recovery_.tenants += 1;
     recovery_.generations += generations;
@@ -179,6 +186,15 @@ void CheckpointService::end_put(Tenant& tenant) noexcept {
   tenant.cv.notify_all();
 }
 
+void CheckpointService::note_error(Tenant& tenant, const char* kind) noexcept {
+  try {
+    MutexLock lk(tenant.mu);
+    tenant.last_error = kind;
+  } catch (...) {
+    // Health bookkeeping must never replace the error being reported.
+  }
+}
+
 // ---------------------------------------------------------------- requests
 
 net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
@@ -192,6 +208,7 @@ net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
   // from the ledger without touching the store again.
   if (auto dup = find_completed(tenant, req)) {
     WCK_COUNTER_ADD("server.put.deduplicated", 1);
+    add_tenant_counter(req.tenant, "dedup_replays");
     return *dup;
   }
 
@@ -203,8 +220,11 @@ net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
     // caller's checkpoint IS durable. Report the original outcome.
     if (auto dup = find_completed(tenant, req)) {
       WCK_COUNTER_ADD("server.put.deduplicated", 1);
+      add_tenant_counter(req.tenant, "dedup_replays");
       return *dup;
     }
+    note_error(tenant, "busy");
+    add_tenant_counter(req.tenant, "rejects");
     throw;
   }
   // Same race, other exit: the put that just released the window may
@@ -212,6 +232,7 @@ net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
   if (auto dup = find_completed(tenant, req)) {
     end_put(tenant);
     WCK_COUNTER_ADD("server.put.deduplicated", 1);
+    add_tenant_counter(req.tenant, "dedup_replays");
     return *dup;
   }
 
@@ -234,13 +255,26 @@ net::PutOkResponse CheckpointService::put(const net::PutRequest& req) {
     remember_completed(tenant, req, resp);
     end_put(tenant);
     WCK_COUNTER_ADD("server.put.bytes", resp.stored_bytes);
+    add_tenant_counter(req.tenant, "puts");
+    if (options_.tenant_quota_bytes > 0) {
+      set_tenant_gauge(req.tenant, "quota_utilization",
+                       static_cast<double>(resp.total_bytes) /
+                           static_cast<double>(options_.tenant_quota_bytes));
+    }
     return resp;
   } catch (const QuotaExceededError&) {
     end_put(tenant);
     WCK_COUNTER_ADD("server.put.quota_rejections", 1);
+    note_error(tenant, "quota-exceeded");
+    add_tenant_counter(req.tenant, "rejects");
+    throw;
+  } catch (const IoError&) {
+    end_put(tenant);
+    note_error(tenant, "io");
     throw;
   } catch (...) {
     end_put(tenant);
+    note_error(tenant, "internal");
     throw;
   }
 }
@@ -260,14 +294,23 @@ net::GetOkResponse CheckpointService::get(const net::GetRequest& req) {
   NdArray<double> array;
   CheckpointRegistry registry;
   registry.add("state", &array);
-  const RestoreOutcome outcome = tenant.manager->restore(registry);
+  try {
+    const RestoreOutcome outcome = tenant.manager->restore(registry);
 
-  net::GetOkResponse resp;
-  resp.step = outcome.step;
-  resp.source = static_cast<std::uint8_t>(outcome.source);
-  resp.shape = array.shape();
-  resp.values.assign(array.values().begin(), array.values().end());
-  return resp;
+    net::GetOkResponse resp;
+    resp.step = outcome.step;
+    resp.source = static_cast<std::uint8_t>(outcome.source);
+    resp.shape = array.shape();
+    resp.values.assign(array.values().begin(), array.values().end());
+    add_tenant_counter(req.tenant, "gets");
+    return resp;
+  } catch (const CorruptDataError&) {
+    note_error(tenant, "corrupt");
+    throw;
+  } catch (const IoError&) {
+    note_error(tenant, "io");
+    throw;
+  }
 }
 
 net::StatOkResponse CheckpointService::stat(const net::StatRequest& req) {
@@ -307,6 +350,17 @@ net::StatOkResponse CheckpointService::stat(const net::StatRequest& req) {
     for (const CheckpointManager::Generation& g : gens) s.stored_bytes += g.size;
     s.quota_bytes = options_.tenant_quota_bytes;
     s.newest_step = gens.empty() ? 0 : gens.front().step;
+    {
+      MutexLock lk(selected[i]->mu);
+      s.quarantined = selected[i]->quarantined;
+      s.last_error = selected[i]->last_error;
+      if (selected[i]->scrubbed) {
+        s.scrub_age_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - selected[i]->last_scrub)
+                .count());
+      }
+    }
     resp.stats.push_back(std::move(s));
   }
   return resp;

@@ -21,6 +21,7 @@
 // exercise quota/coalescing logic without a socket in sight.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -128,6 +129,11 @@ class CheckpointService {
     std::uint64_t next_ticket WCK_GUARDED_BY(mu) = 1;
     /// Dedup ledger keyed by step; pruned to kCompletedPutsKept.
     std::map<std::uint64_t, CompletedPut> completed WCK_GUARDED_BY(mu);
+    // Health, surfaced by stat() as TenantStat's health fields.
+    std::uint64_t quarantined WCK_GUARDED_BY(mu) = 0;  ///< scrub quarantines
+    std::string last_error WCK_GUARDED_BY(mu);  ///< ErrorCode-style kind; "" = none
+    bool scrubbed WCK_GUARDED_BY(mu) = false;
+    std::chrono::steady_clock::time_point last_scrub WCK_GUARDED_BY(mu){};
   };
 
   /// RAII admission slot: constructor blocks or throws BusyError per
@@ -160,6 +166,9 @@ class CheckpointService {
   /// Begin/end of the per-tenant coalescing window around a put.
   void begin_put(Tenant& tenant) WCK_EXCLUDES(tenant.mu);
   void end_put(Tenant& tenant) noexcept WCK_EXCLUDES(tenant.mu);
+  /// Records the most recent storage/rejection error kind on the
+  /// tenant's health (shown as TenantStat::last_error).
+  void note_error(Tenant& tenant, const char* kind) noexcept WCK_EXCLUDES(tenant.mu);
 
   const Codec& codec_;
   const Options options_;

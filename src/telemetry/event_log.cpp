@@ -39,6 +39,8 @@ const char* event_kind_name(EventKind kind) noexcept {
     case EventKind::kServerTimeout: return "server.timeout";
     case EventKind::kServerDrain: return "server.drain";
     case EventKind::kClientRetry: return "client.retry";
+    case EventKind::kServerSlowRequest: return "server.slow_request";
+    case EventKind::kClientSlowRequest: return "client.slow_request";
   }
   return "unknown";
 }
@@ -112,6 +114,27 @@ std::string event_to_json(const Event& e) {
 
 std::string EventLog::to_jsonl(std::size_t max_events) const {
   std::vector<Event> events = snapshot();
+  if (max_events != 0 && events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.begin() + static_cast<std::ptrdiff_t>(events.size() - max_events));
+  }
+  std::string out;
+  for (const Event& e : events) {
+    out += event_to_json(e);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string EventLog::to_jsonl_for(std::initializer_list<EventKind> kinds,
+                                   std::size_t max_events) const {
+  std::vector<Event> events = snapshot();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [&](const Event& e) {
+                                return std::find(kinds.begin(), kinds.end(), e.kind) ==
+                                       kinds.end();
+                              }),
+               events.end());
   if (max_events != 0 && events.size() > max_events) {
     events.erase(events.begin(),
                  events.begin() + static_cast<std::ptrdiff_t>(events.size() - max_events));

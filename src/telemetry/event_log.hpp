@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,8 @@ enum class EventKind : std::uint8_t {
   kServerTimeout,      ///< connection deadline expired (idle/read/write)
   kServerDrain,        ///< graceful drain started / finished
   kClientRetry,        ///< store client retried a connect or request
+  kServerSlowRequest,  ///< RPC exceeded the server slow-request threshold
+  kClientSlowRequest,  ///< RPC exceeded the client slow-request threshold
 };
 
 /// Stable dotted name for a kind ("ckpt.commit", "fault.injected", ...).
@@ -97,6 +100,11 @@ class EventLog {
   ///   {"seq":3,"t_us":12.5,"kind":"ckpt.retry","step":7,"detail":"attempt 2/5"}
   /// Only the newest `max_events` lines when nonzero.
   [[nodiscard]] std::string to_jsonl(std::size_t max_events = 0) const;
+
+  /// Like to_jsonl(), but keeps only events whose kind is in `kinds`
+  /// (the slow-request log is the ring filtered to *.slow_request).
+  [[nodiscard]] std::string to_jsonl_for(std::initializer_list<EventKind> kinds,
+                                         std::size_t max_events = 0) const;
 
   /// Writes to_jsonl() to `path`; throws std::runtime_error on failure.
   void dump_to_file(const std::string& path, std::size_t max_events = 0) const;

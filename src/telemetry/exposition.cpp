@@ -81,6 +81,22 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+bool write_exposition_snapshot(const std::filesystem::path& dir, std::size_t event_tail) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; writes report
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  bool ok = write_file_best_effort(dir / "metrics.prom", prometheus_text(snap));
+  ok = write_file_best_effort(dir / "events.jsonl",
+                              EventLog::global().to_jsonl(event_tail)) &&
+       ok;
+  ok = write_file_best_effort(
+           dir / "slow-requests.jsonl",
+           EventLog::global().to_jsonl_for(
+               {EventKind::kServerSlowRequest, EventKind::kClientSlowRequest})) &&
+       ok;
+  return ok;
+}
+
 PeriodicSnapshotWriter::PeriodicSnapshotWriter(std::filesystem::path dir, Options options)
     : dir_(std::move(dir)), options_(options) {
   std::error_code ec;
@@ -90,11 +106,7 @@ PeriodicSnapshotWriter::PeriodicSnapshotWriter(std::filesystem::path dir, Option
 PeriodicSnapshotWriter::~PeriodicSnapshotWriter() { stop(); }
 
 bool PeriodicSnapshotWriter::write_once() {
-  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
-  bool ok = write_file_best_effort(dir_ / "metrics.prom", prometheus_text(snap));
-  ok = write_file_best_effort(dir_ / "events.jsonl",
-                              EventLog::global().to_jsonl(options_.event_tail)) &&
-       ok;
+  const bool ok = write_exposition_snapshot(dir_, options_.event_tail);
   writes_.fetch_add(1, std::memory_order_relaxed);
   return ok;
 }

@@ -33,13 +33,24 @@ namespace wck::telemetry {
 /// these are not).
 [[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
 
+/// Writes one exposition snapshot of the global registry and flight
+/// recorder into `dir` (created if missing):
+///   <dir>/metrics.prom         — prometheus_text of the current snapshot
+///   <dir>/events.jsonl         — newest flight-recorder events
+///   <dir>/slow-requests.jsonl  — flight recorder filtered to the
+///                                *.slow_request kinds (structured
+///                                slow-request log)
+/// Best-effort: returns false if any file failed to write, never
+/// throws. StoreServer calls this at the end of a graceful drain so a
+/// SIGTERM'd server does not lose its last --expose interval.
+bool write_exposition_snapshot(const std::filesystem::path& dir, std::size_t event_tail = 0);
+
 /// Background exposition: every `interval` the writer snapshots the
-/// global registry and flight recorder and (over)writes
-///   <dir>/metrics.prom   — prometheus_text of the current snapshot
-///   <dir>/events.jsonl   — newest flight-recorder events
-/// Overwriting keeps the file count bounded no matter how long the run
-/// is. Writes are best-effort: an unwritable directory must never take
-/// down the instrumented process.
+/// global registry and flight recorder and (over)writes the
+/// write_exposition_snapshot() file set. Overwriting keeps the file
+/// count bounded no matter how long the run is. Writes are best-effort:
+/// an unwritable directory must never take down the instrumented
+/// process.
 class PeriodicSnapshotWriter {
  public:
   struct Options {

@@ -21,6 +21,35 @@
 
 namespace wck::telemetry {
 
+/// Cross-process trace identity, carried over the wire by the store
+/// protocol (net::protocol). 0 is the "no context" sentinel everywhere:
+/// a zero trace_id means the span belongs to no distributed trace, and
+/// a fully-zero context encodes as *absent* on the wire, so old peers
+/// and telemetry-off processes interoperate unchanged.
+struct TraceContext {
+  std::uint64_t trace_id = 0;         ///< one RPC tree, all processes
+  std::uint64_t span_id = 0;          ///< this span within the trace
+  std::uint64_t parent_span_id = 0;   ///< 0 = root span of the trace
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+  [[nodiscard]] bool zero() const noexcept {
+    return trace_id == 0 && span_id == 0 && parent_span_id == 0;
+  }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Process-unique nonzero span/trace id: an atomic counter mixed over a
+/// per-process base (clock ⊕ ASLR'd address), so two processes that
+/// trace the same RPC tree almost surely draw from disjoint id streams.
+[[nodiscard]] std::uint64_t next_span_id() noexcept;
+
+/// The calling thread's ambient trace context (set by an RPC-boundary
+/// TraceSpan for its lifetime); zero outside any traced RPC.
+[[nodiscard]] TraceContext current_trace_context() noexcept;
+
+/// 16-digit lowercase hex rendering of a trace/span id, the stable
+/// textual form used in chrome-trace args and slow-request log lines.
+[[nodiscard]] std::string trace_id_hex(std::uint64_t id);
+
 /// One completed span.
 struct SpanRecord {
   std::string name;
@@ -28,6 +57,13 @@ struct SpanRecord {
   double dur_us = 0.0;
   std::uint32_t depth = 0;  ///< 0 = outermost span on that thread
   std::uint32_t tid = 0;    ///< dense per-process thread index
+  /// Distributed-trace identity; all zero for spans recorded outside a
+  /// traced RPC. Interior spans carry the ambient trace_id (and the
+  /// enclosing RPC span as parent) so a merged timeline can attribute
+  /// them without each one drawing its own id.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 class Tracer {
@@ -41,6 +77,10 @@ class Tracer {
 
   /// Appends a completed span to the calling thread's stream.
   void record(std::string name, double start_us, double dur_us, std::uint32_t depth);
+
+  /// Same, with an explicit distributed-trace identity on the span.
+  void record(std::string name, double start_us, double dur_us, std::uint32_t depth,
+              const TraceContext& ctx);
 
   /// Enters/leaves a nesting level on the calling thread; returns the
   /// depth the span runs at.
@@ -77,6 +117,13 @@ class Tracer {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
+
+  /// RPC-boundary span: records `ctx` on the span and installs it as
+  /// the thread's ambient context for the span's lifetime, so nested
+  /// WCK_TRACE_SPANs inherit the trace_id. The previous ambient
+  /// context is restored on destruction.
+  TraceSpan(const char* name, const TraceContext& ctx);
+
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -87,6 +134,9 @@ class TraceSpan {
   double start_us_ = 0.0;
   std::uint32_t depth_ = 0;
   bool active_ = false;
+  bool scoped_ = false;     ///< true when this span swapped the ambient ctx
+  TraceContext ctx_;        ///< identity recorded on this span
+  TraceContext prev_;       ///< ambient context to restore
 };
 
 }  // namespace wck::telemetry

@@ -202,8 +202,8 @@ TEST(Protocol, GetOkResponseRoundTrip) {
 TEST(Protocol, StatOkResponseRoundTrip) {
   StatOkResponse msg;
   msg.tenants = 2;
-  msg.stats.push_back({"alpha", 3, 3000, 10000, 17});
-  msg.stats.push_back({"beta", 0, 0, 0, 0});
+  msg.stats.push_back({"alpha", 3, 3000, 10000, 17, 0, TenantStat::kNeverScrubbed, ""});
+  msg.stats.push_back({"beta", 0, 0, 0, 0, 0, TenantStat::kNeverScrubbed, ""});
   const StatOkResponse out = round_trip(MessageType::kStatOk, msg);
   ASSERT_EQ(out.stats.size(), 2u);
   EXPECT_EQ(out.tenants, 2u);
@@ -255,6 +255,141 @@ TEST(Protocol, TruncatedAndTrailingPayloadsAreFormatErrors) {
   Frame trailing = frame;
   trailing.payload.push_back(std::byte{0});
   EXPECT_THROW((void)decode_message(trailing), FormatError);
+}
+
+// ------------------------------------------------- trace context wire
+
+TEST(Protocol, TraceContextRoundTripsOnEveryRequest) {
+  const TraceContext ctx{0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull,
+                         0xFEDCBA9876543210ull};
+
+  PingRequest ping;
+  ping.trace = ctx;
+  EXPECT_EQ(round_trip(MessageType::kPing, ping).trace, ctx);
+
+  PutRequest put;
+  put.tenant = "t";
+  put.step = 5;
+  put.shape = Shape{2};
+  put.values = {1.0, 2.0};
+  put.trace = ctx;
+  EXPECT_EQ(round_trip(MessageType::kPut, put).trace, ctx);
+
+  GetRequest get;
+  get.tenant = "t";
+  get.trace = ctx;
+  EXPECT_EQ(round_trip(MessageType::kGet, get).trace, ctx);
+
+  StatRequest stat;
+  stat.trace = ctx;
+  EXPECT_EQ(round_trip(MessageType::kStat, stat).trace, ctx);
+
+  ShutdownRequest shutdown;
+  shutdown.trace = ctx;
+  EXPECT_EQ(round_trip(MessageType::kShutdown, shutdown).trace, ctx);
+}
+
+TEST(Protocol, ZeroTraceContextEncodesAsOldWireFormat) {
+  // A zero context must be byte-identical to the pre-trace encoding:
+  // that IS the backward-compatibility story (old servers reject
+  // nothing, old clients parse every reply).
+  GetRequest traced;
+  traced.tenant = "rank-07";
+  GetRequest untraced = traced;
+  traced.trace = TraceContext{};  // explicit zero == absent
+  EXPECT_EQ(encode(traced), encode(untraced));
+
+  // Hand-build the old-format body (just the tenant string) and check
+  // a new decoder accepts it with a zero context.
+  ByteWriter w;
+  w.str("rank-07");
+  Frame frame;
+  frame.type = static_cast<std::uint8_t>(MessageType::kGet);
+  frame.payload = w.take();
+  const AnyMessage decoded = decode_message(frame);
+  const auto* get = std::get_if<GetRequest>(&decoded);
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->tenant, "rank-07");
+  EXPECT_TRUE(get->trace.zero());
+}
+
+TEST(Protocol, TruncatedTraceContextIsFormatError) {
+  GetRequest msg;
+  msg.tenant = "t";
+  msg.trace = TraceContext{1, 2, 3};
+  const Bytes whole = encode(msg);
+
+  // Every strictly-partial suffix length (1..23 of the 24 trace bytes)
+  // must be rejected: it is neither "absent" nor a full context.
+  for (std::size_t cut = 1; cut < 24; ++cut) {
+    Frame frame;
+    frame.type = static_cast<std::uint8_t>(MessageType::kGet);
+    frame.payload = Bytes(whole.begin(), whole.end() - static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)decode_message(frame), FormatError) << "cut=" << cut;
+  }
+
+  // Bytes after a complete suffix are trailing garbage, same as ever.
+  Frame trailing;
+  trailing.type = static_cast<std::uint8_t>(MessageType::kGet);
+  trailing.payload = whole;
+  trailing.payload.push_back(std::byte{0x7F});
+  EXPECT_THROW((void)decode_message(trailing), FormatError);
+}
+
+// --------------------------------------------- per-tenant health wire
+
+TEST(Protocol, StatOkHealthFieldsRoundTrip) {
+  StatOkResponse msg;
+  msg.tenants = 2;
+  TenantStat sick;
+  sick.name = "sick";
+  sick.generations = 1;
+  sick.stored_bytes = 512;
+  sick.quota_bytes = 1024;
+  sick.newest_step = 9;
+  sick.quarantined = 3;
+  sick.scrub_age_ms = 2500;
+  sick.last_error = "quota-exceeded";
+  TenantStat fresh;
+  fresh.name = "fresh";  // never scrubbed, never failed: all defaults
+  msg.stats.push_back(sick);
+  msg.stats.push_back(fresh);
+
+  const StatOkResponse out = round_trip(MessageType::kStatOk, msg);
+  ASSERT_EQ(out.stats.size(), 2u);
+  EXPECT_EQ(out.stats[0].quarantined, 3u);
+  EXPECT_EQ(out.stats[0].scrub_age_ms, 2500u);
+  EXPECT_EQ(out.stats[0].last_error, "quota-exceeded");
+  EXPECT_EQ(out.stats[1].quarantined, 0u);
+  EXPECT_EQ(out.stats[1].scrub_age_ms, TenantStat::kNeverScrubbed);
+  EXPECT_TRUE(out.stats[1].last_error.empty());
+}
+
+TEST(Protocol, StatOkWithoutHealthBlockDecodesToDefaults) {
+  // An old server's StatOk stops after the base entries. A new client
+  // must fill the health fields with their "unknown" defaults instead
+  // of rejecting the reply.
+  ByteWriter w;
+  w.u64(1);  // total tenants
+  w.varint(1);
+  w.str("legacy");
+  w.u64(4);    // generations
+  w.u64(800);  // stored bytes
+  w.u64(0);    // quota
+  w.u64(12);   // newest step
+  Frame frame;
+  frame.type = static_cast<std::uint8_t>(MessageType::kStatOk);
+  frame.payload = w.take();
+
+  const AnyMessage decoded = decode_message(frame);
+  const auto* stat = std::get_if<StatOkResponse>(&decoded);
+  ASSERT_NE(stat, nullptr);
+  ASSERT_EQ(stat->stats.size(), 1u);
+  EXPECT_EQ(stat->stats[0].name, "legacy");
+  EXPECT_EQ(stat->stats[0].generations, 4u);
+  EXPECT_EQ(stat->stats[0].quarantined, 0u);
+  EXPECT_EQ(stat->stats[0].scrub_age_ms, TenantStat::kNeverScrubbed);
+  EXPECT_TRUE(stat->stats[0].last_error.empty());
 }
 
 TEST(Protocol, HostileValueCountCannotAllocationBomb) {

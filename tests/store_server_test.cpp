@@ -11,6 +11,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -28,6 +30,7 @@
 #include "server/client.hpp"
 #include "server/server.hpp"
 #include "server/service.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -532,6 +535,111 @@ TEST(StoreServer, ForcedDrainSurfacesTypedErrorToClient) {
   // The abandoned client saw a typed transport error, never a hang or
   // a garbled reply.
   EXPECT_TRUE(typed.load());
+}
+
+TEST(StoreServer, ServerSpanContinuesClientTraceContext) {
+  telemetry::set_enabled(true);
+  telemetry::Tracer::global().clear();
+  Harness h;
+  StoreClient client = StoreClient::connect(h.server.socket_path());
+  (void)client.put("alpha", 1, field_for(1));
+
+  // In-process server: client and server spans land in the same global
+  // Tracer, exactly like `wckpt soak --server`'s single trace file.
+  const std::vector<telemetry::SpanRecord> spans = telemetry::Tracer::global().snapshot();
+  const telemetry::SpanRecord* client_span = nullptr;
+  const telemetry::SpanRecord* server_span = nullptr;
+  for (const telemetry::SpanRecord& s : spans) {
+    if (s.name == "client.rpc.put") client_span = &s;
+    if (s.name == "server.rpc.put") server_span = &s;
+  }
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(server_span, nullptr);
+  // The wire propagated the client's trace: same trace_id, and the
+  // server span is a child of the client span, with its own span id.
+  EXPECT_NE(client_span->trace_id, 0u);
+  EXPECT_EQ(server_span->trace_id, client_span->trace_id);
+  EXPECT_EQ(server_span->parent_span_id, client_span->span_id);
+  EXPECT_NE(server_span->span_id, 0u);
+  EXPECT_NE(server_span->span_id, client_span->span_id);
+}
+
+TEST(StoreServer, SlowRequestLogRecordsStructuredDetail) {
+  telemetry::set_enabled(true);
+  server::StoreServer::Options so;
+  so.slow_request_ms = 0;  // log every RPC
+  Harness h({}, so);
+  StoreClientOptions co;
+  co.slow_request_ms = 0;
+  StoreClient client = StoreClient::connect(h.server.socket_path(), co);
+  (void)client.put("slowtenant", 3, field_for(3));
+
+  bool server_logged = false;
+  bool client_logged = false;
+  for (const telemetry::Event& e : telemetry::EventLog::global().snapshot()) {
+    if (e.kind == telemetry::EventKind::kServerSlowRequest &&
+        e.detail.find("\"tenant\":\"slowtenant\"") != std::string::npos) {
+      server_logged = true;
+      EXPECT_EQ(e.step, 3u);
+      EXPECT_NE(e.detail.find("\"type\":\"put\""), std::string::npos);
+      EXPECT_NE(e.detail.find("\"trace_id\":\""), std::string::npos);
+      EXPECT_NE(e.detail.find("\"error\":false"), std::string::npos);
+    }
+    if (e.kind == telemetry::EventKind::kClientSlowRequest &&
+        e.detail.find("\"tenant\":\"slowtenant\"") != std::string::npos) {
+      client_logged = true;
+      EXPECT_NE(e.detail.find("\"retries\":0"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(server_logged);
+  EXPECT_TRUE(client_logged);
+}
+
+TEST(StoreServer, GracefulDrainWritesFinalSnapshot) {
+  telemetry::set_enabled(true);
+  TempDir snap_dir;
+  const std::filesystem::path snap = snap_dir.path() / "exposed";
+  server::StoreServer::Options so;
+  so.slow_request_ms = 0;
+  so.drain_snapshot_dir = snap;
+  Harness h({}, so);
+  {
+    StoreClientOptions co;
+    co.slow_request_ms = 0;
+    StoreClient client = StoreClient::connect(h.server.socket_path(), co);
+    (void)client.put("draintenant", 1, field_for(1));
+  }
+  ASSERT_FALSE(std::filesystem::exists(snap / "metrics.prom"));
+  h.server.stop();
+
+  // The drain wrote all three exposition files, and they describe this
+  // server's RPCs: the metrics snapshot carries the per-RPC histogram
+  // with its percentile companions, the slow-request log is valid
+  // JSONL filtered to *.slow_request events.
+  ASSERT_TRUE(std::filesystem::exists(snap / "metrics.prom"));
+  ASSERT_TRUE(std::filesystem::exists(snap / "events.jsonl"));
+  ASSERT_TRUE(std::filesystem::exists(snap / "slow-requests.jsonl"));
+
+  std::ifstream prom(snap / "metrics.prom");
+  const std::string prom_text((std::istreambuf_iterator<char>(prom)),
+                              std::istreambuf_iterator<char>());
+  EXPECT_NE(prom_text.find("wck_server_rpc_put_seconds"), std::string::npos);
+  EXPECT_NE(prom_text.find("wck_server_rpc_put_seconds_p95"), std::string::npos);
+  EXPECT_NE(prom_text.find("wck_server_tenant_draintenant_puts"), std::string::npos);
+
+  std::ifstream slow(snap / "slow-requests.jsonl");
+  std::string line;
+  bool found = false;
+  while (std::getline(slow, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("slow_request") != std::string::npos &&
+        line.find("draintenant") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

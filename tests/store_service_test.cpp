@@ -20,6 +20,7 @@
 #include "core/synthetic.hpp"
 #include "io/io_backend.hpp"
 #include "server/service.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -580,6 +581,105 @@ TEST(StoreService, ConcurrentPutsOnOneTenantCoalesceWithTypedOutcomes) {
 
   const net::GetOkResponse got = service.get(net::GetRequest{"shared"});
   EXPECT_EQ(got.values, put_request("shared", got.step).values);
+}
+
+// ------------------------------------------------------ tenant health
+
+TEST(StoreService, StatReportsScrubHealthAfterRecovery) {
+  const NullCodec codec;
+  TempDir dir;
+  const std::filesystem::path root = dir.path() / "store";
+  {
+    server::CheckpointService service(codec, service_options(root));
+    (void)service.put(put_request("sick", 1));
+    (void)service.put(put_request("sick", 2));
+    (void)service.put(put_request("well", 1));
+  }
+  corrupt_file(root / "sick" / "ckpt.2.wck", 40);
+
+  server::CheckpointService service(codec, service_options(root));
+  const net::StatOkResponse stat = service.stat(net::StatRequest{});
+  ASSERT_EQ(stat.stats.size(), 2u);
+  EXPECT_EQ(stat.stats[0].name, "sick");
+  EXPECT_EQ(stat.stats[0].quarantined, 1u);
+  // Both tenants were scrubbed by recovery, so the age is a real
+  // (small) number, not the never-scrubbed sentinel.
+  EXPECT_NE(stat.stats[0].scrub_age_ms, net::TenantStat::kNeverScrubbed);
+  EXPECT_LT(stat.stats[0].scrub_age_ms, 60'000u);
+  EXPECT_EQ(stat.stats[1].name, "well");
+  EXPECT_EQ(stat.stats[1].quarantined, 0u);
+  EXPECT_NE(stat.stats[1].scrub_age_ms, net::TenantStat::kNeverScrubbed);
+
+  // A tenant born from a put (no recovery scrub) reports the sentinel.
+  (void)service.put(put_request("fresh", 1));
+  const net::StatOkResponse fresh = service.stat(net::StatRequest{"fresh"});
+  EXPECT_EQ(fresh.stats[0].scrub_age_ms, net::TenantStat::kNeverScrubbed);
+}
+
+TEST(StoreService, StatReportsLastErrorKind) {
+  const NullCodec codec;
+  TempDir dir;
+
+  std::uint64_t gen = 0;
+  {
+    server::CheckpointService probe(codec, service_options(dir.path() / "probe"));
+    gen = probe.put(put_request("t", 1)).stored_bytes;
+  }
+
+  auto opts = service_options(dir.path() / "real");
+  opts.tenant_quota_bytes = gen;
+  server::CheckpointService service(codec, opts);
+
+  (void)service.put(put_request("t", 1));
+  EXPECT_TRUE(service.stat(net::StatRequest{"t"}).stats[0].last_error.empty());
+
+  EXPECT_THROW((void)service.put(put_request("t", 2)), QuotaExceededError);
+  EXPECT_EQ(service.stat(net::StatRequest{"t"}).stats[0].last_error, "quota-exceeded");
+}
+
+TEST(StoreService, PerTenantCountersTrackOutcomes) {
+  telemetry::set_enabled(true);
+  auto& registry = telemetry::MetricsRegistry::global();
+  const NullCodec codec;
+  TempDir dir;
+
+  std::uint64_t gen = 0;
+  {
+    server::CheckpointService probe(codec, service_options(dir.path() / "probe"));
+    gen = probe.put(put_request("t", 1)).stored_bytes;
+  }
+
+  auto opts = service_options(dir.path() / "real");
+  opts.tenant_quota_bytes = 2 * gen;
+  server::CheckpointService service(codec, opts);
+
+  // Unique tenant name per run keeps this independent of counter state
+  // left behind by other tests in the same process.
+  const std::string tenant = "ctr" + std::to_string(::getpid() % 1000);
+  const std::string prefix = "server.tenant." + tenant + ".";
+
+  net::PutRequest first = put_request(tenant, 1);
+  first.request_id = 77;
+  (void)service.put(first);
+  EXPECT_EQ(registry.counter(prefix + "puts").value(), 1u);
+  // Quota gauge: one of two permitted generations is used.
+  EXPECT_NEAR(registry.gauge(prefix + "quota_utilization").value(), 0.5, 0.01);
+
+  // Replaying the same request_id is a dedup, not a second put.
+  (void)service.put(first);
+  EXPECT_EQ(registry.counter(prefix + "dedup_replays").value(), 1u);
+  EXPECT_EQ(registry.counter(prefix + "puts").value(), 1u);
+
+  (void)service.get(net::GetRequest{tenant});
+  EXPECT_EQ(registry.counter(prefix + "gets").value(), 1u);
+
+  (void)service.put(put_request(tenant, 2));
+  auto big = put_request(tenant, 3);
+  big.shape = Shape{24, 24};  // larger than one rotation slot frees
+  const NdArray<double> field = make_smooth_field(big.shape, 3);
+  big.values.assign(field.values().begin(), field.values().end());
+  EXPECT_THROW((void)service.put(big), QuotaExceededError);
+  EXPECT_EQ(registry.counter(prefix + "rejects").value(), 1u);
 }
 
 }  // namespace

@@ -21,7 +21,9 @@
 #include <thread>
 #include <vector>
 
+#include "net/protocol.hpp"
 #include "parallel/thread_pool.hpp"
+#include "server/observe.hpp"
 #include "telemetry/telemetry.hpp"
 
 // ---------------------------------------------------------------------------
@@ -594,6 +596,28 @@ TEST_F(TelemetryTest, DisabledMacrosAllocateNothing) {
   const auto snap = MetricsRegistry::global().snapshot();
   EXPECT_EQ(snap.counters.count("test.disabled.counter"), 0u);
   EXPECT_EQ(snap.histograms.count("test.disabled.hist"), 0u);
+}
+
+TEST_F(TelemetryTest, DisabledServerRpcPathAllocatesNothing) {
+  // The full server-side observability path — boundary scope, metric
+  // recording, per-tenant counters/gauges — must cost zero allocations
+  // with telemetry off: the wire still round-trips trace contexts, but
+  // a WCK_TELEMETRY=off server spends nothing observing them.
+  net::AnyMessage request = net::GetRequest{"zero-alloc-tenant", {}};
+  set_enabled(false);
+  const std::uint64_t before = g_new_calls.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    server::ServerRpcScope rpc(request, 64, /*slow_request_ms=*/0);
+    rpc.finish(128, false);
+    server::add_tenant_counter("zero-alloc-tenant", "puts");
+    server::set_tenant_gauge("zero-alloc-tenant", "quota_utilization", 0.5);
+  }
+  const std::uint64_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  set_enabled(true);
+  const auto snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.count("server.tenant.zero-alloc-tenant.puts"), 0u);
+  EXPECT_EQ(snap.histograms.count("server.rpc.get.seconds"), 0u);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@ Used by the `bench-smoke` CI job; no third-party dependencies.
 """
 
 import json
+import re
 import sys
 
 RUN_REPORT_SCHEMA = "wck-run-report"
@@ -41,6 +42,23 @@ def _expect(problems, cond, msg):
 
 def _is_num(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+# Registry naming convention: dotted lowercase families, at least two
+# segments ("server.rpc.put.seconds", "soak.commits"). Later segments may
+# carry digits and dashes because per-tenant metrics embed the tenant name
+# ("server.tenant.rank-07.puts").
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_-]+)+$")
+
+
+def _check_metric_names(problems, obj, where):
+    if not isinstance(obj, dict):
+        return
+    for name in obj:
+        if isinstance(name, str):
+            _expect(problems, METRIC_NAME_RE.fullmatch(name) is not None,
+                    f"{where} key {name!r} must be a dotted lowercase "
+                    "metric name (e.g. 'server.rpc.put.seconds')")
 
 
 def _check_str_map(problems, obj, where, value_check, value_desc):
@@ -208,6 +226,12 @@ def check_run_report(problems, doc, *, where="report"):
                        lambda v: isinstance(v, int) and v >= 0, "a non-negative integer")
         _check_str_map(problems, metrics.get("gauges", {}), f"{where}.metrics.gauges",
                        _is_num, "a number")
+        _check_metric_names(problems, metrics.get("counters", {}),
+                            f"{where}.metrics.counters")
+        _check_metric_names(problems, metrics.get("gauges", {}),
+                            f"{where}.metrics.gauges")
+        _check_metric_names(problems, metrics.get("histograms", {}),
+                            f"{where}.metrics.histograms")
         hists = metrics.get("histograms", {})
         if _expect(problems, isinstance(hists, dict),
                    f"{where}.metrics.histograms must be an object"):

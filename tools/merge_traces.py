@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Splice chrome://tracing dumps from several processes into one timeline.
+
+Each input file is a trace written by wckpt's --trace flag (a
+``{"traceEvents": [...]}`` document). The merge assigns every input its
+own pid (inputs keep their internal tid lanes) and emits process_name
+metadata so chrome://tracing / Perfetto labels each lane with the file
+it came from. Span events carry ``args.trace_id`` (a 16-digit hex
+string); because the client sends that id over the wire and the server
+continues it, a put's client span and server span share a trace_id and
+line up visually across the two process lanes.
+
+    python3 tools/merge_traces.py client.trace.json server.trace.json \
+        --out merged.trace.json --require-shared-traces
+
+--require-shared-traces turns the merge into an assertion: every
+client.rpc.* span's trace_id must also appear on some server.rpc.* span
+(across all inputs), i.e. context propagation actually worked end to
+end. Exit 1 (listing the orphaned ids) when any client RPC span never
+showed up server-side, or when no traced client RPC exists at all —
+an empty check proves nothing.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: expected a traceEvents array")
+    return events
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="merge per-process chrome trace files into one timeline"
+    )
+    parser.add_argument("inputs", nargs="+", help="trace JSON files (from --trace)")
+    parser.add_argument("--out", required=True, help="merged trace JSON output path")
+    parser.add_argument(
+        "--require-shared-traces",
+        action="store_true",
+        help="fail unless every client.rpc.* trace_id also appears on a "
+        "server.rpc.* span",
+    )
+    args = parser.parse_args(argv)
+
+    merged = []
+    client_ids = {}  # trace_id -> first client span name (for error messages)
+    server_ids = set()
+    for pid, path in enumerate(args.inputs):
+        events = load_events(path)
+        merged.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": os.path.basename(path)},
+            }
+        )
+        for event in events:
+            event = dict(event)
+            event["pid"] = pid
+            merged.append(event)
+            name = event.get("name", "")
+            trace_id = (event.get("args") or {}).get("trace_id")
+            if not trace_id:
+                continue
+            if name.startswith("client.rpc."):
+                client_ids.setdefault(trace_id, name)
+            elif name.startswith("server.rpc."):
+                server_ids.add(trace_id)
+
+    doc = {"traceEvents": merged, "displayTimeUnit": "ms"}
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+
+    span_count = sum(1 for e in merged if e.get("ph") == "X")
+    print(
+        f"merge_traces: {len(args.inputs)} files, {span_count} spans, "
+        f"{len(client_ids)} client RPC trace ids, {len(server_ids)} "
+        f"server RPC trace ids -> {args.out}"
+    )
+
+    if args.require_shared_traces:
+        if not client_ids:
+            print(
+                "merge_traces: --require-shared-traces but no client.rpc.* span "
+                "carries a trace_id — nothing was demonstrated",
+                file=sys.stderr,
+            )
+            return 1
+        orphaned = {tid: name for tid, name in client_ids.items() if tid not in server_ids}
+        if orphaned:
+            for tid, name in sorted(orphaned.items()):
+                print(
+                    f"merge_traces: trace_id {tid} ({name}) has no matching "
+                    "server.rpc.* span",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"merge_traces: all {len(client_ids)} client trace ids matched "
+            "server-side"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,7 +96,7 @@ constexpr const char kUsageText[] =
     "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
     "             [--seed=N] [--verify-every=1] [--scrub-every=0] [--threads=N]\n"
     "             [--server --clients=N --tenants=N --quota=BYTES\n"
-    "              --max-inflight=N --admission=block|reject\n"
+    "              --max-inflight=N --admission=block|reject --slow-ms=MS\n"
     "              --kill-every=CYCLES --client-retries=N --client-timeout-ms=MS]\n"
     "             --kill-every > 0 runs the server as a child process and\n"
     "             SIGKILLs + restarts it every CYCLES completed client\n"
@@ -107,15 +107,28 @@ constexpr const char kUsageText[] =
     "             [--codec=null|gzip|wavelet|fpc] [--fault-plan=SPEC]\n"
     "             [--read-timeout-ms=30000] [--idle-timeout-ms=120000]\n"
     "             [--write-timeout-ms=30000] [--drain-timeout-ms=5000]\n"
+    "             [--slow-ms=1000]\n"
     "             SIGTERM/SIGINT drain gracefully: in-flight requests\n"
     "             finish, telemetry flushes, then the process exits 0.\n"
+    "             With --expose=DIR the drain writes a final metrics +\n"
+    "             slow-request snapshot into DIR before exiting.\n"
     "  put        --socket=PATH --tenant=NAME --step=N\n"
     "             (--in=FILE --shape=AxBxC | --shape=AxBxC [--seed=N])\n"
     "  get        --socket=PATH --tenant=NAME [--out=FILE]\n"
     "  stat       --socket=PATH [--tenant=NAME]\n"
+    "             Reports per-tenant health: quarantined generations,\n"
+    "             scrub age, last error kind, quota utilization.\n"
+    "  top        --socket=PATH [--interval-ms=1000] [--iterations=0]\n"
+    "             [--expose-dir=DIR] [--plain]\n"
+    "             Refreshing per-tenant table: generations, quota use,\n"
+    "             health, and — with --expose-dir pointed at the\n"
+    "             server's --expose directory — puts/s and p95 put\n"
+    "             latency from the metrics snapshot. --iterations=0\n"
+    "             polls until SIGINT/SIGTERM.\n"
     "  shutdown   --socket=PATH\n"
     "common:      [--json] [--telemetry=FILE] [--trace=FILE] [--events=FILE]\n"
-    "             [--expose=DIR[,MS]]\n";
+    "             [--expose=DIR[,MS]] [--slow-ms=1000]\n"
+    "             [--client-retries=N] [--client-timeout-ms=MS]\n";
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
@@ -289,6 +302,23 @@ void finish_run(const std::map<std::string, std::string>& flags, telemetry::RunR
   if (telemetry_path != flags.end()) {
     telemetry::write_text_file(telemetry_path->second, report.to_json_text() + "\n");
   }
+  const auto trace_path = flags.find("trace");
+  if (trace_path != flags.end()) {
+    telemetry::write_text_file(trace_path->second,
+                               telemetry::Tracer::global().chrome_trace_json() + "\n");
+  }
+  const auto events_path = flags.find("events");
+  if (events_path != flags.end()) {
+    telemetry::EventLog::global().dump_to_file(events_path->second);
+  }
+}
+
+/// The store subcommands (put/get/stat/shutdown) print their own
+/// one-line result instead of a RunReport, but still honor the
+/// file-writing observability flags — --trace in particular, so a
+/// single `wckpt put --trace=F` leaves a client span that
+/// tools/merge_traces.py can correlate with the server's stream.
+void write_observability_files(const std::map<std::string, std::string>& flags) {
   const auto trace_path = flags.find("trace");
   if (trace_path != flags.end()) {
     telemetry::write_text_file(trace_path->second,
@@ -735,6 +765,8 @@ server::StoreServer::Options server_options_from_flags(
       std::strtol(get_or(flags, "write-timeout-ms", "30000").c_str(), nullptr, 10));
   opts.drain_timeout_ms = static_cast<int>(
       std::strtol(get_or(flags, "drain-timeout-ms", "5000").c_str(), nullptr, 10));
+  opts.slow_request_ms = static_cast<int>(
+      std::strtol(get_or(flags, "slow-ms", "1000").c_str(), nullptr, 10));
   return opts;
 }
 
@@ -752,6 +784,8 @@ StoreClientOptions client_options_from_flags(const std::map<std::string, std::st
   opts.retry.max_backoff_seconds = 0.5;
   opts.retry.jitter_fraction = 0.2;  // decorrelate clients that lost the same server
   opts.seed = seed;
+  opts.slow_request_ms = static_cast<int>(
+      std::strtol(get_or(flags, "slow-ms", "1000").c_str(), nullptr, 10));
   return opts;
 }
 
@@ -784,7 +818,19 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                  "swept, %zu quarantined)\n",
                  rec.tenants, rec.generations, rec.tmp_swept, rec.quarantined);
   }
-  server::StoreServer server(service, socket_path, server_options_from_flags(flags));
+  server::StoreServer::Options server_opts = server_options_from_flags(flags);
+  // When the operator exposes live snapshots (--expose=DIR[,MS]), the
+  // graceful drain writes one final snapshot into the same directory so
+  // the last word on disk describes the shut-down state, not the state
+  // one interval ago.
+  const auto expose_flag = flags.find("expose");
+  if (expose_flag != flags.end()) {
+    std::string dir = expose_flag->second;
+    const auto comma = dir.find(',');
+    if (comma != std::string::npos) dir.resize(comma);
+    if (!dir.empty()) server_opts.drain_snapshot_dir = dir;
+  }
+  server::StoreServer server(service, socket_path, server_opts);
   std::fprintf(stderr,
                "wckpt serve: listening on %s (root %s, codec %s, keep %zu, quota %llu)\n",
                socket_path.c_str(), root.string().c_str(), codec_name.c_str(),
@@ -826,43 +872,203 @@ int cmd_put(const std::map<std::string, std::string>& flags) {
                                     ? read_raw_array(require(flags, "in"), shape)
                                     : make_smooth_field(shape, seed);
 
-  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  StoreClient client =
+      StoreClient::connect(require(flags, "socket"), client_options_from_flags(flags, 0));
   const net::PutOkResponse resp = client.put(require(flags, "tenant"), step, array);
   std::printf("put: step=%llu stored_bytes=%llu tenant_bytes=%llu generations=%u\n",
               static_cast<unsigned long long>(resp.step),
               static_cast<unsigned long long>(resp.stored_bytes),
               static_cast<unsigned long long>(resp.total_bytes), resp.generations);
+  write_observability_files(flags);
   return 0;
 }
 
 int cmd_get(const std::map<std::string, std::string>& flags) {
-  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  StoreClient client =
+      StoreClient::connect(require(flags, "socket"), client_options_from_flags(flags, 0));
   const StoreClient::GetResult got = client.get(require(flags, "tenant"));
   std::printf("get: step=%llu source=%s shape=%s\n",
               static_cast<unsigned long long>(got.step), restore_source_name(got.source),
               got.array.shape().to_string().c_str());
   const auto out = flags.find("out");
   if (out != flags.end()) write_file(out->second, std::as_bytes(got.array.values()));
+  write_observability_files(flags);
   return 0;
 }
 
 int cmd_shutdown(const std::map<std::string, std::string>& flags) {
-  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  StoreClient client =
+      StoreClient::connect(require(flags, "socket"), client_options_from_flags(flags, 0));
   client.shutdown_server();
   std::printf("shutdown: acknowledged\n");
+  write_observability_files(flags);
   return 0;
 }
 
+/// Renders one TenantStat's health suffix: quarantined generations,
+/// scrub age ("never" until a scrub has run), last error kind ("-" when
+/// the tenant has never failed), quota utilization ("-" when unlimited).
+std::string render_tenant_health(const net::TenantStat& s) {
+  std::string out = " quarantined=" + std::to_string(s.quarantined);
+  out += " scrub_age=";
+  if (s.scrub_age_ms == net::TenantStat::kNeverScrubbed) {
+    out += "never";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fs", static_cast<double>(s.scrub_age_ms) / 1e3);
+    out += buf;
+  }
+  out += " last_error=";
+  out += s.last_error.empty() ? "-" : s.last_error.c_str();
+  out += " quota_used=";
+  if (s.quota_bytes == 0) {
+    out += "-";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%",
+                  100.0 * static_cast<double>(s.stored_bytes) /
+                      static_cast<double>(s.quota_bytes));
+    out += buf;
+  }
+  return out;
+}
+
 int cmd_stat(const std::map<std::string, std::string>& flags) {
-  StoreClient client = StoreClient::connect(require(flags, "socket"));
+  StoreClient client =
+      StoreClient::connect(require(flags, "socket"), client_options_from_flags(flags, 0));
   const net::StatOkResponse resp = client.stat(get_or(flags, "tenant", ""));
   std::printf("stat: %llu tenants\n", static_cast<unsigned long long>(resp.tenants));
   for (const net::TenantStat& s : resp.stats) {
-    std::printf("  %-20s generations=%llu bytes=%llu quota=%llu newest_step=%llu\n",
+    std::printf("  %-20s generations=%llu bytes=%llu quota=%llu newest_step=%llu%s\n",
                 s.name.c_str(), static_cast<unsigned long long>(s.generations),
                 static_cast<unsigned long long>(s.stored_bytes),
                 static_cast<unsigned long long>(s.quota_bytes),
-                static_cast<unsigned long long>(s.newest_step));
+                static_cast<unsigned long long>(s.newest_step),
+                render_tenant_health(s).c_str());
+  }
+  write_observability_files(flags);
+  return 0;
+}
+
+/// Reads a Prometheus-style exposition file into name → value. Only
+/// the plain "name value" lines matter; comments and HELP/TYPE lines
+/// are skipped. Missing/unreadable file → empty map (the server may
+/// not have written its first snapshot yet).
+std::map<std::string, double> read_prom_metrics(const std::filesystem::path& file) {
+  std::map<std::string, double> out;
+  std::ifstream f(file);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) continue;
+    out[line.substr(0, sp)] = std::strtod(line.c_str() + sp + 1, nullptr);
+  }
+  return out;
+}
+
+/// Mirrors telemetry::prometheus_name so `top` can look up the
+/// server's per-tenant counters: "wck_" prefix, every byte outside
+/// [a-zA-Z0-9_] becomes '_'.
+std::string prometheus_metric_name(std::string name) {
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return "wck_" + name;
+}
+
+/// `wckpt top` — live per-tenant view of a running store. Each poll
+/// asks the server for stat() (generations, bytes, health) and, with
+/// --expose-dir pointed at the server's --expose directory, reads the
+/// metrics.prom snapshot to derive rates (puts/s from counter deltas
+/// between polls) and the server-side p95 put latency.
+int cmd_top(const std::map<std::string, std::string>& flags) {
+  const std::string socket_path = require(flags, "socket");
+  const long interval_ms =
+      std::strtol(get_or(flags, "interval-ms", "1000").c_str(), nullptr, 10);
+  if (interval_ms <= 0) usage("--interval-ms must be >= 1");
+  const long iterations = std::strtol(get_or(flags, "iterations", "0").c_str(), nullptr, 10);
+  const bool plain = flags.count("plain") != 0;
+  const std::string expose_dir = get_or(flags, "expose-dir", "");
+
+  g_stop_signal = 0;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  std::map<std::string, double> prev_puts;  ///< tenant → puts counter at the last poll
+  auto prev_time = std::chrono::steady_clock::now();
+  for (long iter = 0; iterations == 0 || iter < iterations; ++iter) {
+    if (iter > 0) {
+      // Sleep in small slices so a signal interrupts the wait, not
+      // just the next poll.
+      for (long slept = 0; slept < interval_ms && g_stop_signal == 0; slept += 50) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min<long>(50, interval_ms - slept)));
+      }
+    }
+    if (g_stop_signal != 0) break;
+
+    net::StatOkResponse stat;
+    try {
+      StoreClient client =
+          StoreClient::connect(socket_path, client_options_from_flags(flags, 0));
+      stat = client.stat();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "wckpt top: stat failed: %s\n", e.what());
+      return 1;
+    }
+    std::map<std::string, double> prom;
+    if (!expose_dir.empty()) {
+      prom = read_prom_metrics(std::filesystem::path(expose_dir) / "metrics.prom");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - prev_time).count();
+
+    if (!plain) std::fputs("\x1b[H\x1b[2J", stdout);  // cursor home + clear
+    std::printf("wckpt top — %s  tenants=%llu", socket_path.c_str(),
+                static_cast<unsigned long long>(stat.tenants));
+    const auto p95 = prom.find("wck_server_rpc_put_seconds_p95");
+    if (p95 != prom.end()) std::printf("  p95_put=%.2fms", p95->second * 1e3);
+    std::printf("\n%-20s %6s %12s %8s %8s %6s %10s %s\n", "TENANT", "GENS", "BYTES",
+                "QUOTA%", "PUTS/S", "QUAR", "SCRUB_AGE", "LAST_ERR");
+    for (const net::TenantStat& s : stat.stats) {
+      char quota_buf[16];
+      if (s.quota_bytes == 0) {
+        std::snprintf(quota_buf, sizeof quota_buf, "-");
+      } else {
+        std::snprintf(quota_buf, sizeof quota_buf, "%.1f",
+                      100.0 * static_cast<double>(s.stored_bytes) /
+                          static_cast<double>(s.quota_bytes));
+      }
+      char rate_buf[16];
+      std::snprintf(rate_buf, sizeof rate_buf, "-");
+      const auto puts_it =
+          prom.find(prometheus_metric_name("server.tenant." + s.name + ".puts"));
+      if (puts_it != prom.end()) {
+        const auto prev = prev_puts.find(s.name);
+        if (prev != prev_puts.end() && dt > 0) {
+          std::snprintf(rate_buf, sizeof rate_buf, "%.1f",
+                        std::max(0.0, puts_it->second - prev->second) / dt);
+        }
+        prev_puts[s.name] = puts_it->second;
+      }
+      char scrub_buf[16];
+      if (s.scrub_age_ms == net::TenantStat::kNeverScrubbed) {
+        std::snprintf(scrub_buf, sizeof scrub_buf, "never");
+      } else {
+        std::snprintf(scrub_buf, sizeof scrub_buf, "%.1fs",
+                      static_cast<double>(s.scrub_age_ms) / 1e3);
+      }
+      std::printf("%-20s %6llu %12llu %8s %8s %6llu %10s %s\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.generations),
+                  static_cast<unsigned long long>(s.stored_bytes), quota_buf, rate_buf,
+                  static_cast<unsigned long long>(s.quarantined), scrub_buf,
+                  s.last_error.empty() ? "-" : s.last_error.c_str());
+    }
+    std::fflush(stdout);
+    prev_time = now;
   }
   return 0;
 }
@@ -923,6 +1129,8 @@ pid_t spawn_server_process(const std::map<std::string, std::string>& flags,
   };
   const std::string plan = get_or(flags, "fault-plan", "");
   if (!plan.empty()) args.push_back("--fault-plan=" + plan);
+  const auto slow_ms = flags.find("slow-ms");
+  if (slow_ms != flags.end()) args.push_back("--slow-ms=" + slow_ms->second);
   const pid_t pid = ::fork();
   if (pid < 0) throw IoError(std::string("fork: ") + std::strerror(errno));
   if (pid == 0) {
@@ -1356,6 +1564,7 @@ int dispatch(const std::string& cmd, const std::map<std::string, std::string>& f
   if (cmd == "put") return cmd_put(flags);
   if (cmd == "get") return cmd_get(flags);
   if (cmd == "stat") return cmd_stat(flags);
+  if (cmd == "top") return cmd_top(flags);
   if (cmd == "shutdown") return cmd_shutdown(flags);
   usage(("unknown command: " + cmd).c_str());
 }

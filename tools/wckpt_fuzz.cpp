@@ -226,6 +226,53 @@ std::vector<CorpusEntry> build_corpus() {
                       }});
   }
   {
+    // Requests carrying a trace-context suffix (3 × u64 after the base
+    // body): mutants land on the suffix boundary, where the decoder
+    // must distinguish "absent" (exhausted) from "truncated" (1..23
+    // trailing bytes, typed FormatError) from "trailing garbage".
+    net::PutRequest put;
+    put.tenant = "fuzz-tenant";
+    put.step = 43;
+    put.request_id = 0x1122334455667789ull;
+    put.shape = Shape{4, 4};
+    put.values.assign(put.shape.size(), 0.5);
+    put.trace = {0xAABBCCDDEEFF0011ull, 0x2233445566778899ull, 0x99AABBCCDDEEFF00ull};
+    corpus.push_back({"net-put-traced",
+                      net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kPut),
+                                        net::encode(put)),
+                      decode_wire});
+    net::GetRequest get;
+    get.tenant = "fuzz-tenant";
+    get.trace = {0x0102030405060708ull, 0x1112131415161718ull, 0};
+    corpus.push_back({"net-get-traced",
+                      net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kGet),
+                                        net::encode(get)),
+                      decode_wire});
+  }
+  {
+    // StatOk with the trailing per-tenant health block (parallel
+    // arrays after the base entries): mutants probe the optional-block
+    // boundary and the health strings.
+    net::StatOkResponse stat;
+    stat.tenants = 2;
+    for (int i = 0; i < 2; ++i) {
+      net::TenantStat s;
+      s.name = "h" + std::to_string(i);
+      s.generations = 4;
+      s.stored_bytes = 2048;
+      s.quota_bytes = 32768;
+      s.newest_step = 21;
+      s.quarantined = static_cast<std::uint64_t>(i);
+      s.scrub_age_ms = i == 0 ? net::TenantStat::kNeverScrubbed : 1500;
+      s.last_error = i == 0 ? "" : "quota-exceeded";
+      stat.stats.push_back(std::move(s));
+    }
+    corpus.push_back({"net-stat-ok-health",
+                      net::encode_frame(static_cast<std::uint8_t>(net::MessageType::kStatOk),
+                                        net::encode(stat)),
+                      decode_wire});
+  }
+  {
     // A frame cut off mid-body: the incremental decoder must park it as
     // pending (or reject the header) without reading past the end.
     net::PingRequest ping;
