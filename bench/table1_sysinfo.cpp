@@ -11,6 +11,8 @@
 #include <string>
 #include <thread>
 
+#include "simd/dispatch.hpp"
+
 namespace {
 
 std::string read_cpu_model() {
@@ -45,6 +47,9 @@ int main() {
   std::printf("  CPU                 %s\n", read_cpu_model().c_str());
   std::printf("  Hardware threads    %u\n", std::thread::hardware_concurrency());
   std::printf("  Memory              %.1f GB\n", read_mem_gb());
+  std::printf("  SIMD                %s detected, %s active (WCK_SIMD overrides)\n",
+              wck::simd::to_string(wck::simd::detected_best()),
+              wck::simd::to_string(wck::simd::active_level()));
   std::printf("Storage (as modeled; paper: NFS v3 on RAID6 for measurement,\n");
   std::printf("         20 GB/s parallel FS for the Fig. 9 estimation)\n");
   std::printf("  Modeled PFS bandwidth   20 GB/s\n");

@@ -10,6 +10,7 @@
 #include "deflate/deflate.hpp"
 #include "deflate/huffman_only.hpp"
 #include "deflate/parallel.hpp"
+#include "simd/dispatch.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "wavelet/haar.hpp"
@@ -104,25 +105,20 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
     {
       WCK_TRACE_SPAN("quantize");
       const WallTimer quantize_timer;
+      const simd::KernelTable& kern = simd::kernels();
       high.reserve(plan.high_count());
-      // Fold min/max into the collection walk so analyze() skips its own
-      // range scan over the bands. The fold replicates the analyzer's
-      // exact order (seed with the first value, then fold every value
-      // including the first), so the scheme is bit-identical.
+      for_each_high_band(work.view(), plan.final_low_extents(),
+                         [&high](double& v) { high.push_back(v); });
+      // Range-scan the contiguous copy with the vector kernel so
+      // analyze() skips its own min/max pass; the kernel replicates the
+      // analyzer's sequential fold, so the scheme is bit-identical.
       ValueRange range;
-      bool bands_empty = true;
-      for_each_high_band(work.view(), plan.final_low_extents(), [&](double& v) {
-        if (bands_empty) {
-          range.min = range.max = v;
-          bands_empty = false;
-        }
-        range.min = std::min(range.min, v);
-        range.max = std::max(range.max, v);
-        high.push_back(v);
-      });
+      if (!high.empty()) {
+        kern.range_min_max(high.data(), high.size(), &range.min, &range.max);
+      }
 
       scheme = QuantizationScheme::analyze(high, params_.quantizer,
-                                           bands_empty ? nullptr : &range);
+                                           high.empty() ? nullptr : &range);
 
       p.shape = input.shape();
       p.levels = params_.wavelet_levels;
@@ -132,13 +128,13 @@ CompressedArray WaveletCompressor::compress(const NdArray<double>& input) const 
       p.low_band.reserve(plan.low_count());
       for_each_low_band(work.view(), plan.final_low_extents(),
                         [&p](double& v) { p.low_band.push_back(v); });
-      p.quantized = Bitmap(high.size());
-      p.indices.reserve(high.size());
+      std::vector<std::int32_t> cls(high.size());
+      scheme.classify_batch(high, cls);
+      p.quantized = Bitmap::from_classification(cls);
+      p.indices.reserve(p.quantized.count());
       for (std::size_t i = 0; i < high.size(); ++i) {
-        const int idx = scheme.classify(high[i]);
-        if (idx >= 0) {
-          p.quantized.set(i, true);
-          p.indices.push_back(static_cast<std::uint8_t>(idx));
+        if (cls[i] >= 0) {
+          p.indices.push_back(static_cast<std::uint8_t>(cls[i]));
         } else {
           p.exact_values.push_back(high[i]);
         }
@@ -298,13 +294,19 @@ NdArray<double> WaveletCompressor::decompress(std::span<const std::byte> data) {
                       [&](double& v) { v = p.low_band[li++]; });
   }
   {
+    // Materialize the high bands contiguously through the select kernel
+    // (decode_payload validated popcount == #indices, every index <
+    // #averages, and #exact == size - popcount), then scatter along the
+    // serialization walk.
+    const std::size_t n = p.quantized.size();
+    std::vector<double> high(n);
+    if (n > 0) {
+      simd::kernels().bitmap_select(p.quantized.words().data(), n, p.averages.data(),
+                                    p.indices.data(), p.exact_values.data(), high.data());
+    }
     std::size_t hi = 0;
-    std::size_t qi = 0;
-    std::size_t ei = 0;
-    for_each_high_band(work.view(), plan.final_low_extents(), [&](double& v) {
-      v = p.quantized.get(hi) ? p.averages[p.indices[qi++]] : p.exact_values[ei++];
-      ++hi;
-    });
+    for_each_high_band(work.view(), plan.final_low_extents(),
+                       [&high, &hi](double& v) { v = high[hi++]; });
   }
   wavelet_inverse(work.view(), p.wavelet, p.levels);
   return work;

@@ -3,11 +3,14 @@
 // encoded, we use bitmap for the decompression").
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
+#include "simd/dispatch.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -17,7 +20,21 @@ class Bitmap {
   Bitmap() = default;
   explicit Bitmap(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
 
+  /// Builds a bitmap with bit i set where cls[i] >= 0 (the quantizer's
+  /// "quantized" convention) through the dispatched pack kernel.
+  [[nodiscard]] static Bitmap from_classification(std::span<const std::int32_t> cls) {
+    Bitmap bm(cls.size());
+    if (!bm.words_.empty()) {
+      simd::kernels().bitmap_pack_ge0(cls.data(), cls.size(), bm.words_.data());
+    }
+    return bm;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// The packed 64-bit words (little-endian bit order; padding bits
+  /// beyond size() are zero). For bulk kernels.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
 
   void set(std::size_t i, bool value) {
     check(i);
@@ -53,6 +70,13 @@ class Bitmap {
   /// Writes the packed little-endian bit representation.
   void serialize_to(std::vector<std::byte>& out) const {
     const std::size_t nbytes = byte_size();
+    if constexpr (std::endian::native == std::endian::little) {
+      // The in-memory word array IS the serialized form on LE hosts.
+      const std::size_t old = out.size();
+      out.resize(old + nbytes);
+      if (nbytes > 0) std::memcpy(out.data() + old, words_.data(), nbytes);
+      return;
+    }
     out.reserve(out.size() + nbytes);
     for (std::size_t b = 0; b < nbytes; ++b) {
       const std::uint64_t w = words_[b / 8];
@@ -63,10 +87,15 @@ class Bitmap {
   /// Rebuilds a bitmap of `size` bits from its packed representation.
   static Bitmap deserialize(std::span<const std::byte> bytes, std::size_t size) {
     Bitmap bm(size);
-    if (bytes.size() < (size + 7) / 8) throw FormatError("bitmap bytes truncated");
-    for (std::size_t b = 0; b < (size + 7) / 8; ++b) {
-      bm.words_[b / 8] |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[b]))
-                          << ((b % 8) * 8);
+    const std::size_t nbytes = (size + 7) / 8;
+    if (bytes.size() < nbytes) throw FormatError("bitmap bytes truncated");
+    if constexpr (std::endian::native == std::endian::little) {
+      if (nbytes > 0) std::memcpy(bm.words_.data(), bytes.data(), nbytes);
+    } else {
+      for (std::size_t b = 0; b < nbytes; ++b) {
+        bm.words_[b / 8] |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[b]))
+                            << ((b % 8) * 8);
+      }
     }
     // Clear any padding bits beyond `size`.
     if (size % 64 != 0 && !bm.words_.empty()) {

@@ -1,9 +1,10 @@
 #include "quantize/quantizer.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <array>
 #include <string>
 
+#include "simd/dispatch.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -22,22 +23,35 @@ struct MinMax {
 };
 
 MinMax min_max(std::span<const double> values) {
-  double lo = values[0];
-  double hi = values[0];
-  for (const double v : values) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  return {lo, hi};
+  MinMax r{0.0, 0.0};
+  simd::kernels().range_min_max(values.data(), values.size(), &r.min, &r.max);
+  return r;
 }
 
 /// Partition index of v in an equal-width grid of `n` cells over
-/// [lo, hi], clamped to [0, n-1].
+/// [lo, hi], clamped to [0, n-1]. Shared with the batch kernels.
 int grid_index(double v, double lo, double inv_width, int n) noexcept {
-  const auto raw = static_cast<long long>(std::floor((v - lo) * inv_width));
-  if (raw < 0) return 0;
-  if (raw >= n) return n - 1;
-  return static_cast<int>(raw);
+  return simd::grid_index_one(v, lo, inv_width, n);
+}
+
+/// Batch size for grid_index_batch accumulation passes: the index
+/// buffer stays L1-resident while the vector kernel amortizes.
+constexpr std::size_t kBatch = 4096;
+
+/// Applies `fold(index, value)` to every value's grid index, computing
+/// indexes a batch at a time through the dispatched kernel.
+template <typename Fold>
+void for_each_grid_index(std::span<const double> values, double lo, double inv_width, int n,
+                         Fold&& fold) {
+  const simd::KernelTable& k = simd::kernels();
+  std::array<std::int32_t, kBatch> idx;
+  for (std::size_t off = 0; off < values.size(); off += kBatch) {
+    const std::size_t m = std::min(kBatch, values.size() - off);
+    k.grid_index_batch(values.data() + off, m, lo, inv_width, n, idx.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      fold(static_cast<std::size_t>(idx[i]), values[off + i]);
+    }
+  }
 }
 
 }  // namespace
@@ -51,9 +65,7 @@ Histogram Histogram::build(std::span<const double> values, int bins) {
   h.min = lo;
   h.max = hi;
   const double inv = hi > lo ? bins / (hi - lo) : 0.0;
-  for (const double v : values) {
-    ++h.counts[static_cast<std::size_t>(grid_index(v, lo, inv, bins))];
-  }
+  for_each_grid_index(values, lo, inv, bins, [&h](std::size_t p, double) { ++h.counts[p]; });
   return h;
 }
 
@@ -76,6 +88,32 @@ int QuantizationScheme::classify(double v) const noexcept {
   return grid_index(v, quant_min_, inv_width_, divisions_);
 }
 
+void QuantizationScheme::classify_batch(std::span<const double> values,
+                                        std::span<std::int32_t> out) const {
+  if (values.size() != out.size()) {
+    throw InvalidArgumentError("classify_batch: output size does not match input");
+  }
+  if (values.empty()) return;
+  if (averages_.empty()) {
+    std::fill(out.begin(), out.end(), kUnquantized);
+    return;
+  }
+  const simd::KernelTable& k = simd::kernels();
+  k.grid_index_batch(values.data(), values.size(), quant_min_, inv_width_, divisions_,
+                     out.data());
+  if (kind_ == QuantizerKind::kSpike) {
+    const auto d = static_cast<std::int32_t>(spike_mask_.size());
+    std::array<std::int32_t, kBatch> dp;
+    for (std::size_t off = 0; off < values.size(); off += kBatch) {
+      const std::size_t m = std::min(kBatch, values.size() - off);
+      k.grid_index_batch(values.data() + off, m, domain_min_, inv_domain_width_, d, dp.data());
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!spike_mask_[static_cast<std::size_t>(dp[i])]) out[off + i] = kUnquantized;
+      }
+    }
+  }
+}
+
 QuantizationScheme QuantizationScheme::analyze_simple(std::span<const double> values, int n,
                                                       const ValueRange* range) {
   check_divisions(n);
@@ -94,11 +132,10 @@ QuantizationScheme QuantizationScheme::analyze_simple(std::span<const double> va
   // but keep the table dense and deterministic.
   std::vector<double> sums(static_cast<std::size_t>(n), 0.0);
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(n), 0);
-  for (const double v : values) {
-    const auto p = static_cast<std::size_t>(grid_index(v, lo, s.inv_width_, n));
+  for_each_grid_index(values, lo, s.inv_width_, n, [&sums, &counts](std::size_t p, double v) {
     sums[p] += v;
     ++counts[p];
-  }
+  });
   s.averages_.resize(static_cast<std::size_t>(n));
   const double width = hi > lo ? (hi - lo) / n : 0.0;
   for (std::size_t p = 0; p < s.averages_.size(); ++p) {
@@ -125,9 +162,8 @@ QuantizationScheme QuantizationScheme::analyze_spike(std::span<const double> val
   // Spike detection (Eq. 4): partitions holding at least the average
   // number of values per partition.
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(d), 0);
-  for (const double v : values) {
-    ++counts[static_cast<std::size_t>(grid_index(v, lo, s.inv_domain_width_, d))];
-  }
+  for_each_grid_index(values, lo, s.inv_domain_width_, d,
+                      [&counts](std::size_t p, double) { ++counts[p]; });
   const double threshold = static_cast<double>(values.size()) / d;
   s.spike_mask_.assign(static_cast<std::size_t>(d), false);
   int first_spike = -1;
@@ -158,12 +194,20 @@ QuantizationScheme QuantizationScheme::analyze_spike(std::span<const double> val
 
   std::vector<double> sums(static_cast<std::size_t>(n), 0.0);
   std::vector<std::uint64_t> qcounts(static_cast<std::size_t>(n), 0);
-  for (const double v : values) {
-    const int dp = grid_index(v, lo, s.inv_domain_width_, d);
-    if (!s.spike_mask_[static_cast<std::size_t>(dp)]) continue;
-    const auto p = static_cast<std::size_t>(grid_index(v, s.quant_min_, s.inv_width_, n));
-    sums[p] += v;
-    ++qcounts[p];
+  {
+    const simd::KernelTable& k = simd::kernels();
+    std::array<std::int32_t, kBatch> dp;
+    std::array<std::int32_t, kBatch> qp;
+    for (std::size_t off = 0; off < values.size(); off += kBatch) {
+      const std::size_t m = std::min(kBatch, values.size() - off);
+      k.grid_index_batch(values.data() + off, m, lo, s.inv_domain_width_, d, dp.data());
+      k.grid_index_batch(values.data() + off, m, s.quant_min_, s.inv_width_, n, qp.data());
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!s.spike_mask_[static_cast<std::size_t>(dp[i])]) continue;
+        sums[static_cast<std::size_t>(qp[i])] += values[off + i];
+        ++qcounts[static_cast<std::size_t>(qp[i])];
+      }
+    }
   }
   s.averages_.resize(static_cast<std::size_t>(n));
   const double qwidth = s.quant_max_ > s.quant_min_ ? (s.quant_max_ - s.quant_min_) / n : 0.0;

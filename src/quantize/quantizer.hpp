@@ -63,6 +63,11 @@ class QuantizationScheme {
   /// must be stored exactly (outside the spike).
   [[nodiscard]] int classify(double v) const noexcept;
 
+  /// Batch classify through the dispatched SIMD kernels:
+  /// out[i] == classify(values[i]) for every i (bit-identical at every
+  /// dispatch level). out.size() must equal values.size().
+  void classify_batch(std::span<const double> values, std::span<std::int32_t> out) const;
+
   /// True if the scheme quantizes nothing (degenerate empty input).
   [[nodiscard]] bool empty() const noexcept { return averages_.empty(); }
 

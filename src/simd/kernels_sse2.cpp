@@ -1,0 +1,206 @@
+// SSE2 kernels (x86-64 baseline; no extra compile flags needed).
+//
+// Bit-identity notes, mirrored in tests/simd_test.cpp:
+//  * (a+b)*0.5 == (a+b)/2.0 for every double (scaling by an exact power
+//    of two is correctly rounded either way).
+//  * _mm_min_pd(x, acc) computes (x < acc) ? x : acc and returns the
+//    second operand when either is NaN — exactly the scalar fold
+//    `mn = (v < mn) ? v : mn`: NaN inputs are ignored, a NaN seed is
+//    sticky. Seeding every lane with v[0] (not the first vector) keeps
+//    the NaN-seed semantics identical to the sequential fold.
+//  * grid index: clamping x into [0, divisions-1] in the double domain
+//    and then truncating equals floor-then-clamp for every input the
+//    contract defines (truncation == floor once x >= 1; max_pd(x, 0)
+//    maps NaN and negatives to 0; min_pd clamps +inf and overflow).
+#include "simd/kernels.hpp"
+
+#if defined(__x86_64__) && defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+namespace wck::simd::detail {
+namespace {
+
+void haar_forward_pairs(const double* src, double* low, double* high, std::size_t pairs) {
+  const __m128d half = _mm_set1_pd(0.5);
+  std::size_t i = 0;
+  for (; i + 2 <= pairs; i += 2) {
+    const __m128d v0 = _mm_loadu_pd(src + 2 * i);      // a0 b0
+    const __m128d v1 = _mm_loadu_pd(src + 2 * i + 2);  // a1 b1
+    const __m128d a = _mm_unpacklo_pd(v0, v1);         // a0 a1
+    const __m128d b = _mm_unpackhi_pd(v0, v1);         // b0 b1
+    _mm_storeu_pd(low + i, _mm_mul_pd(_mm_add_pd(a, b), half));
+    _mm_storeu_pd(high + i, _mm_mul_pd(_mm_sub_pd(a, b), half));
+  }
+  for (; i < pairs; ++i) {
+    const double a = src[2 * i];
+    const double b = src[2 * i + 1];
+    low[i] = (a + b) / 2.0;
+    high[i] = (a - b) / 2.0;
+  }
+}
+
+void haar_inverse_pairs(const double* low, const double* high, double* dst, std::size_t pairs) {
+  std::size_t i = 0;
+  for (; i + 2 <= pairs; i += 2) {
+    const __m128d lo = _mm_loadu_pd(low + i);
+    const __m128d hi = _mm_loadu_pd(high + i);
+    const __m128d sum = _mm_add_pd(lo, hi);
+    const __m128d diff = _mm_sub_pd(lo, hi);
+    _mm_storeu_pd(dst + 2 * i, _mm_unpacklo_pd(sum, diff));
+    _mm_storeu_pd(dst + 2 * i + 2, _mm_unpackhi_pd(sum, diff));
+  }
+  for (; i < pairs; ++i) {
+    dst[2 * i] = low[i] + high[i];
+    dst[2 * i + 1] = low[i] - high[i];
+  }
+}
+
+void range_min_max(const double* v, std::size_t n, double* lo, double* hi) {
+  __m128d vmn = _mm_set1_pd(v[0]);
+  __m128d vmx = vmn;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_loadu_pd(v + i);
+    vmn = _mm_min_pd(x, vmn);
+    vmx = _mm_max_pd(x, vmx);
+  }
+  double mn = _mm_cvtsd_f64(vmn);
+  double mx = _mm_cvtsd_f64(vmx);
+  const double mn1 = _mm_cvtsd_f64(_mm_unpackhi_pd(vmn, vmn));
+  const double mx1 = _mm_cvtsd_f64(_mm_unpackhi_pd(vmx, vmx));
+  mn = (mn1 < mn) ? mn1 : mn;
+  mx = (mx < mx1) ? mx1 : mx;
+  for (; i < n; ++i) {
+    mn = (v[i] < mn) ? v[i] : mn;
+    mx = (mx < v[i]) ? v[i] : mx;
+  }
+  if (mn == 0.0) mn = 0.0;
+  if (mx == 0.0) mx = 0.0;
+  *lo = mn;
+  *hi = mx;
+}
+
+void grid_index_batch(const double* v, std::size_t n, double lo, double inv_width,
+                      std::int32_t divisions, std::int32_t* out) {
+  const __m128d vlo = _mm_set1_pd(lo);
+  const __m128d vinv = _mm_set1_pd(inv_width);
+  const __m128d vzero = _mm_setzero_pd();
+  const __m128d vtop = _mm_set1_pd(static_cast<double>(divisions - 1));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(v + i), vlo), vinv);
+    // Operand order matters: max_pd returns its second operand on NaN,
+    // so a NaN x maps to 0 like the scalar reference.
+    const __m128d y = _mm_min_pd(_mm_max_pd(x, vzero), vtop);
+    const __m128i q = _mm_cvttpd_epi32(y);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), q);
+  }
+  for (; i < n; ++i) {
+    out[i] = grid_index_one(v[i], lo, inv_width, divisions);
+  }
+}
+
+void bitmap_pack_ge0(const std::int32_t* idx, std::size_t n, std::uint64_t* words) {
+  const std::size_t full = n / 64;
+  for (std::size_t w = 0; w < full; ++w) {
+    std::uint64_t bits = 0;
+    for (std::size_t k = 0; k < 16; ++k) {
+      const __m128i q = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + w * 64 + 4 * k));
+      // Sign bit set <=> idx < 0 <=> bit clear; invert the mask.
+      const int m = _mm_movemask_ps(_mm_castsi128_ps(q));
+      bits |= static_cast<std::uint64_t>(~m & 0xF) << (4 * k);
+    }
+    words[w] = bits;
+  }
+  if (n % 64 != 0) {
+    std::uint64_t bits = 0;
+    for (std::size_t i = full * 64; i < n; ++i) {
+      if (idx[i] >= 0) bits |= 1ull << (i % 64);
+    }
+    words[full] = bits;
+  }
+}
+
+void pack_f64_le(const double* v, std::size_t n, std::byte* out) {
+  if (n == 0) return;  // empty vectors hand memcpy a null data() pointer (UB)
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d a = _mm_loadu_pd(v + i);
+    const __m128d b = _mm_loadu_pd(v + i + 2);
+    _mm_storeu_pd(reinterpret_cast<double*>(out + 8 * i), a);
+    _mm_storeu_pd(reinterpret_cast<double*>(out + 8 * i + 16), b);
+  }
+  if (i < n) std::memcpy(out + 8 * i, v + i, (n - i) * sizeof(double));
+}
+
+void unpack_f64_le(const std::byte* in, std::size_t n, double* out) {
+  if (n == 0) return;  // empty vectors hand memcpy a null data() pointer (UB)
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d a = _mm_loadu_pd(reinterpret_cast<const double*>(in + 8 * i));
+    const __m128d b = _mm_loadu_pd(reinterpret_cast<const double*>(in + 8 * i + 16));
+    _mm_storeu_pd(out + i, a);
+    _mm_storeu_pd(out + i + 2, b);
+  }
+  if (i < n) std::memcpy(out + i, in + 8 * i, (n - i) * sizeof(double));
+}
+
+void adler32_update(std::uint32_t* pa, std::uint32_t* pb, const unsigned char* p, std::size_t n) {
+  constexpr std::uint32_t kMod = 65521;
+  constexpr std::size_t kBlock = 5552;
+  std::uint32_t a = *pa;
+  std::uint32_t b = *pb;
+  const __m128i zero = _mm_setzero_si128();
+  // Weight of byte i within a 16-byte group is 16 - i (set_epi16 lists
+  // lane 7 first).
+  const __m128i wlo = _mm_set_epi16(9, 10, 11, 12, 13, 14, 15, 16);
+  const __m128i whi = _mm_set_epi16(1, 2, 3, 4, 5, 6, 7, 8);
+  while (n > 0) {
+    std::size_t chunk = n < kBlock ? n : kBlock;
+    n -= chunk;
+    for (; chunk >= 16; chunk -= 16, p += 16) {
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      const __m128i sad = _mm_sad_epu8(v, zero);
+      const std::uint32_t s = static_cast<std::uint32_t>(_mm_cvtsi128_si32(sad)) +
+                              static_cast<std::uint32_t>(_mm_cvtsi128_si32(_mm_srli_si128(sad, 8)));
+      __m128i m = _mm_add_epi32(_mm_madd_epi16(_mm_unpacklo_epi8(v, zero), wlo),
+                                _mm_madd_epi16(_mm_unpackhi_epi8(v, zero), whi));
+      m = _mm_add_epi32(m, _mm_srli_si128(m, 8));
+      m = _mm_add_epi32(m, _mm_srli_si128(m, 4));
+      // b after 16 sequential steps: b + 16*a + sum (16-i)*p[i]; the
+      // uint32 totals match the scalar loop exactly (non-negative terms,
+      // no wrap within a 5552-byte chunk).
+      b += 16 * a + static_cast<std::uint32_t>(_mm_cvtsi128_si32(m));
+      a += s;
+    }
+    adler32_tail(a, b, p, chunk);
+    p += chunk;
+    a %= kMod;
+    b %= kMod;
+  }
+  *pa = a;
+  *pb = b;
+}
+
+constexpr KernelTable kSse2Table{
+    haar_forward_pairs, haar_inverse_pairs,     range_min_max, grid_index_batch,
+    bitmap_pack_ge0,    bitmap_select_wordfast, pack_f64_le,   unpack_f64_le,
+    crc32_update_slice8, adler32_update,
+};
+
+}  // namespace
+
+const KernelTable* sse2_table() noexcept { return &kSse2Table; }
+
+}  // namespace wck::simd::detail
+
+#else  // non-x86 build: level not available
+
+namespace wck::simd::detail {
+const KernelTable* sse2_table() noexcept { return nullptr; }
+}  // namespace wck::simd::detail
+
+#endif

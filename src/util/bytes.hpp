@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "simd/dispatch.hpp"
 #include "util/error.hpp"
 
 namespace wck {
@@ -60,13 +61,14 @@ class ByteWriter {
   }
   void raw(std::span<const std::byte> data) { raw(data.data(), data.size()); }
 
-  /// Raw span of doubles (little-endian each).
+  /// Raw span of doubles (little-endian each), bulk-packed through the
+  /// dispatched kernel (the scalar level is memcpy on LE hosts).
   void f64_array(std::span<const double> v) {
-    if constexpr (std::endian::native == std::endian::little) {
-      raw(v.data(), v.size() * sizeof(double));
-    } else {
-      for (double d : v) f64(d);
-    }
+    if (v.empty()) return;
+    Bytes& buf = buffer();
+    const std::size_t old = buf.size();
+    buf.resize(old + v.size() * sizeof(double));
+    simd::kernels().pack_f64_le(v.data(), v.size(), buf.data() + old);
   }
 
   [[nodiscard]] Bytes& buffer() noexcept { return buf_ ? *buf_ : owned_; }
@@ -143,16 +145,12 @@ class ByteReader {
     return out;
   }
 
-  /// Reads `count` little-endian doubles into `out`.
+  /// Reads `count` little-endian doubles into `out` through the
+  /// dispatched unpack kernel.
   void f64_array(std::span<double> out) {
     const auto bytes = raw(out.size() * sizeof(double));
-    if (out.empty()) return;  // memcpy with a null span base is UB even for n == 0
-    if constexpr (std::endian::native == std::endian::little) {
-      std::memcpy(out.data(), bytes.data(), bytes.size());
-    } else {
-      ByteReader sub(bytes);
-      for (double& d : out) d = sub.f64();
-    }
+    if (out.empty()) return;  // a null span base is UB to pass even for n == 0
+    simd::kernels().unpack_f64_le(bytes.data(), out.size(), out.data());
   }
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }

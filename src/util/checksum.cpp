@@ -1,55 +1,12 @@
 #include "util/checksum.hpp"
 
-#include <array>
+#include "simd/dispatch.hpp"
 
 namespace wck {
-namespace {
-
-// CRC-32 lookup tables for slice-by-4 processing. Generated once at
-// startup; the generation itself is the textbook bitwise recurrence.
-struct CrcTables {
-  std::array<std::array<std::uint32_t, 256>, 4> t{};
-
-  CrcTables() noexcept {
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-      }
-      t[0][i] = c;
-    }
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
-      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
-      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
-    }
-  }
-};
-
-const CrcTables& tables() noexcept {
-  static const CrcTables kTables;
-  return kTables;
-}
-
-}  // namespace
 
 void Crc32::update(const void* data, std::size_t size) noexcept {
-  const auto& tb = tables();
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint32_t c = state_;
-  // Process 4 bytes at a time (slice-by-4).
-  while (size >= 4) {
-    c ^= static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
-    c = tb.t[3][c & 0xFFu] ^ tb.t[2][(c >> 8) & 0xFFu] ^ tb.t[1][(c >> 16) & 0xFFu] ^
-        tb.t[0][(c >> 24) & 0xFFu];
-    p += 4;
-    size -= 4;
-  }
-  while (size-- > 0) {
-    c = tb.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
-  }
-  state_ = c;
+  state_ = simd::kernels().crc32_update(state_, p, size);
 }
 
 void Crc32::update(std::span<const std::byte> data) noexcept {
@@ -67,21 +24,8 @@ std::uint32_t crc32(std::span<const std::byte> data) noexcept {
 }
 
 void Adler32::update(const void* data, std::size_t size) noexcept {
-  constexpr std::uint32_t kMod = 65521;
-  // Largest n such that 255*n*(n+1)/2 + (n+1)*(kMod-1) fits in 32 bits.
-  constexpr std::size_t kBlock = 5552;
   const auto* p = static_cast<const unsigned char*>(data);
-  while (size > 0) {
-    const std::size_t chunk = size < kBlock ? size : kBlock;
-    for (std::size_t i = 0; i < chunk; ++i) {
-      a_ += p[i];
-      b_ += a_;
-    }
-    a_ %= kMod;
-    b_ %= kMod;
-    p += chunk;
-    size -= chunk;
-  }
+  simd::kernels().adler32_update(&a_, &b_, p, size);
 }
 
 void Adler32::update(std::span<const std::byte> data) noexcept {

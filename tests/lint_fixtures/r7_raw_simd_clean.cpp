@@ -1,0 +1,13 @@
+// Fixture: the sanctioned way to reach vector code — the dispatch
+// table — plus lookalikes that must not trip the header tokens.
+// A comment naming immintrin.h is fine, as is a diagnostic string.
+#include "simd/dispatch.hpp"
+
+#include <cstdio>
+
+void report() {
+  // emmintrin.h mentioned in a comment only.
+  std::printf("build does not include immintrin.h directly\n");
+  const char* my_immintrin_hpp = "not_the_header";
+  (void)my_immintrin_hpp;
+}

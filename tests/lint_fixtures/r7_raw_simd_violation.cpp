@@ -1,0 +1,7 @@
+// Fixture: intrinsics headers pulled in outside src/simd/.
+#include <immintrin.h>
+#include <emmintrin.h>
+#include "xmmintrin.h"
+#include <arm_neon.h>
+
+void use_vectors() {}

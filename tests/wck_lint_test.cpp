@@ -131,6 +131,25 @@ TEST(WckLintRawSocket, AcceptsNetLayerApiAndLookalikes) {
   EXPECT_TRUE(findings.empty()) << format(findings.front());
 }
 
+TEST(WckLintRawSimd, FlagsIntrinsicsHeadersOutsideSimdLayer) {
+  const std::string text = read_fixture("r7_raw_simd_violation.cpp");
+  const auto findings = scan_file("src/wavelet/fx.cpp", text);
+  EXPECT_EQ(of_rule(findings, "raw-simd").size(), 4u);
+  // The rule also guards tools/ and bench/: a CLI or bench reaching for
+  // intrinsics directly bypasses dispatch and bit-identity coverage.
+  EXPECT_EQ(of_rule(scan_file("tools/fx.cpp", text), "raw-simd").size(), 4u);
+  EXPECT_EQ(of_rule(scan_file("bench/fx.cpp", text), "raw-simd").size(), 4u);
+  // src/simd/ is the sanctioned home.
+  EXPECT_TRUE(
+      of_rule(scan_file("src/simd/kernels_avx2.cpp", text), "raw-simd").empty());
+}
+
+TEST(WckLintRawSimd, AcceptsDispatchTableAndLookalikes) {
+  const auto findings =
+      scan_file("src/wavelet/fx.cpp", read_fixture("r7_raw_simd_clean.cpp"));
+  EXPECT_TRUE(findings.empty()) << format(findings.front());
+}
+
 // The gate the `lint` target and CI enforce, as a unit test: the live
 // tree must produce no finding that is not in the committed baseline.
 TEST(WckLintTree, LiveTreeIsBaselineClean) {

@@ -19,15 +19,22 @@ missing from the baseline set is an error (the gate must never silently
 compare nothing), as is a params mismatch (different shape => different
 numbers, not a regression signal).
 
-Exception: a baseline-less record that carries serial_bytes and
-sharded_bytes in its params (bench/micro_deflate) is self-baselining —
-the gate instead checks that the sharded parallel-deflate container is
-no more than --sharded-tol (default 2%) larger than the serial stream
-compressed from the same input.
+Exceptions — baseline-less records that are self-baselining:
+  * a record carrying serial_bytes and sharded_bytes in its params
+    (bench/micro_deflate): the gate checks that the sharded
+    parallel-deflate container is no more than --sharded-tol (default
+    2%) larger than the serial stream compressed from the same input.
+  * a record carrying simd_best_level in its params
+    (bench/micro_kernels): on vector-capable hardware (best level is
+    not "scalar") at least --simd-min-kernels of the speedup_<kernel>
+    params must reach --simd-speedup (default: 2 kernels at >= 1.5x
+    over the scalar reference). On scalar-only hardware the record
+    passes vacuously — there is no vector level to gate.
 
 Usage:
   tools/check_bench_regress.py --baseline perf/BENCH_seed.json FRESH.json...
   options: --size-tol=0.05  --time-mult=10.0  --sharded-tol=0.02
+           --simd-speedup=1.5  --simd-min-kernels=2
 
 Exits 0 when every fresh record passes; prints one line per violation
 otherwise. Used by the `bench-smoke` CI job; no third-party dependencies.
@@ -61,10 +68,13 @@ def rel_delta(fresh, base):
 
 
 class Gate:
-    def __init__(self, size_tol, time_mult, sharded_tol):
+    def __init__(self, size_tol, time_mult, sharded_tol,
+                 simd_speedup=1.5, simd_min_kernels=2):
         self.size_tol = size_tol
         self.time_mult = time_mult
         self.sharded_tol = sharded_tol
+        self.simd_speedup = simd_speedup
+        self.simd_min_kernels = simd_min_kernels
         self.violations = []
         self.checks = 0
 
@@ -152,6 +162,38 @@ class Gate:
                       f"({serial} -> {sharded}, tolerance +{self.sharded_tol:.0%})")
         return True
 
+    def check_simd_speedup(self, name, record):
+        """Self-baselining check for SIMD kernel throughput records.
+
+        Returns True when the record was handled (simd_best_level
+        present), so the caller skips the missing-baseline error.
+        """
+        params = record.get("report", {}).get("params", {})
+        best = params.get("simd_best_level")
+        if best is None:
+            return False
+        self.checks += 1
+        if best == "scalar":
+            return True  # no vector level on this machine; nothing to gate
+        speedups = {}
+        for key, value in params.items():
+            if not key.startswith("speedup_"):
+                continue
+            try:
+                speedups[key[len("speedup_"):]] = float(value)
+            except (TypeError, ValueError):
+                self.fail(f"{name}: {key} is not a number ({value!r})")
+                return True
+        if not speedups:
+            self.fail(f"{name}: simd_best_level={best} but no speedup_<kernel> params")
+            return True
+        fast = sorted(k for k, v in speedups.items() if v >= self.simd_speedup)
+        if len(fast) < self.simd_min_kernels:
+            self.fail(f"{name}: only {len(fast)} kernel(s) at >= {self.simd_speedup:g}x "
+                      f"over scalar ({', '.join(fast) or 'none'}); "
+                      f"need {self.simd_min_kernels} with best level {best}")
+        return True
+
 
 def main(argv):
     parser = argparse.ArgumentParser(
@@ -164,6 +206,10 @@ def main(argv):
                         help="stage-time blowup multiplier (default 10)")
     parser.add_argument("--sharded-tol", type=float, default=0.02,
                         help="max sharded-vs-serial compressed-size drift (default 0.02)")
+    parser.add_argument("--simd-speedup", type=float, default=1.5,
+                        help="required best-level speedup over scalar (default 1.5)")
+    parser.add_argument("--simd-min-kernels", type=int, default=2,
+                        help="kernels that must reach --simd-speedup (default 2)")
     parser.add_argument("fresh", nargs="+", help="freshly produced BENCH_*.json files")
     args = parser.parse_args(argv[1:])
 
@@ -173,7 +219,8 @@ def main(argv):
         print(f"baseline unreadable: {e}", file=sys.stderr)
         return 2
 
-    gate = Gate(args.size_tol, args.time_mult, args.sharded_tol)
+    gate = Gate(args.size_tol, args.time_mult, args.sharded_tol,
+                args.simd_speedup, args.simd_min_kernels)
     compared = 0
     for path in args.fresh:
         try:
@@ -183,7 +230,8 @@ def main(argv):
             continue
         for bench, record in fresh.items():
             if bench not in baseline:
-                if gate.check_sharded_drift(f"{path}[{bench}]", record):
+                if (gate.check_sharded_drift(f"{path}[{bench}]", record)
+                        or gate.check_simd_speedup(f"{path}[{bench}]", record)):
                     compared += 1
                 else:
                     gate.fail(f"{path}: bench {bench!r} has no baseline record")

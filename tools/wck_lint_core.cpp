@@ -379,6 +379,38 @@ void rule_raw_socket(const std::string& rel, const Scanned& sc,
   }
 }
 
+/// R7 raw-simd: intrinsics headers outside src/simd/. Vector code lives
+/// behind the runtime-dispatched kernel table so every kernel is
+/// bit-identity-tested against the scalar reference and forcible to
+/// scalar via WCK_SIMD; a stray `#include <immintrin.h>` elsewhere
+/// escapes both. Catches the angle form in the blanked text and the
+/// (unconventional) quoted form via the recorded literal contents.
+void rule_raw_simd(const std::string& rel, const Scanned& sc,
+                   std::vector<Finding>& out) {
+  // src/simd/ is the sanctioned home; this file holds the header-name
+  // table itself (string literals that would self-flag, like R5's
+  // sanctioned-caller exemption for env.hpp).
+  if (starts_with(rel, "src/simd/") || rel == "tools/wck_lint_core.cpp") return;
+  constexpr std::array<std::string_view, 14> kHeaders = {
+      "immintrin.h", "emmintrin.h", "xmmintrin.h", "pmmintrin.h",
+      "tmmintrin.h", "smmintrin.h", "nmmintrin.h", "ammintrin.h",
+      "wmmintrin.h", "avxintrin.h", "avx2intrin.h", "x86intrin.h",
+      "arm_neon.h",  "arm_sve.h"};
+  auto flag = [&](std::string_view header, std::size_t pos) {
+    out.push_back({rel, line_of(sc, pos),
+                   "raw SIMD intrinsics header " + std::string(header) +
+                       " outside src/simd/; call through the dispatch "
+                       "table (src/simd/dispatch.hpp)",
+                   "raw-simd"});
+  };
+  for (const std::string_view header : kHeaders) {
+    for_each_token(sc.blank, header, [&](std::size_t pos) { flag(header, pos); });
+    for (const Literal& lit : sc.literals) {
+      if (lit.content == header) flag(header, lit.pos);
+    }
+  }
+}
+
 }  // namespace
 
 std::string format(const Finding& f) {
@@ -395,6 +427,7 @@ std::vector<Finding> scan_file(const std::string& rel_path, std::string_view tex
   rule_metric_name(rel_path, sc, out);
   rule_getenv(rel_path, sc, out);
   rule_raw_socket(rel_path, sc, out);
+  rule_raw_simd(rel_path, sc, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
   });

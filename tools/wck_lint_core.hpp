@@ -28,6 +28,12 @@
 //                       inside src/net/ — the rest of the tree speaks
 //                       frames and messages through UnixStream/
 //                       UnixListener (src/net/socket.hpp).
+//   R7 raw-simd        Intrinsics headers (immintrin.h, emmintrin.h,
+//                       arm_neon.h, ...) only inside src/simd/ — the
+//                       rest of the tree calls vector code through the
+//                       runtime-dispatched kernel table
+//                       (src/simd/dispatch.hpp), so bit-identity tests
+//                       and the WCK_SIMD override cover every kernel.
 //
 // The scanner is a token-level pass over comment/string-blanked text —
 // deliberately not a real C++ parser. It favors false negatives over

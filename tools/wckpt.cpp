@@ -72,6 +72,7 @@
 #include "core/synthetic.hpp"
 #include "io/fault_injection.hpp"
 #include "quality/quality.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/error_metrics.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/env.hpp"
@@ -258,6 +259,9 @@ void report_params_from_flags(const std::map<std::string, std::string>& flags,
     const auto it = flags.find(key);
     if (it != flags.end()) report.params[key] = it->second;
   }
+  // Every report records which kernel dispatch level processed the data
+  // (bit-identical across levels, but essential context for timing).
+  report.params["simd_level"] = simd::to_string(simd::active_level());
 }
 
 /// The checkpoint-codec chooser shared by soak and serve: any registry
